@@ -1,0 +1,71 @@
+//! Criterion benches for the simulated dB-tree: end-to-end cost of driving
+//! a fixed workload through each replica-maintenance protocol. Measures
+//! simulator wall time — a proxy for total protocol work (events × handler
+//! cost) — alongside the virtual-time metrics the experiment binaries
+//! report.
+
+use bench::{build_cluster, drive};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbtree::{ProtocolKind, TreeConfig};
+use workload::Mix;
+
+fn protocol_cfg(p: ProtocolKind) -> TreeConfig {
+    TreeConfig {
+        record_history: false,
+        ..TreeConfig::fixed_copies(p, 3)
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbtree_insert_workload");
+    g.sample_size(20);
+    for protocol in [
+        ProtocolKind::SemiSync,
+        ProtocolKind::Sync,
+        ProtocolKind::AvailableCopies,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    let mut cluster = build_cluster(protocol_cfg(p), 4, 100, 3);
+                    let (stats, _) =
+                        drive(&mut cluster, 100, 400, Mix::INSERT_ONLY, 4000, 3, 4);
+                    stats.records.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_path_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbtree_path_replication");
+    g.sample_size(20);
+    for &procs in &[2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter(|| {
+                let cfg = TreeConfig {
+                    record_history: false,
+                    ..Default::default()
+                };
+                let mut cluster = build_cluster(cfg, procs, 200, 9);
+                let (stats, _) = drive(
+                    &mut cluster,
+                    200,
+                    400,
+                    Mix { search_fraction: 0.8 },
+                    4000,
+                    9,
+                    4,
+                );
+                stats.records.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_path_replication);
+criterion_main!(benches);

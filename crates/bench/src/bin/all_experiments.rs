@@ -1,0 +1,31 @@
+//! Run every experiment binary's logic in sequence (convenience wrapper for
+//! regenerating EXPERIMENTS.md: `cargo run --release -p bench --bin
+//! all_experiments`).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "e1_half_split",
+        "e2_replication_policy",
+        "e3_lazy_convergence",
+        "e4_lost_insert",
+        "e5_split_cost",
+        "e6_join_race",
+        "e7_root_bottleneck",
+        "e8_mobility",
+        "e9_lazy_vs_vigorous",
+        "e10_piggyback",
+        "e11_hash_table",
+        "e12_slow_replica",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared harness for the experiment binaries (`src/bin/e*.rs`) and the
+//! Criterion benches.
+//!
+//! Each experiment binary regenerates one figure or quantitative claim from
+//! the paper; see `EXPERIMENTS.md` at the repository root for the mapping
+//! and recorded results.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use std::collections::BTreeSet;
+
+use dbtree::{BuildSpec, ClientOp, DbCluster, DriverStats, Intent, Key, TreeConfig};
+use simnet::{ProcId, SimConfig};
+use workload::{KeyDist, Mix, Op, OpKind, WorkloadGen};
+
+/// Convert a workload op into a driver op.
+pub fn to_client(op: &Op) -> ClientOp {
+    ClientOp {
+        origin: ProcId(op.origin),
+        key: op.key,
+        intent: match op.kind {
+            OpKind::Search => Intent::Search,
+            OpKind::Insert => Intent::Insert(op.value),
+        },
+    }
+}
+
+/// Standard experiment setup: preloaded cluster on a jittery network.
+pub fn build_cluster(cfg: TreeConfig, n_procs: u32, preload: u64, seed: u64) -> DbCluster {
+    let keys: Vec<Key> = (0..preload).map(|k| k * 10).collect();
+    let spec = BuildSpec::new(keys, n_procs, cfg);
+    DbCluster::build(&spec, SimConfig::jittery(seed, 2, 25))
+}
+
+/// The keys a standard preload installs.
+pub fn preload_keys(preload: u64) -> BTreeSet<Key> {
+    (0..preload).map(|k| k * 10).collect()
+}
+
+/// Drive a generated workload closed-loop; returns driver stats and the set
+/// of keys expected to be findable afterwards.
+pub fn drive(
+    cluster: &mut DbCluster,
+    preload: u64,
+    n_ops: usize,
+    mix: Mix,
+    key_space: u64,
+    seed: u64,
+    concurrency: usize,
+) -> (DriverStats, BTreeSet<Key>) {
+    let mut gen = WorkloadGen::new(
+        KeyDist::Uniform { n: key_space },
+        mix,
+        cluster.n_procs(),
+        seed ^ 0x9E37,
+    );
+    let ops: Vec<ClientOp> = gen.batch(n_ops).iter().map(to_client).collect();
+    let stats = cluster.run_closed_loop(&ops, concurrency);
+    let mut expected = preload_keys(preload);
+    for r in &stats.records {
+        if let Intent::Insert(_) = r.op.intent {
+            expected.insert(r.op.key);
+        }
+    }
+    (stats, expected)
+}
+
+/// Sum a per-processor metric over the cluster.
+pub fn sum_metric(cluster: &DbCluster, f: impl Fn(&dbtree::ProcMetrics) -> u64) -> u64 {
+    cluster.sim.procs().map(|(_, p)| f(&p.metrics)).sum()
+}
+
+/// Format a float to 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float to 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}

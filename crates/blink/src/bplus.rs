@@ -1,0 +1,283 @@
+//! Classic B+-tree baseline with synchronous top-down splits.
+//!
+//! This is the "standard B-tree insertion algorithm" the paper contrasts the
+//! half-split against: a split inserts into the parent *within the same
+//! atomic step*, so the structure is never observable mid-split — at the cost
+//! of holding the whole split path at once. In the distributed setting the
+//! analogous discipline is the vigorous, synchronizing protocol.
+
+use crate::node::MIN_FANOUT;
+use crate::Key;
+
+#[derive(Clone, Debug)]
+enum BpNode {
+    Leaf {
+        entries: Vec<(Key, u64)>,
+        next: Option<usize>,
+    },
+    Interior {
+        /// Router entries: `(lowest key of child subtree, child index)`.
+        entries: Vec<(Key, usize)>,
+    },
+}
+
+/// A classic B+-tree mapping `u64 → u64`.
+pub struct BPlusTree {
+    nodes: Vec<BpNode>,
+    root: usize,
+    fanout: usize,
+    len: u64,
+    splits: u64,
+}
+
+impl BPlusTree {
+    /// An empty tree whose nodes hold at most `fanout` entries.
+    ///
+    /// # Panics
+    /// If `fanout < MIN_FANOUT`.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout >= MIN_FANOUT, "fanout must be at least {MIN_FANOUT}");
+        BPlusTree {
+            nodes: vec![BpNode::Leaf {
+                entries: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            fanout,
+            len: 0,
+            splits: 0,
+        }
+    }
+
+    /// Number of live key/value pairs.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Splits performed so far.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: Key) -> Option<u64> {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                BpNode::Leaf { entries, .. } => {
+                    return entries
+                        .binary_search_by_key(&key, |e| e.0)
+                        .ok()
+                        .map(|i| entries[i].1);
+                }
+                BpNode::Interior { entries } => {
+                    cur = route(entries, key);
+                }
+            }
+        }
+    }
+
+    /// Insert `key → value`; returns `true` if the key was new.
+    pub fn insert(&mut self, key: Key, value: u64) -> bool {
+        let (is_new, promo) = self.insert_rec(self.root, key, value);
+        if is_new {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = promo {
+            // Root split: grow the tree. The leftmost router must carry the
+            // subtree's lower *bound* (0), not its current lowest key —
+            // otherwise keys below that key collect in child 0 and a later
+            // split there can promote a separator that collides with an
+            // existing router.
+            let new_root = BpNode::Interior {
+                entries: vec![(0, self.root), (sep, right)],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        is_new
+    }
+
+    fn insert_rec(&mut self, cur: usize, key: Key, value: u64) -> (bool, Option<(Key, usize)>) {
+        match &mut self.nodes[cur] {
+            BpNode::Leaf { entries, .. } => {
+                let is_new = match entries.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => {
+                        entries[i].1 = value;
+                        false
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        true
+                    }
+                };
+                (is_new, self.maybe_split_leaf(cur))
+            }
+            BpNode::Interior { entries } => {
+                let child = route(entries, key);
+                let (is_new, promo) = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = promo {
+                    let BpNode::Interior { entries } = &mut self.nodes[cur] else {
+                        unreachable!()
+                    };
+                    let pos = entries
+                        .binary_search_by_key(&sep, |e| e.0)
+                        .expect_err("separator must be new");
+                    entries.insert(pos, (sep, right));
+                }
+                (is_new, self.maybe_split_interior(cur))
+            }
+        }
+    }
+
+    fn maybe_split_leaf(&mut self, cur: usize) -> Option<(Key, usize)> {
+        let fanout = self.fanout;
+        let new_index = self.nodes.len();
+        let BpNode::Leaf { entries, next } = &mut self.nodes[cur] else {
+            unreachable!()
+        };
+        if entries.len() <= fanout {
+            return None;
+        }
+        let mid = entries.len() / 2;
+        let sep = entries[mid].0;
+        let right_entries = entries.split_off(mid);
+        let right = BpNode::Leaf {
+            entries: right_entries,
+            next: *next,
+        };
+        *next = Some(new_index);
+        self.nodes.push(right);
+        self.splits += 1;
+        Some((sep, new_index))
+    }
+
+    fn maybe_split_interior(&mut self, cur: usize) -> Option<(Key, usize)> {
+        let fanout = self.fanout;
+        let new_index = self.nodes.len();
+        let BpNode::Interior { entries } = &mut self.nodes[cur] else {
+            unreachable!()
+        };
+        if entries.len() <= fanout {
+            return None;
+        }
+        let mid = entries.len() / 2;
+        let sep = entries[mid].0;
+        let right_entries = entries.split_off(mid);
+        self.nodes.push(BpNode::Interior {
+            entries: right_entries,
+        });
+        self.splits += 1;
+        Some((sep, new_index))
+    }
+
+    /// All `(key, value)` pairs in `[from, to)`, in key order.
+    pub fn range_scan(&self, from: Key, to: Option<Key>) -> Vec<(Key, u64)> {
+        // Descend to the leaf containing `from`.
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                BpNode::Leaf { .. } => break,
+                BpNode::Interior { entries } => cur = route(entries, from),
+            }
+        }
+        let mut out = Vec::new();
+        let mut next = Some(cur);
+        while let Some(i) = next {
+            let BpNode::Leaf { entries, next: n } = &self.nodes[i] else {
+                unreachable!()
+            };
+            for &(k, v) in entries {
+                if k < from {
+                    continue;
+                }
+                if let Some(t) = to {
+                    if k >= t {
+                        return out;
+                    }
+                }
+                out.push((k, v));
+            }
+            next = *n;
+        }
+        out
+    }
+
+    pub(crate) fn visit<'a>(&'a self) -> (usize, impl Fn(usize) -> BpView<'a>) {
+        let nodes = &self.nodes;
+        (self.root, move |i: usize| match &nodes[i] {
+            BpNode::Leaf { entries, .. } => BpView::Leaf(entries),
+            BpNode::Interior { entries } => BpView::Interior(entries),
+        })
+    }
+}
+
+/// Read-only view used by the validator.
+pub(crate) enum BpView<'a> {
+    Leaf(&'a [(Key, u64)]),
+    Interior(&'a [(Key, usize)]),
+}
+
+fn route(entries: &[(Key, usize)], key: Key) -> usize {
+    match entries.binary_search_by_key(&key, |e| e.0) {
+        Ok(i) => entries[i].1,
+        Err(0) => entries[0].1, // below the first router: clamp left
+        Err(i) => entries[i - 1].1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_bplus;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..500u64 {
+            assert!(t.insert(k * 13 % 500, k));
+        }
+        check_bplus(&t).expect("valid");
+        for k in 0..500u64 {
+            assert!(t.get(k).is_some());
+        }
+        assert_eq!(t.get(500), None);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut t = BPlusTree::new(4);
+        t.insert(1, 1);
+        assert!(!t.insert(1, 2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(2));
+    }
+
+    #[test]
+    fn scan_matches_blink() {
+        let mut bp = BPlusTree::new(6);
+        let mut bl = crate::BLinkTree::new(6);
+        for k in 0..300u64 {
+            let key = (k * 31) % 1000;
+            bp.insert(key, k);
+            bl.insert(key, k);
+        }
+        assert_eq!(bp.range_scan(100, Some(600)), bl.range_scan(100, Some(600)));
+    }
+
+    #[test]
+    fn splits_happen() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        assert!(t.splits() >= 20);
+        check_bplus(&t).expect("valid");
+    }
+}

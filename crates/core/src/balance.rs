@@ -1,0 +1,104 @@
+//! Leaf-level data balancing (§4.2, \[14\]).
+//!
+//! The paper's companion work migrates leaves between processors to equalize
+//! load, relying on the lazy mobile-node protocol for correctness. The
+//! planner here is the *policy* half: given the current leaf placement, it
+//! produces a migration plan that the cluster driver injects as `Migrate`
+//! commands (the *mechanism* half, `protocol::mobile`).
+
+use simnet::{ProcId, Simulation};
+
+use crate::proc::DbProc;
+use crate::types::NodeId;
+
+/// One planned migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// The leaf to move.
+    pub leaf: NodeId,
+    /// Current owner.
+    pub from: ProcId,
+    /// Destination.
+    pub to: ProcId,
+}
+
+/// Per-processor leaf counts (index = processor id).
+pub fn leaf_loads(sim: &Simulation<DbProc>) -> Vec<usize> {
+    sim.procs().map(|(_, p)| p.store.leaf_count()).collect()
+}
+
+/// Relative imbalance: `(max - min) / mean` of per-processor leaf counts.
+pub fn imbalance(loads: &[usize]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = *loads.iter().max().expect("nonempty") as f64;
+    let min = *loads.iter().min().expect("nonempty") as f64;
+    let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        (max - min) / mean
+    }
+}
+
+/// Greedy rebalancing plan: repeatedly move a leaf from the most-loaded to
+/// the least-loaded processor until the spread is at most `tolerance`
+/// leaves. Deterministic: picks the lowest-numbered movable leaf each step.
+pub fn plan_rebalance(sim: &Simulation<DbProc>, tolerance: usize) -> Vec<Move> {
+    let mut loads = leaf_loads(sim);
+    // Collect each processor's leaves once.
+    let mut leaves_by_proc: Vec<Vec<NodeId>> = sim
+        .procs()
+        .map(|(_, p)| {
+            let mut v: Vec<NodeId> = p
+                .store
+                .iter()
+                .filter(|c| c.is_leaf())
+                .map(|c| c.id)
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+
+    let mut plan = Vec::new();
+    loop {
+        let (max_i, &max_load) = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, l)| (*l, std::cmp::Reverse(i)))
+            .expect("nonempty cluster");
+        let (min_i, &min_load) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, l)| (*l, i))
+            .expect("nonempty cluster");
+        if max_load.saturating_sub(min_load) <= tolerance.max(1) {
+            return plan;
+        }
+        let Some(leaf) = leaves_by_proc[max_i].pop() else {
+            return plan;
+        };
+        plan.push(Move {
+            leaf,
+            from: ProcId(max_i as u32),
+            to: ProcId(min_i as u32),
+        });
+        loads[max_i] -= 1;
+        loads[min_i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_metric() {
+        assert_eq!(imbalance(&[5, 5, 5]), 0.0);
+        assert!(imbalance(&[10, 0, 5]) > 1.9);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Tree configuration: protocol, placement, and feature toggles.
+
+/// Which replica-maintenance protocol maintains interior-node copies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// §4.1.1 — synchronous splits: an AAS blocks initial inserts at every
+    /// copy while the PC performs the split. `3·|copies|` messages per split.
+    Sync,
+    /// §4.1.2 — semi-synchronous splits: the PC splits immediately and
+    /// *rewrites history* when a relayed insert arrives out of range
+    /// (re-issuing it toward the sibling). Never blocks inserts;
+    /// `|copies|` messages per split (optimal).
+    SemiSync,
+    /// The deliberately broken lazy protocol of Fig 4: like `SemiSync`, but
+    /// the PC **discards** out-of-range relayed inserts instead of
+    /// re-routing them. Exists to demonstrate the lost-insert problem; the
+    /// history checker flags its executions.
+    Naive,
+    /// The vigorous baseline the paper argues against (\[2\]): every update to
+    /// a replicated node locks all copies (write-all), blocking reads and
+    /// other writes at every copy for the duration.
+    AvailableCopies,
+}
+
+impl ProtocolKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Sync => "sync",
+            ProtocolKind::SemiSync => "semisync",
+            ProtocolKind::Naive => "naive",
+            ProtocolKind::AvailableCopies => "avail-copies",
+        }
+    }
+}
+
+/// Where copies of nodes are placed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// The dB-tree policy (Fig 2): leaves on a single processor; an interior
+    /// node is replicated on every processor that owns a leaf below it; the
+    /// root is everywhere.
+    PathReplication,
+    /// Every node on exactly `copies` processors (the §4.1 fixed-copies
+    /// setting; `copies = 1` gives the fully-unreplicated tree used by the
+    /// root-bottleneck and mobile-node experiments).
+    Uniform {
+        /// Replication factor.
+        copies: usize,
+    },
+}
+
+impl Placement {
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Placement::PathReplication => "path".to_string(),
+            Placement::Uniform { copies } => format!("uniform{copies}"),
+        }
+    }
+}
+
+/// Relay piggybacking (§1.1: lazy updates "can be piggybacked onto messages
+/// used for other purposes, greatly reducing the cost of replication
+/// management"). Modelled as per-destination batching of relayed updates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PiggybackCfg {
+    /// Flush a destination's buffer when it holds this many relays.
+    pub max_batch: usize,
+    /// Flush all buffers at most this many ticks after the first buffered
+    /// relay (bounds staleness; guarantees quiescence).
+    pub flush_interval: u64,
+}
+
+impl Default for PiggybackCfg {
+    fn default() -> Self {
+        PiggybackCfg {
+            max_batch: 8,
+            flush_interval: 50,
+        }
+    }
+}
+
+/// Full configuration of a dB-tree deployment.
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// Maximum entries per node before it must split.
+    pub fanout: usize,
+    /// Replica-maintenance protocol.
+    pub protocol: ProtocolKind,
+    /// Copy placement policy.
+    pub placement: Placement,
+    /// Batch relayed updates instead of sending each immediately.
+    pub piggyback: Option<PiggybackCfg>,
+    /// On migration, leave a forwarding address behind (§4.2's eager aid);
+    /// `false` exercises pure lazy misnavigation recovery.
+    pub forwarding: bool,
+    /// Garbage-collect forwarding addresses after this many ticks.
+    pub forwarding_ttl: u64,
+    /// §4.3 variable copies: processors join/unjoin interior replication as
+    /// leaves migrate to/from them.
+    pub variable_copies: bool,
+    /// Fig 6 toggle: when `true` (the paper's algorithm) the PC re-relays
+    /// updates to copies that joined after the update's version. `false`
+    /// reproduces the incomplete-history failure.
+    pub join_version_relay: bool,
+    /// Record a [`history::HistoryLog`] for end-of-run verification.
+    pub record_history: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            fanout: 8,
+            protocol: ProtocolKind::SemiSync,
+            placement: Placement::PathReplication,
+            piggyback: None,
+            forwarding: false,
+            forwarding_ttl: 500,
+            variable_copies: false,
+            join_version_relay: true,
+            record_history: true,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// Default config with the given protocol.
+    pub fn with_protocol(protocol: ProtocolKind) -> Self {
+        TreeConfig {
+            protocol,
+            ..Default::default()
+        }
+    }
+
+    /// The §4.1 fixed-copies testbed: every node (leaves included) on
+    /// `copies` processors.
+    pub fn fixed_copies(protocol: ProtocolKind, copies: usize) -> Self {
+        TreeConfig {
+            protocol,
+            placement: Placement::Uniform { copies },
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolKind::SemiSync.label(), "semisync");
+        assert_eq!(Placement::PathReplication.label(), "path");
+        assert_eq!(Placement::Uniform { copies: 3 }.label(), "uniform3");
+    }
+
+    #[test]
+    fn defaults_are_the_paper_protocol() {
+        let c = TreeConfig::default();
+        assert_eq!(c.protocol, ProtocolKind::SemiSync);
+        assert_eq!(c.placement, Placement::PathReplication);
+        assert!(c.join_version_relay);
+    }
+}

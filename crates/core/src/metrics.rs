@@ -1,0 +1,80 @@
+//! Per-processor protocol counters, aggregated by the experiment harness.
+
+/// Counters one processor accumulates while executing protocol actions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcMetrics {
+    /// Initial inserts blocked by a split AAS (§4.1.1) or an
+    /// available-copies lock.
+    pub blocked_initial: u64,
+    /// Total virtual ticks blocked actions spent waiting.
+    pub blocked_ticks: u64,
+    /// Search/insert actions queued behind an available-copies lock.
+    pub lock_queued: u64,
+    /// Right-link chases (misnavigation recoveries of the B-link kind).
+    pub link_chases: u64,
+    /// Missing-node recoveries (§4.2): action arrived for a node this
+    /// processor doesn't store.
+    pub missing_node_recoveries: u64,
+    /// Missing-node messages saved by a forwarding address.
+    pub forwards_followed: u64,
+    /// Relayed updates applied.
+    pub relays_applied: u64,
+    /// Relayed updates discarded as out-of-range.
+    pub relays_discarded: u64,
+    /// Out-of-range relayed updates the PC re-issued toward their proper
+    /// home (the semisync history rewrite).
+    pub relays_forwarded: u64,
+    /// Splits this processor initiated as a PC.
+    pub splits_initiated: u64,
+    /// Node migrations sent.
+    pub migrations_out: u64,
+    /// Node migrations received.
+    pub migrations_in: u64,
+    /// Replications joined (§4.3).
+    pub joins: u64,
+    /// Replications unjoined (§4.3).
+    pub unjoins: u64,
+}
+
+impl ProcMetrics {
+    /// Element-wise sum, for cluster-level aggregation.
+    pub fn merge(&mut self, other: &ProcMetrics) {
+        self.blocked_initial += other.blocked_initial;
+        self.blocked_ticks += other.blocked_ticks;
+        self.lock_queued += other.lock_queued;
+        self.link_chases += other.link_chases;
+        self.missing_node_recoveries += other.missing_node_recoveries;
+        self.forwards_followed += other.forwards_followed;
+        self.relays_applied += other.relays_applied;
+        self.relays_discarded += other.relays_discarded;
+        self.relays_forwarded += other.relays_forwarded;
+        self.splits_initiated += other.splits_initiated;
+        self.migrations_out += other.migrations_out;
+        self.migrations_in += other.migrations_in;
+        self.joins += other.joins;
+        self.unjoins += other.unjoins;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums() {
+        let mut a = ProcMetrics {
+            link_chases: 2,
+            joins: 1,
+            ..Default::default()
+        };
+        let b = ProcMetrics {
+            link_chases: 3,
+            unjoins: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.link_chases, 5);
+        assert_eq!(a.joins, 1);
+        assert_eq!(a.unjoins, 4);
+    }
+}

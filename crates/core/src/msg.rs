@@ -1,0 +1,442 @@
+//! Protocol messages — the paper's *actions*, as network payloads.
+//!
+//! Naming follows §3's conventions: initial actions are distinct variants
+//! from their relayed forms (capital-I `InsertAt` vs lowercase-i
+//! `RelayedInsert`), and every update carries the history tag that identifies
+//! its uniform action.
+
+use simnet::{Payload, ProcId};
+
+use crate::node::NodeSnapshot;
+use crate::types::{Intent, Key, NodeId, OpId, Outcome, Value};
+
+/// The split description a PC relays to the other copies.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitInfo {
+    /// Split point: the node's new exclusive upper bound.
+    pub sep: Key,
+    /// The new right sibling.
+    pub sib: NodeId,
+    /// The sibling's PC.
+    pub sib_home: ProcId,
+    /// The sibling's starting version (§4.2/§4.3: one greater than the
+    /// half-split node's).
+    pub sib_version: u64,
+}
+
+/// Which link a link-change action targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDir {
+    /// The left-sibling link.
+    Left,
+    /// The right-sibling link.
+    Right,
+    /// The parent link.
+    Parent,
+}
+
+impl LinkDir {
+    /// Ordered-class label for the history log.
+    pub fn class(self) -> &'static str {
+        match self {
+            LinkDir::Left => "link-left",
+            LinkDir::Right => "link-right",
+            LinkDir::Parent => "link-parent",
+        }
+    }
+}
+
+/// All dB-tree protocol messages.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ---- client plane -------------------------------------------------
+    /// A client submits an operation to its local processor.
+    Client {
+        /// Operation id (driver-minted).
+        op: OpId,
+        /// The key.
+        key: Key,
+        /// Search or insert.
+        intent: Intent,
+    },
+    /// Operation completed; sent to `ProcId::EXTERNAL`.
+    Done(Outcome),
+
+    // ---- navigation ----------------------------------------------------
+    /// Descend: perform the operation's next action at `node`.
+    Descend {
+        /// Operation id.
+        op: OpId,
+        /// The key.
+        key: Key,
+        /// Search or insert.
+        intent: Intent,
+        /// The node to act on.
+        node: NodeId,
+        /// Nodes visited so far.
+        hops: u32,
+        /// Right-link chases so far.
+        chases: u32,
+    },
+
+    /// A client range scan: collect up to `limit` live entries starting at
+    /// `from`.
+    ClientScan {
+        /// Operation id.
+        op: OpId,
+        /// Inclusive start key.
+        from: Key,
+        /// Maximum entries to return.
+        limit: u32,
+    },
+    /// A scan in progress: walking the leaf chain through right links,
+    /// accumulating live entries (tombstones skipped).
+    Scan {
+        /// Operation id.
+        op: OpId,
+        /// Next key of interest (lower bound for this step).
+        key: Key,
+        /// Entries still wanted.
+        remaining: u32,
+        /// The node to act on.
+        node: NodeId,
+        /// Accumulated results.
+        acc: Vec<(Key, Value)>,
+        /// Nodes visited.
+        hops: u32,
+    },
+    /// Scan results; sent to `ProcId::EXTERNAL`.
+    ScanResult {
+        /// Operation id.
+        op: OpId,
+        /// The collected entries, in key order.
+        items: Vec<(Key, Value)>,
+        /// Nodes visited.
+        hops: u32,
+    },
+
+    // ---- lazy updates ---------------------------------------------------
+    /// Initial insert of an entry into a node, outside the client plane:
+    /// split completions (child pointers into parents) and the semisync
+    /// history-rewrite re-issues. Re-routed right if out of range.
+    InsertAt {
+        /// The node to insert into (a hint — the action is re-routed by
+        /// `key` and `level` if the hint is stale).
+        node: NodeId,
+        /// The tree level the insert belongs to (0 = leaves).
+        level: u8,
+        /// The key (a separator for child entries).
+        key: Key,
+        /// The entry.
+        entry: crate::types::Entry,
+        /// History tag of this update.
+        tag: u64,
+    },
+    /// Relayed insert: propagate an applied insert to the other copies.
+    RelayedInsert {
+        /// The node.
+        node: NodeId,
+        /// The key inserted.
+        key: Key,
+        /// The entry (value or child ref).
+        entry: crate::types::Entry,
+        /// History tag (same as the initial action's).
+        tag: u64,
+        /// Node version at the initial copy when it applied the insert
+        /// (§4.3: lets the PC forward to later joiners).
+        version: u64,
+    },
+    /// A batch of relayed inserts (piggybacking, §1.1).
+    RelayBatch(Vec<RelayedItem>),
+
+    // ---- synchronous split protocol (§4.1.1) ---------------------------
+    /// AAS start: block initial inserts at the copy.
+    SplitStart {
+        /// The node being split.
+        node: NodeId,
+    },
+    /// Copy acknowledges the AAS.
+    SplitAck {
+        /// The node being split.
+        node: NodeId,
+    },
+    /// AAS end: apply the split and unblock.
+    SplitEnd {
+        /// The node that split.
+        node: NodeId,
+        /// The split parameters.
+        info: SplitInfo,
+        /// History tag of the split.
+        tag: u64,
+    },
+
+    // ---- semi-synchronous split protocol (§4.1.2) ----------------------
+    /// Relayed half-split: apply immediately at the copy.
+    RelayedSplit {
+        /// The node that split.
+        node: NodeId,
+        /// The split parameters.
+        info: SplitInfo,
+        /// History tag of the split.
+        tag: u64,
+    },
+
+    // ---- copy management ------------------------------------------------
+    /// Install a copy of a node (new sibling's copies, join grants,
+    /// migration payloads).
+    InstallCopy {
+        /// Full copy state.
+        snapshot: NodeSnapshot,
+        /// Why the copy is being installed (affects follow-up actions).
+        reason: InstallReason,
+        /// History tags the snapshot's value already covers (the backwards
+        /// extension of the new copy).
+        covered: Vec<u64>,
+    },
+    /// A new root was created; update the local root pointer and re-parent
+    /// local copies of its children.
+    NewRoot {
+        /// The new root node.
+        root: NodeId,
+        /// Its level.
+        level: u8,
+        /// The processor that created it.
+        home: ProcId,
+        /// The new root's children (the split halves of the old root),
+        /// whose local copies' parent links must be updated.
+        children: [NodeId; 2],
+    },
+
+    // ---- mobility & membership (§4.2 / §4.3) ----------------------------
+    /// Control: migrate `node` (which the receiver owns) to `dest`.
+    Migrate {
+        /// The node to move.
+        node: NodeId,
+        /// Destination processor.
+        dest: ProcId,
+    },
+    /// Ordered link update: point `dir` of `node` at `link`.
+    LinkChange {
+        /// The node whose link changes.
+        node: NodeId,
+        /// Which link.
+        dir: LinkDir,
+        /// New target (node + home).
+        link: crate::types::Link,
+        /// Position in the link's total order (the target's version).
+        version: u64,
+        /// History tag.
+        tag: u64,
+        /// `false` when first sent toward the node's PC; `true` when the PC
+        /// relays it to the other copies.
+        relayed: bool,
+        /// `true` when the update replaces the link's target node (a split
+        /// notification: the new sibling supersedes the old neighbour);
+        /// `false` for home refreshes (migrations), which only apply when
+        /// the target node id still matches the slot.
+        supersedes: bool,
+    },
+    /// Ordered child-home update: the child at `sep` moved to `home`.
+    ChildHomeChange {
+        /// The parent node.
+        node: NodeId,
+        /// The child's separator key.
+        sep: Key,
+        /// The child (sanity check).
+        child: NodeId,
+        /// The child's new home.
+        home: ProcId,
+        /// The child's version after the move.
+        version: u64,
+        /// History tag.
+        tag: u64,
+        /// `false` when first sent to the PC; `true` when the PC relays it
+        /// to the other copies.
+        relayed: bool,
+    },
+    /// §4.3: ask the node's PC to admit the sender to the replication.
+    Join {
+        /// The node.
+        node: NodeId,
+        /// The processor joining.
+        joiner: ProcId,
+    },
+    /// §4.3: the PC tells existing copies about a new member.
+    RelayedJoin {
+        /// The node.
+        node: NodeId,
+        /// The new member.
+        member: ProcId,
+        /// The node version assigned to the join.
+        version: u64,
+        /// History tag.
+        tag: u64,
+    },
+    /// §4.3: a member leaves the replication.
+    Unjoin {
+        /// The node.
+        node: NodeId,
+        /// The processor leaving.
+        leaver: ProcId,
+    },
+    /// §4.3: the PC tells remaining copies about a departure.
+    RelayedUnjoin {
+        /// The node.
+        node: NodeId,
+        /// The departed member.
+        member: ProcId,
+        /// The node version assigned to the unjoin.
+        version: u64,
+        /// History tag.
+        tag: u64,
+    },
+
+    // ---- available-copies baseline --------------------------------------
+    /// Coordinator asks a copy to lock the node.
+    LockReq {
+        /// The node.
+        node: NodeId,
+        /// Lock ticket (coordinator-local).
+        ticket: u64,
+    },
+    /// Copy grants the lock.
+    LockGrant {
+        /// The node.
+        node: NodeId,
+        /// The ticket being granted.
+        ticket: u64,
+    },
+    /// Coordinator: apply `update` at the copy and unlock.
+    ApplyUnlock {
+        /// The node.
+        node: NodeId,
+        /// The ticket being released.
+        ticket: u64,
+        /// The update to apply before unlocking.
+        update: LockedUpdate,
+    },
+}
+
+/// One relayed insert inside a piggyback batch.
+#[derive(Clone, Debug)]
+pub struct RelayedItem {
+    /// The node.
+    pub node: NodeId,
+    /// The key.
+    pub key: Key,
+    /// The entry.
+    pub entry: crate::types::Entry,
+    /// History tag.
+    pub tag: u64,
+    /// Version at the initial copy.
+    pub version: u64,
+}
+
+/// Why a copy is being installed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallReason {
+    /// A new sibling created by a split.
+    SiblingCopy,
+    /// A §4.3 join grant.
+    JoinGrant,
+    /// A §4.2 migration: the receiver becomes the (sole) owner.
+    Migration {
+        /// Where the node came from (for link bookkeeping).
+        from: ProcId,
+    },
+    /// Initial tree construction.
+    Bootstrap,
+}
+
+/// The update applied under an available-copies lock.
+#[derive(Clone, Debug)]
+pub enum LockedUpdate {
+    /// Insert an entry.
+    Insert {
+        /// The key.
+        key: Key,
+        /// The entry.
+        entry: crate::types::Entry,
+        /// History tag.
+        tag: u64,
+    },
+    /// Apply a split.
+    Split {
+        /// The split parameters.
+        info: SplitInfo,
+        /// History tag.
+        tag: u64,
+    },
+    /// Nothing to apply — pure unlock (the coordinated update was re-routed
+    /// or had already been satisfied).
+    Noop,
+}
+
+impl Payload for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Client { .. } => "client",
+            Msg::Done(_) => "done",
+            Msg::Descend { .. } => "descend",
+            Msg::ClientScan { .. } => "client",
+            Msg::Scan { .. } => "scan",
+            Msg::ScanResult { .. } => "scan.result",
+            Msg::InsertAt { .. } => "insert.initial",
+            Msg::RelayedInsert { .. } => "insert.relay",
+            Msg::RelayBatch(_) => "insert.relay-batch",
+            Msg::SplitStart { .. } => "split.start",
+            Msg::SplitAck { .. } => "split.ack",
+            Msg::SplitEnd { .. } => "split.end",
+            Msg::RelayedSplit { .. } => "split.relay",
+            Msg::InstallCopy { .. } => "copy.install",
+            Msg::NewRoot { .. } => "copy.new-root",
+            Msg::Migrate { .. } => "mobility.migrate",
+            Msg::LinkChange { .. } => "mobility.link-change",
+            Msg::ChildHomeChange { .. } => "mobility.child-home",
+            Msg::Join { .. } => "member.join",
+            Msg::RelayedJoin { .. } => "member.join-relay",
+            Msg::Unjoin { .. } => "member.unjoin",
+            Msg::RelayedUnjoin { .. } => "member.unjoin-relay",
+            Msg::LockReq { .. } => "lock.req",
+            Msg::LockGrant { .. } => "lock.grant",
+            Msg::ApplyUnlock { .. } => "lock.apply",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            // Rough logical wire sizes, for byte accounting.
+            Msg::InstallCopy { snapshot, .. } => 64 + snapshot.entries.len() * 24,
+            Msg::RelayBatch(items) => 16 + items.len() * 40,
+            Msg::Scan { acc, .. } => 48 + acc.len() * 16,
+            Msg::ScanResult { items, .. } => 16 + items.len() * 16,
+            _ => 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_bucket_by_protocol_phase() {
+        let m = Msg::SplitStart { node: NodeId(1) };
+        assert_eq!(m.kind(), "split.start");
+        assert!(Msg::RelayedInsert {
+            node: NodeId(1),
+            key: 0,
+            entry: crate::types::Entry::Tomb { stamp: 0 },
+            tag: 0,
+            version: 0,
+        }
+        .kind()
+        .starts_with("insert."));
+    }
+
+    #[test]
+    fn link_dir_classes_distinct() {
+        assert_ne!(LinkDir::Left.class(), LinkDir::Right.class());
+        assert_ne!(LinkDir::Right.class(), LinkDir::Parent.class());
+    }
+}

@@ -1,0 +1,418 @@
+//! A replicated node copy and its local (atomic) mutations.
+
+use std::collections::BTreeMap;
+
+use history::fnv1a;
+use simnet::ProcId;
+
+use crate::msg::{Msg, SplitInfo};
+use crate::types::{ChildRef, Entry, Key, KeyRange, Link, NodeId};
+
+/// State of an executing split AAS on this copy (§4.1.1).
+#[derive(Clone, Debug, Default)]
+pub struct AasState {
+    /// PC only: acknowledgements still outstanding.
+    pub acks_pending: usize,
+    /// Initial insert actions blocked by the AAS, with the tick they were
+    /// blocked at; replayed at `split_end`.
+    pub blocked: Vec<(u64, Msg)>,
+}
+
+/// State of an available-copies lock on this copy.
+#[derive(Clone, Debug, Default)]
+pub struct LockState {
+    /// Actions (searches *and* updates) queued while locked, with the tick
+    /// they were queued at.
+    pub queued: Vec<(u64, Msg)>,
+}
+
+/// One physical copy of a logical node.
+#[derive(Clone, Debug)]
+pub struct NodeCopy {
+    /// The logical node this copy replicates.
+    pub id: NodeId,
+    /// Distance to leaves (leaf = 0).
+    pub level: u8,
+    /// The node's key range.
+    pub range: KeyRange,
+    /// §4.2/§4.3 version number (incremented by migrations, joins, unjoins).
+    pub version: u64,
+    /// Sorted entries.
+    pub entries: BTreeMap<Key, Entry>,
+    /// Right sibling.
+    pub right: Option<Link>,
+    /// Left sibling (needed so splits/migrations can notify the left
+    /// neighbour, §4.2/§4.3).
+    pub left: Option<Link>,
+    /// Parent hint (may be stale; out-of-range routing recovers).
+    pub parent: Option<Link>,
+    /// The node's primary copy.
+    pub pc: ProcId,
+    /// Known replication membership (includes self and the PC).
+    pub copies: Vec<ProcId>,
+    /// Per-member join version (§4.3): `join_versions[i]` is the node
+    /// version at which `copies[i]` joined (0 = founding member).
+    pub join_versions: Vec<u64>,
+    /// Versions at which each link was last changed (ordered-action state).
+    pub right_link_version: u64,
+    /// See `right_link_version`.
+    pub left_link_version: u64,
+    /// See `right_link_version`.
+    pub parent_link_version: u64,
+    /// Active split AAS, if any (§4.1.1).
+    pub aas: Option<AasState>,
+    /// A split became necessary while another was in flight.
+    pub split_pending: bool,
+    /// Available-copies lock, if held.
+    pub lock: Option<LockState>,
+}
+
+impl NodeCopy {
+    /// A fresh copy.
+    pub fn new(id: NodeId, level: u8, range: KeyRange, pc: ProcId) -> Self {
+        NodeCopy {
+            id,
+            level,
+            range,
+            version: 0,
+            entries: BTreeMap::new(),
+            right: None,
+            left: None,
+            parent: None,
+            pc,
+            copies: vec![pc],
+            join_versions: vec![0],
+            right_link_version: 0,
+            left_link_version: 0,
+            parent_link_version: 0,
+            aas: None,
+            split_pending: false,
+            lock: None,
+        }
+    }
+
+    /// Is this copy a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Replication peers other than `me`.
+    pub fn peers(&self, me: ProcId) -> impl Iterator<Item = ProcId> + '_ {
+        self.copies.iter().copied().filter(move |&p| p != me)
+    }
+
+    /// §4.3: members that joined strictly after `version`.
+    pub fn members_joined_after(&self, version: u64) -> impl Iterator<Item = ProcId> + '_ {
+        self.copies
+            .iter()
+            .zip(self.join_versions.iter())
+            .filter(move |&(_, &jv)| jv > version)
+            .map(|(&p, _)| p)
+    }
+
+    /// Register a member joining at `version`.
+    pub fn add_member(&mut self, member: ProcId, version: u64) {
+        if !self.copies.contains(&member) {
+            self.copies.push(member);
+            self.join_versions.push(version);
+        }
+    }
+
+    /// Remove a member.
+    pub fn remove_member(&mut self, member: ProcId) {
+        if let Some(i) = self.copies.iter().position(|&p| p == member) {
+            self.copies.remove(i);
+            self.join_versions.remove(i);
+        }
+    }
+
+    /// The child responsible for `key` (interior nodes; `key` in range).
+    pub fn child_for(&self, key: Key) -> Option<ChildRef> {
+        debug_assert!(!self.is_leaf());
+        self.entries
+            .range(..=key)
+            .next_back()
+            .and_then(|(_, e)| e.child())
+    }
+
+    /// Does the copy need to split?
+    pub fn overfull(&self, fanout: usize) -> bool {
+        self.entries.len() > fanout
+    }
+
+    /// Perform the local half of a half-split: keep `[low, sep)`, return the
+    /// sibling's range and entries. `right`/`version` bookkeeping is the
+    /// caller's (protocol-specific).
+    pub fn half_split(&mut self) -> (Key, KeyRange, BTreeMap<Key, Entry>) {
+        debug_assert!(self.entries.len() >= 2);
+        let sep = *self
+            .entries
+            .keys()
+            .nth(self.entries.len() / 2)
+            .expect("mid key exists");
+        let sib_entries = self.entries.split_off(&sep);
+        let (low, high) = self.range.split_at(sep);
+        self.range = low;
+        (sep, high, sib_entries)
+    }
+
+    /// Apply a relayed/synchronous split at a non-PC copy: shrink the range,
+    /// set the right link, discard out-of-range entries. Returns the number
+    /// of entries discarded.
+    pub fn apply_split(&mut self, info: &SplitInfo) -> usize {
+        // A copy can see splits only in order (they all come from the PC via
+        // one FIFO channel), so `sep` always lands inside the current range.
+        debug_assert!(self.range.contains(info.sep));
+        self.range = KeyRange::new(self.range.low, Some(info.sep));
+        self.right = Some(Link::new(info.sib, info.sib_home));
+        self.right_link_version = self.right_link_version.max(info.sib_version);
+        let discarded = self.entries.split_off(&info.sep);
+        discarded.len()
+    }
+
+    /// Insert or merge an entry. Returns the previous entry.
+    ///
+    /// Stamped leaf entries (values and tombstones) merge by
+    /// last-writer-wins on the stamp, so concurrent writes to the same key
+    /// commute across copies (whatever order the relays arrive in, every
+    /// copy converges on the greatest stamp). Child entries replace
+    /// directly — the protocols guarantee their uniqueness/ordering.
+    pub fn upsert(&mut self, key: Key, entry: Entry) -> Option<Entry> {
+        debug_assert!(self.range.contains(key), "upsert out of range");
+        match self.entries.get(&key) {
+            Some(old) => {
+                let prev = Some(*old);
+                match (old.stamp(), entry.stamp()) {
+                    (Some(old_stamp), Some(new_stamp)) if new_stamp <= old_stamp => {
+                        // Stale write: history is "rewritten" by inserting
+                        // it before the newer one — a no-op on the value.
+                    }
+                    _ => {
+                        self.entries.insert(key, entry);
+                    }
+                }
+                prev
+            }
+            None => self.entries.insert(key, entry),
+        }
+    }
+
+    /// A leaf's live (non-tombstone) value for `key`.
+    pub fn get_value(&self, key: Key) -> Option<crate::types::Value> {
+        self.entries.get(&key).and_then(Entry::value)
+    }
+
+    /// The copy's value digest: level, range, entry keys+payloads, and the
+    /// right-link target. Copies of a node are *compatible* when these agree
+    /// at the end of the computation.
+    pub fn digest(&self) -> u64 {
+        let mut words: Vec<u64> = Vec::with_capacity(4 + self.entries.len() * 3);
+        words.push(self.level as u64);
+        words.push(self.range.low);
+        words.push(self.range.high.map_or(u64::MAX, |h| h ^ 0x5555));
+        words.push(self.right.map_or(0, |l| l.node.raw()));
+        for (k, e) in &self.entries {
+            words.push(*k);
+            words.extend(e.digest_words());
+        }
+        fnv1a(words)
+    }
+
+    /// Package the copy for the wire.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            id: self.id,
+            level: self.level,
+            range: self.range,
+            version: self.version,
+            entries: self.entries.iter().map(|(k, e)| (*k, *e)).collect(),
+            right: self.right,
+            left: self.left,
+            parent: self.parent,
+            pc: self.pc,
+            copies: self.copies.clone(),
+            join_versions: self.join_versions.clone(),
+        }
+    }
+}
+
+/// Wire representation of a full node copy (sibling creation, join grants,
+/// migrations, bootstrap).
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub id: NodeId,
+    /// Level.
+    pub level: u8,
+    /// Range.
+    pub range: KeyRange,
+    /// Version.
+    pub version: u64,
+    /// Entries.
+    pub entries: Vec<(Key, Entry)>,
+    /// Right link.
+    pub right: Option<Link>,
+    /// Left link.
+    pub left: Option<Link>,
+    /// Parent link.
+    pub parent: Option<Link>,
+    /// Primary copy.
+    pub pc: ProcId,
+    /// Membership.
+    pub copies: Vec<ProcId>,
+    /// Join versions aligned with `copies`.
+    pub join_versions: Vec<u64>,
+}
+
+impl NodeSnapshot {
+    /// Reconstitute a [`NodeCopy`].
+    pub fn into_copy(self) -> NodeCopy {
+        NodeCopy {
+            id: self.id,
+            level: self.level,
+            range: self.range,
+            version: self.version,
+            entries: self.entries.into_iter().collect(),
+            right: self.right,
+            left: self.left,
+            parent: self.parent,
+            pc: self.pc,
+            copies: self.copies,
+            join_versions: self.join_versions,
+            right_link_version: 0,
+            left_link_version: 0,
+            parent_link_version: 0,
+            aas: None,
+            split_pending: false,
+            lock: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(pc: u32) -> NodeCopy {
+        NodeCopy::new(NodeId(1), 0, KeyRange::ALL, ProcId(pc))
+    }
+
+    fn val(v: u64, stamp: u64) -> Entry {
+        Entry::Val { value: v, stamp }
+    }
+
+    #[test]
+    fn half_split_moves_upper_half() {
+        let mut c = leaf(0);
+        for k in [1u64, 3, 5, 7, 9, 11] {
+            c.upsert(k, val(k, k));
+        }
+        let (sep, range, sib) = c.half_split();
+        assert_eq!(sep, 7);
+        assert_eq!(c.entries.len(), 3);
+        assert_eq!(sib.len(), 3);
+        assert_eq!(c.range, KeyRange::new(0, Some(7)));
+        assert_eq!(range, KeyRange::new(7, None));
+    }
+
+    #[test]
+    fn apply_split_discards_moved_entries() {
+        let mut c = leaf(0);
+        for k in [1u64, 5, 9] {
+            c.upsert(k, val(k, k));
+        }
+        let n = c.apply_split(&SplitInfo {
+            sep: 6,
+            sib: NodeId(2),
+            sib_home: ProcId(1),
+            sib_version: 1,
+        });
+        assert_eq!(n, 1);
+        assert_eq!(c.entries.len(), 2);
+        assert_eq!(c.right.unwrap().node, NodeId(2));
+        assert_eq!(c.range.high, Some(6));
+    }
+
+    #[test]
+    fn digests_converge_regardless_of_order() {
+        let mut a = leaf(0);
+        let mut b = leaf(1);
+        a.upsert(1, val(10, 1));
+        a.upsert(2, val(20, 2));
+        b.upsert(2, val(20, 2));
+        b.upsert(1, val(10, 1));
+        assert_eq!(a.digest(), b.digest());
+        b.upsert(3, val(30, 3));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn membership_tracking() {
+        let mut c = leaf(0);
+        c.add_member(ProcId(1), 3);
+        c.add_member(ProcId(2), 5);
+        c.add_member(ProcId(1), 9); // duplicate ignored
+        assert_eq!(c.copies.len(), 3);
+        let late: Vec<ProcId> = c.members_joined_after(3).collect();
+        assert_eq!(late, vec![ProcId(2)]);
+        c.remove_member(ProcId(1));
+        assert_eq!(c.copies, vec![ProcId(0), ProcId(2)]);
+        assert_eq!(c.join_versions, vec![0, 5]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut c = leaf(0);
+        c.upsert(4, val(40, 4));
+        c.right = Some(Link::new(NodeId(9), ProcId(2)));
+        let c2 = c.snapshot().into_copy();
+        assert_eq!(c.digest(), c2.digest());
+        assert_eq!(c2.right, c.right);
+        assert_eq!(c2.pc, ProcId(0));
+    }
+
+    #[test]
+    fn lww_merge_keeps_highest_stamp_either_order() {
+        let mut a = leaf(0);
+        let mut b = leaf(1);
+        let w1 = val(100, 5);
+        let w2 = val(200, 9);
+        a.upsert(1, w1);
+        a.upsert(1, w2);
+        b.upsert(1, w2);
+        b.upsert(1, w1); // stale write arrives late: ignored
+        assert_eq!(a.get_value(1), Some(200));
+        assert_eq!(b.get_value(1), Some(200));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn tombstone_shadows_and_can_be_overwritten() {
+        let mut c = leaf(0);
+        c.upsert(1, val(100, 1));
+        c.upsert(1, Entry::Tomb { stamp: 2 });
+        assert_eq!(c.get_value(1), None, "deleted");
+        c.upsert(1, val(300, 3));
+        assert_eq!(c.get_value(1), Some(300), "re-inserted");
+        // A stale delete does not resurrect.
+        c.upsert(1, Entry::Tomb { stamp: 2 });
+        assert_eq!(c.get_value(1), Some(300));
+    }
+
+    #[test]
+    fn child_routing_uses_floor_entry() {
+        let mut c = NodeCopy::new(NodeId(1), 1, KeyRange::ALL, ProcId(0));
+        let cr = |n: u64| {
+            Entry::Child(ChildRef {
+                node: NodeId(n),
+                home: ProcId(0),
+                version: 0,
+            })
+        };
+        c.upsert(0, cr(10));
+        c.upsert(100, cr(11));
+        assert_eq!(c.child_for(50).unwrap().node, NodeId(10));
+        assert_eq!(c.child_for(100).unwrap().node, NodeId(11));
+        assert_eq!(c.child_for(u64::MAX).unwrap().node, NodeId(11));
+    }
+}

@@ -1,0 +1,403 @@
+//! The per-processor engine: queue manager + node manager (§1.1).
+//!
+//! `DbProc` implements [`simnet::Process`]; each delivered message is one
+//! atomic *action*. Handlers for the different protocol planes live in the
+//! sibling modules (`nav`, `relay`, `protocol::*`) as further `impl DbProc`
+//! blocks.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use history::HistoryLog;
+use parking_lot::Mutex;
+use simnet::{Context, ProcId, Process};
+
+use crate::config::TreeConfig;
+use crate::metrics::ProcMetrics;
+use crate::msg::{InstallReason, Msg, RelayedItem};
+
+use crate::store::NodeStore;
+use crate::types::{Key, NodeId, OpId, Outcome};
+
+/// Timer token: flush piggyback buffers.
+pub(crate) const TIMER_PIGGYBACK: u64 = 1;
+/// Timer token: garbage-collect forwarding addresses.
+pub(crate) const TIMER_FORWARD_GC: u64 = 2;
+
+/// A queued coordinator operation for the available-copies baseline.
+#[derive(Clone, Debug)]
+pub(crate) enum CoordOp {
+    /// Insert `key → entry` under a write-all lock.
+    Insert {
+        key: Key,
+        entry: crate::types::Entry,
+        tag: u64,
+        reply: Option<ReplyInfo>,
+    },
+    /// Split the node under a write-all lock (parameters computed at apply
+    /// time).
+    Split,
+}
+
+/// Enough to emit a `Done` once a coordinated insert applies.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ReplyInfo {
+    pub op: OpId,
+    pub hops: u32,
+    pub chases: u32,
+}
+
+/// An in-flight write-all lock this processor coordinates.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingLock {
+    pub node: NodeId,
+    pub grants_needed: usize,
+    pub op: CoordOp,
+}
+
+/// One simulated dB-tree processor.
+pub struct DbProc {
+    /// This processor's id.
+    pub me: ProcId,
+    /// Cluster size.
+    pub n_procs: u32,
+    /// Configuration (shared by every processor in a deployment).
+    pub cfg: TreeConfig,
+    /// Locally stored node copies.
+    pub store: NodeStore,
+    /// Shared history recorder.
+    pub log: Arc<Mutex<HistoryLog>>,
+    /// Protocol counters.
+    pub metrics: ProcMetrics,
+
+    // -- update stamping -----------------------------------------------------
+    /// Per-processor counter feeding leaf-update stamps (LWW merge order).
+    pub(crate) stamp_counter: u64,
+
+    // -- piggybacking ------------------------------------------------------
+    pub(crate) relay_buf: BTreeMap<ProcId, Vec<RelayedItem>>,
+    pub(crate) relay_timer_armed: bool,
+
+    // -- out-of-order installs ----------------------------------------------
+    /// Protocol messages (relays, relayed splits) that arrived before their
+    /// node's copy was installed; replayed in arrival order at install.
+    pub(crate) stash: HashMap<NodeId, Vec<Msg>>,
+    /// Nodes this processor deliberately left (§4.3): relays are discarded,
+    /// not stashed.
+    pub(crate) unjoined: HashSet<NodeId>,
+    /// Joins requested but not yet granted (dedupes Join messages).
+    pub(crate) pending_joins: HashSet<NodeId>,
+
+    // -- available-copies coordinator state ---------------------------------
+    pub(crate) next_ticket: u64,
+    pub(crate) pending_locks: HashMap<u64, PendingLock>,
+    pub(crate) coord_busy: HashSet<NodeId>,
+    pub(crate) coord_q: HashMap<NodeId, VecDeque<CoordOp>>,
+}
+
+impl DbProc {
+    /// A processor with an empty store (the builder populates it).
+    pub fn new(me: ProcId, n_procs: u32, cfg: TreeConfig, log: Arc<Mutex<HistoryLog>>) -> Self {
+        DbProc {
+            me,
+            n_procs,
+            cfg,
+            store: NodeStore::new(),
+            log,
+            metrics: ProcMetrics::default(),
+            stamp_counter: 0,
+            relay_buf: BTreeMap::new(),
+            relay_timer_armed: false,
+            stash: HashMap::new(),
+            unjoined: HashSet::new(),
+            pending_joins: HashSet::new(),
+            next_ticket: 0,
+            pending_locks: HashMap::new(),
+            coord_busy: HashSet::new(),
+            coord_q: HashMap::new(),
+        }
+    }
+
+    /// Every other processor in the cluster.
+    pub(crate) fn all_other_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        let me = self.me;
+        (0..self.n_procs).map(ProcId).filter(move |&p| p != me)
+    }
+
+    /// Sizes of pending stashes (empty at healthy quiescence).
+    pub(crate) fn stash_sizes(&self) -> BTreeMap<NodeId, usize> {
+        self.stash.iter().map(|(k, v)| (*k, v.len())).collect()
+    }
+
+    /// Mint the next leaf-update stamp (strictly increasing per processor,
+    /// globally unique — see [`crate::Stamp`]).
+    pub(crate) fn next_stamp(&mut self) -> u64 {
+        self.stamp_counter += 1;
+        crate::types::Stamp::new(self.stamp_counter, self.me)
+    }
+
+    /// Issue a history tag for a new initial update of `class`.
+    pub(crate) fn issue_tag(&self, class: &'static str) -> u64 {
+        self.log.lock().issue(class)
+    }
+
+    /// Send `msg` toward a node: locally if we store a copy, else to `home`.
+    pub(crate) fn send_to_node(
+        &self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        home: ProcId,
+        msg: Msg,
+    ) {
+        if self.store.contains(node) {
+            ctx.send(self.me, msg);
+        } else {
+            ctx.send(home, msg);
+        }
+    }
+
+    /// Reply to the external client.
+    pub(crate) fn reply(&self, ctx: &mut Context<'_, Msg>, outcome: Outcome) {
+        ctx.send(ProcId::EXTERNAL, Msg::Done(outcome));
+    }
+
+    /// Install a copy arriving on the wire.
+    fn handle_install(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        snapshot: crate::node::NodeSnapshot,
+        reason: InstallReason,
+        covered: Vec<u64>,
+    ) {
+        let id = snapshot.id;
+        if reason == InstallReason::JoinGrant {
+            self.pending_joins.remove(&id);
+            if self.store.contains(id) {
+                // A duplicate grant (re-joins race): the resident copy is
+                // already receiving relays and may have applied updates the
+                // stale snapshot predates — never overwrite it.
+                self.unjoined.remove(&id);
+                return;
+            }
+        }
+        let copy = snapshot.into_copy();
+        let parent = copy.parent;
+        let is_leaf = copy.is_leaf();
+        self.store.install(copy);
+        self.unjoined.remove(&id);
+        // The PC records `copy_created` for sibling copies and join grants
+        // at creation time; migrations record here (the sender recorded the
+        // deletion of its copy).
+        if matches!(reason, InstallReason::Migration { .. }) {
+            self.log.lock().copy_created(id.raw(), self.me.0, covered);
+        }
+        // Apply protocol events that raced ahead of the install, in arrival
+        // order (inline, so they stay ordered ahead of future arrivals).
+        if let Some(items) = self.stash.remove(&id) {
+            for m in items {
+                self.replay_stashed(ctx, m);
+            }
+        }
+        match reason {
+            InstallReason::Migration { from } => {
+                self.metrics.migrations_in += 1;
+                self.after_migration_in(ctx, id, from);
+                if self.cfg.variable_copies
+                    && is_leaf {
+                        self.ensure_path_replication(ctx, parent);
+                    }
+            }
+            InstallReason::JoinGrant => {
+                self.metrics.joins += 1;
+                // Continue joining upward until we hold the whole path.
+                self.ensure_path_replication(ctx, parent);
+            }
+            InstallReason::SiblingCopy | InstallReason::Bootstrap => {}
+        }
+    }
+
+    /// Re-execute a stashed protocol event against the now-resident copy.
+    pub(crate) fn replay_stashed(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::RelayedInsert {
+                node,
+                key,
+                entry,
+                tag,
+                version,
+            } => self.apply_relayed_insert(
+                ctx,
+                RelayedItem {
+                    node,
+                    key,
+                    entry,
+                    tag,
+                    version,
+                },
+            ),
+            Msg::RelayedSplit { node, info, tag } => self.handle_relayed_split(ctx, node, info, tag),
+            other => self.on_message(ctx, self.me, other),
+        }
+    }
+
+    fn handle_new_root(
+        &mut self,
+        root: NodeId,
+        level: u8,
+        home: ProcId,
+        children: [NodeId; 2],
+    ) {
+        self.store.set_root(root, level, home);
+        for child in children {
+            if let Some(c) = self.store.get_mut(child) {
+                c.parent = Some(crate::types::Link::new(root, home));
+            }
+        }
+    }
+}
+
+impl Process for DbProc {
+    type Msg = Msg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcId, msg: Msg) {
+        match msg {
+            Msg::Client { op, key, intent } => self.handle_client(ctx, op, key, intent),
+            Msg::Descend {
+                op,
+                key,
+                intent,
+                node,
+                hops,
+                chases,
+            } => self.handle_descend(ctx, op, key, intent, node, hops, chases),
+            Msg::ClientScan { op, from, limit } => self.handle_client_scan(ctx, op, from, limit),
+            Msg::Scan {
+                op,
+                key,
+                remaining,
+                node,
+                acc,
+                hops,
+            } => self.handle_scan(ctx, op, key, remaining, node, acc, hops),
+            Msg::ScanResult { .. } => {
+                debug_assert!(false, "ScanResult delivered to a processor");
+            }
+            Msg::InsertAt {
+                node,
+                level,
+                key,
+                entry,
+                tag,
+            } => self.handle_insert_at(ctx, node, level, key, entry, tag),
+            Msg::RelayedInsert {
+                node,
+                key,
+                entry,
+                tag,
+                version,
+            } => self.handle_relayed_insert(
+                ctx,
+                RelayedItem {
+                    node,
+                    key,
+                    entry,
+                    tag,
+                    version,
+                },
+            ),
+            Msg::RelayBatch(items) => {
+                for item in items {
+                    self.handle_relayed_insert(ctx, item);
+                }
+            }
+            Msg::SplitStart { node } => self.handle_split_start(ctx, from, node),
+            Msg::SplitAck { node } => self.handle_split_ack(ctx, node),
+            Msg::SplitEnd { node, info, tag } => self.handle_split_end(ctx, node, info, tag),
+            Msg::RelayedSplit { node, info, tag } => self.handle_relayed_split(ctx, node, info, tag),
+            Msg::InstallCopy {
+                snapshot,
+                reason,
+                covered,
+            } => self.handle_install(ctx, snapshot, reason, covered),
+            Msg::NewRoot {
+                root,
+                level,
+                home,
+                children,
+            } => self.handle_new_root(root, level, home, children),
+            Msg::Migrate { node, dest } => self.handle_migrate(ctx, node, dest),
+            Msg::LinkChange {
+                node,
+                dir,
+                link,
+                version,
+                tag,
+                relayed,
+                supersedes,
+            } => self.handle_link_change(ctx, node, dir, link, version, tag, relayed, supersedes),
+            Msg::ChildHomeChange {
+                node,
+                sep,
+                child,
+                home,
+                version,
+                tag,
+                relayed,
+            } => self.handle_child_home_change(ctx, node, sep, child, home, version, tag, relayed),
+            Msg::Join { node, joiner } => self.handle_join(ctx, node, joiner),
+            Msg::RelayedJoin {
+                node,
+                member,
+                version,
+                tag,
+            } => self.handle_relayed_join(node, member, version, tag),
+            Msg::Unjoin { node, leaver } => self.handle_unjoin(ctx, node, leaver),
+            Msg::RelayedUnjoin {
+                node,
+                member,
+                version,
+                tag,
+            } => self.handle_relayed_unjoin(node, member, version, tag),
+            Msg::LockReq { node, ticket } => self.handle_lock_req(ctx, from, node, ticket),
+            Msg::LockGrant { node, ticket } => self.handle_lock_grant(ctx, node, ticket),
+            Msg::ApplyUnlock {
+                node,
+                ticket,
+                update,
+            } => self.handle_apply_unlock(ctx, node, ticket, update),
+            Msg::Done(_) => {
+                // Replies are addressed to EXTERNAL; one arriving here is a
+                // harness bug, not a protocol state — drop it.
+                debug_assert!(false, "Done delivered to a processor");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        match token {
+            TIMER_PIGGYBACK => {
+                self.relay_timer_armed = false;
+                self.flush_relays(ctx);
+            }
+            TIMER_FORWARD_GC => {
+                let ttl = self.cfg.forwarding_ttl;
+                self.store.gc_forwards(ctx.now().ticks(), ttl);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+
+    #[test]
+    fn all_other_procs_excludes_self() {
+        let log = Arc::new(Mutex::new(HistoryLog::disabled()));
+        let p = DbProc::new(ProcId(1), 4, TreeConfig::default(), log);
+        let others: Vec<u32> = p.all_other_procs().map(|p| p.0).collect();
+        assert_eq!(others, vec![0, 2, 3]);
+    }
+}

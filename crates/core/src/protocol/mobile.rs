@@ -1,0 +1,330 @@
+//! §4.2 — single-copy mobile nodes.
+//!
+//! A node (in practice a leaf, for data balancing [14]) migrates by copying
+//! itself to the destination with an incremented version number, informing
+//! its neighbours with version-ordered link-change actions, and deleting the
+//! original. A forwarding address may be left behind as an optimization; it
+//! is never required — a message that arrives for a missing node recovers by
+//! restarting at a close local node (see `nav.rs`).
+
+use history::ObserveKind;
+use simnet::{Context, ProcId};
+
+use crate::msg::{InstallReason, LinkDir, Msg};
+use crate::proc::{DbProc, TIMER_FORWARD_GC};
+use crate::store::ForwardAddr;
+use crate::types::{Key, Link, NodeId};
+
+impl DbProc {
+    /// Owner side: migrate `node` to `dest`.
+    ///
+    /// Only sole-copy nodes migrate (replicated interior nodes change
+    /// membership via join/unjoin instead).
+    pub(crate) fn handle_migrate(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, dest: ProcId) {
+        if dest == self.me {
+            return;
+        }
+        let Some(copy) = self.store.get(node) else {
+            return; // already gone (racing balancer decisions)
+        };
+        if copy.copies.len() != 1 {
+            return;
+        }
+        let mut copy = self.store.remove(node).expect("checked above");
+        copy.version += 1;
+        copy.pc = dest;
+        copy.copies = vec![dest];
+        copy.join_versions = vec![0];
+        let covered = self.log.lock().copy_coverage(node.raw(), self.me.0);
+        self.log.lock().copy_deleted(node.raw(), self.me.0);
+
+        if self.cfg.forwarding {
+            self.store.set_forward(
+                node,
+                ForwardAddr {
+                    to: dest,
+                    version: copy.version,
+                    created_at: ctx.now().ticks(),
+                },
+            );
+            ctx.set_timer(self.cfg.forwarding_ttl, TIMER_FORWARD_GC);
+        }
+        self.metrics.migrations_out += 1;
+        ctx.send(
+            dest,
+            Msg::InstallCopy {
+                snapshot: copy.snapshot(),
+                reason: InstallReason::Migration { from: self.me },
+                covered,
+            },
+        );
+    }
+
+    /// Destination side: the node arrived — tell the neighbours where it
+    /// lives now (link-changes are ordered by the node's version, §4.2).
+    pub(crate) fn after_migration_in(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        _from: ProcId,
+    ) {
+        let (version, left, right, parent, low, children) = {
+            let copy = self.store.get(node).expect("just installed");
+            let children: Vec<Link> = copy
+                .entries
+                .values()
+                .filter_map(|e| e.child())
+                .map(|c| Link::new(c.node, c.home))
+                .collect();
+            (
+                copy.version,
+                copy.left,
+                copy.right,
+                copy.parent,
+                copy.range.low,
+                children,
+            )
+        };
+        let here = Link::new(node, self.me);
+        if let Some(l) = left {
+            let tag = self.issue_tag("link-change");
+            ctx.send(
+                l.home,
+                Msg::LinkChange {
+                    node: l.node,
+                    dir: LinkDir::Right,
+                    link: here,
+                    version,
+                    tag,
+                    relayed: false,
+                    supersedes: false,
+                },
+            );
+        }
+        if let Some(r) = right {
+            let tag = self.issue_tag("link-change");
+            ctx.send(
+                r.home,
+                Msg::LinkChange {
+                    node: r.node,
+                    dir: LinkDir::Left,
+                    link: here,
+                    version,
+                    tag,
+                    relayed: false,
+                    supersedes: false,
+                },
+            );
+        }
+        if let Some(p) = parent {
+            let tag = self.issue_tag("child-home");
+            let msg = Msg::ChildHomeChange {
+                node: p.node,
+                sep: low,
+                child: node,
+                home: self.me,
+                version,
+                tag,
+                relayed: false,
+            };
+            self.send_to_node(ctx, p.node, p.home, msg);
+        }
+        for child in children {
+            let tag = self.issue_tag("link-change");
+            ctx.send(
+                child.home,
+                Msg::LinkChange {
+                    node: child.node,
+                    dir: LinkDir::Parent,
+                    link: here,
+                    version,
+                    tag,
+                    relayed: false,
+                    supersedes: false,
+                },
+            );
+        }
+    }
+
+    /// Apply a version-ordered link change (§4.2): update the link only if
+    /// the action's version exceeds the link's recorded version; otherwise
+    /// the action is stale and history is "rewritten" by skipping it.
+    ///
+    /// The initial form routes to the node's PC, which applies it and relays
+    /// to the other copies.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_link_change(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        dir: LinkDir,
+        link: Link,
+        version: u64,
+        tag: u64,
+        relayed: bool,
+        supersedes: bool,
+    ) {
+        let remake = |relayed| Msg::LinkChange {
+            node,
+            dir,
+            link,
+            version,
+            tag,
+            relayed,
+            supersedes,
+        };
+        if !self.store.contains(node) {
+            // The target itself migrated away, left, or never arrived here.
+            // Follow a forwarding address if one exists; otherwise drop —
+            // link changes refresh routing hints, which misnavigation
+            // recovery tolerates being stale (§4.2: forwarding addresses
+            // "are not required for correctness").
+            if let Some(fwd) = self.store.forward_for(node) {
+                self.metrics.forwards_followed += 1;
+                ctx.send(fwd.to, remake(relayed));
+            } else {
+                self.log.lock().observe_global(tag);
+            }
+            return;
+        }
+        let me = self.me;
+        let pc = self.store.get(node).map(|c| c.pc).expect("resident");
+        if !relayed && me != pc {
+            ctx.send(pc, remake(false));
+            return;
+        }
+        let (applied, peers) = {
+            let copy = self.store.get_mut(node).expect("checked");
+            let (slot, slot_version) = match dir {
+                LinkDir::Left => (&mut copy.left, &mut copy.left_link_version),
+                LinkDir::Right => (&mut copy.right, &mut copy.right_link_version),
+                LinkDir::Parent => (&mut copy.parent, &mut copy.parent_link_version),
+            };
+            // Ordered-action rule (§4.2): apply only if the version exceeds
+            // the slot's. Home refreshes additionally require the slot to
+            // still point at the same node — a refresh from a superseded
+            // neighbour (whose slot a split already re-targeted) is stale
+            // even if its version number is numerically larger, because
+            // versions of different nodes are not comparable.
+            let same_target = slot.map(|l| l.node) == Some(link.node);
+            let applied = if version > *slot_version && (supersedes || same_target) {
+                *slot_version = version;
+                *slot = Some(link);
+                true
+            } else {
+                false
+            };
+            let peers: Vec<ProcId> = copy.peers(me).collect();
+            (applied, peers)
+        };
+        {
+            let mut log = self.log.lock();
+            log.observe(node.raw(), me.0, tag, ObserveKind::Applied);
+            if !relayed {
+                log.observe_initial(node.raw(), me.0, tag);
+            }
+            if applied {
+                log.ordered_applied(node.raw(), me.0, dir.class(), version);
+            }
+        }
+        // The PC relays link changes to the other copies (a lazy update:
+        // version ordering makes relay order irrelevant).
+        if !relayed {
+            for p in peers {
+                ctx.send(p, remake(true));
+            }
+        }
+    }
+
+    /// Apply a child-home change at a copy of the parent: the child at `sep`
+    /// now lives on `home`. Ordered per entry by the child's version.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_child_home_change(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        sep: Key,
+        child: NodeId,
+        home: ProcId,
+        version: u64,
+        tag: u64,
+        relayed: bool,
+    ) {
+        let remake = |relayed| Msg::ChildHomeChange {
+            node,
+            sep,
+            child,
+            home,
+            version,
+            tag,
+            relayed,
+        };
+        let Some(copy) = self.store.get(node) else {
+            // Child-home changes refresh a routing hint; if we no longer
+            // hold the parent (unjoined, or the hint raced a membership
+            // change), drop it — stale hints are recovered by
+            // misnavigation handling.
+            let _ = remake;
+            self.log.lock().observe_global(tag);
+            return;
+        };
+        // The child's range may have been split away from this parent node.
+        if copy.range.is_right_of(sep) {
+            if !relayed {
+                let right = copy.right.expect("sep beyond rightmost parent");
+                self.metrics.link_chases += 1;
+                let msg = Msg::ChildHomeChange {
+                    node: right.node,
+                    sep,
+                    child,
+                    home,
+                    version,
+                    tag,
+                    relayed: false,
+                };
+                self.send_to_node(ctx, right.node, right.home, msg);
+            }
+            // Relayed form: the split relay carried the entry's fate.
+            return;
+        }
+        let me = self.me;
+        let pc = copy.pc;
+        if !relayed && me != pc {
+            // Route the initial form through the PC so exactly one copy
+            // relays it.
+            ctx.send(pc, remake(false));
+            return;
+        }
+        {
+            let copy = self.store.get_mut(node).expect("checked");
+            if let Some(crate::types::Entry::Child(cr)) = copy.entries.get_mut(&sep) {
+                if cr.node == child && version > cr.version {
+                    cr.home = home;
+                    cr.version = version;
+                }
+            }
+        }
+        {
+            let mut log = self.log.lock();
+            log.observe(node.raw(), me.0, tag, ObserveKind::Applied);
+            if !relayed {
+                log.observe_initial(node.raw(), me.0, tag);
+            }
+        }
+        if !relayed {
+            let peers: Vec<ProcId> = self
+                .store
+                .get(node)
+                .map(|c| c.peers(me).collect())
+                .unwrap_or_default();
+            for p in peers {
+                ctx.send(p, remake(true));
+            }
+        }
+        // §4.3: losing a child may mean this processor should leave the
+        // parent's replication.
+        if self.cfg.variable_copies {
+            self.maybe_unjoin(ctx, node);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! The replica-maintenance protocols.
+//!
+//! * [`split`] — the half-split engine shared by every protocol (sibling
+//!   construction, split completion at the parent, root growth).
+//! * [`sync`] — §4.1.1 synchronous splits (AAS).
+//! * [`semisync`] — §4.1.2 semi-synchronous splits (and the deliberately
+//!   broken `Naive` variant's relayed-split path).
+//! * [`mobile`] — §4.2 single-copy mobile nodes: migration, link-changes,
+//!   forwarding addresses.
+//! * [`variable`] — §4.3 variable copies: join/unjoin with version-numbered
+//!   membership.
+//! * [`avail`] — the vigorous available-copies baseline ([2]).
+
+pub mod avail;
+pub mod mobile;
+pub mod semisync;
+pub mod split;
+pub mod sync;
+pub mod variable;

@@ -1,0 +1,220 @@
+//! The half-split engine (Fig 1), shared by every protocol.
+//!
+//! Splitting is always performed by the node's primary copy. The engine
+//! covers the protocol-independent parts: constructing the sibling and its
+//! copies, completing the split at the parent, growing a new root, and
+//! notifying the old right neighbour's left link.
+
+use simnet::{Context, ProcId};
+
+use crate::msg::{InstallReason, LinkDir, Msg, SplitInfo};
+use crate::node::NodeCopy;
+use crate::proc::DbProc;
+use crate::types::{ChildRef, Entry, Key, KeyRange, Link, NodeId};
+
+/// Everything the protocol layers need after the local half of a split.
+pub(crate) struct SplitOutcome {
+    /// Parameters to relay to the other copies.
+    pub info: SplitInfo,
+    /// The split node's level.
+    pub level: u8,
+    /// The split node's parent at split time (None = it was the root).
+    pub parent: Option<Link>,
+    /// The node's previous right neighbour (its left link must be updated).
+    pub old_right: Option<Link>,
+    /// The other copies of the split node.
+    pub peers: Vec<ProcId>,
+}
+
+impl DbProc {
+    /// Perform the local half-split of `node` (which this processor is the
+    /// PC of): move the upper half into a new sibling, install the sibling
+    /// locally, ship sibling copies to the replication set, and link the
+    /// sibling into the node list.
+    ///
+    /// Does *not* relay the split or complete it at the parent — that part
+    /// is protocol-specific.
+    pub(crate) fn half_split_local(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+    ) -> SplitOutcome {
+        let sib_id = self.store.mint_node_id(self.me);
+        let me = self.me;
+
+        let (info, sib, level, parent, old_right, peers) = {
+            let copy = self.store.get_mut(node).expect("PC holds its copy");
+            debug_assert_eq!(copy.pc, me, "only the PC splits");
+            let old_right = copy.right;
+            let parent = copy.parent;
+            let level = copy.level;
+            // §4.2/§4.3: the sibling starts one version past the half-split
+            // node's. The node's own version is membership/migration state
+            // and does not advance on a split.
+            let sib_version = copy.version + 1;
+
+            let (sep, sib_range, sib_entries) = copy.half_split();
+            let mut sib = NodeCopy::new(sib_id, level, sib_range, me);
+            sib.entries = sib_entries;
+            sib.version = sib_version;
+            sib.right = old_right;
+            sib.left = Some(Link::new(node, me));
+            sib.parent = parent;
+            sib.copies = copy.copies.clone();
+            sib.join_versions = vec![0; sib.copies.len()];
+
+            copy.right = Some(Link::new(sib_id, me));
+            copy.right_link_version = copy.right_link_version.max(sib_version);
+
+            let info = SplitInfo {
+                sep,
+                sib: sib_id,
+                sib_home: me,
+                sib_version,
+            };
+            let peers: Vec<ProcId> = copy.peers(me).collect();
+            (info, sib, level, parent, old_right, peers)
+        };
+
+        // Install the sibling locally and ship its other copies.
+        {
+            let mut log = self.log.lock();
+            for &p in &sib.copies {
+                log.copy_created(sib_id.raw(), p.0, []);
+            }
+        }
+        let snapshot = sib.snapshot();
+        for &p in &sib.copies {
+            if p != me {
+                ctx.send(
+                    p,
+                    Msg::InstallCopy {
+                        snapshot: snapshot.clone(),
+                        reason: InstallReason::SiblingCopy,
+                        covered: Vec::new(),
+                    },
+                );
+            }
+        }
+        self.store.install(sib);
+        self.metrics.splits_initiated += 1;
+
+        SplitOutcome {
+            info,
+            level,
+            parent,
+            old_right,
+            peers,
+        }
+    }
+
+    /// Complete a split: insert the sibling pointer into the parent (or grow
+    /// a new root) and update the old right neighbour's left link.
+    pub(crate) fn complete_split(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        out: &SplitOutcome,
+    ) {
+        let sib_ref = ChildRef {
+            node: out.info.sib,
+            home: out.info.sib_home,
+            version: out.info.sib_version,
+        };
+        match out.parent {
+            Some(parent) => {
+                let tag = self.issue_tag("add-child");
+                let msg = Msg::InsertAt {
+                    node: parent.node,
+                    level: out.level + 1,
+                    key: out.info.sep,
+                    entry: Entry::Child(sib_ref),
+                    tag,
+                };
+                self.send_to_node(ctx, parent.node, parent.home, msg);
+            }
+            None => self.grow_new_root(ctx, node, out.info.sep, sib_ref, out.level),
+        }
+        if let Some(old_right) = out.old_right {
+            let tag = self.issue_tag("link-change");
+            let msg = Msg::LinkChange {
+                node: old_right.node,
+                dir: LinkDir::Left,
+                link: Link::new(out.info.sib, out.info.sib_home),
+                version: out.info.sib_version,
+                tag,
+                relayed: false,
+                supersedes: true,
+            };
+            self.send_to_node(ctx, old_right.node, old_right.home, msg);
+        }
+    }
+
+    /// The split node was the root: create a new root one level up,
+    /// replicated everywhere, and broadcast the root change.
+    fn grow_new_root(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        old_root: NodeId,
+        sep: Key,
+        sib: ChildRef,
+        old_level: u8,
+    ) {
+        let me = self.me;
+        let root_id = self.store.mint_node_id(me);
+        let level = old_level + 1;
+        let low = self
+            .store
+            .get(old_root)
+            .map(|c| c.range.low)
+            .unwrap_or(0);
+
+        let mut root = NodeCopy::new(root_id, level, KeyRange::new(low, None), me);
+        root.copies = (0..self.n_procs).map(ProcId).collect();
+        root.join_versions = vec![0; root.copies.len()];
+        root.upsert(
+            low,
+            Entry::Child(ChildRef {
+                node: old_root,
+                home: me,
+                version: 0,
+            }),
+        );
+        root.upsert(sep, Entry::Child(sib));
+
+        {
+            let mut log = self.log.lock();
+            for &p in &root.copies {
+                log.copy_created(root_id.raw(), p.0, []);
+            }
+        }
+        let snapshot = root.snapshot();
+        for p in self.all_other_procs().collect::<Vec<_>>() {
+            ctx.send(
+                p,
+                Msg::InstallCopy {
+                    snapshot: snapshot.clone(),
+                    reason: InstallReason::Bootstrap,
+                    covered: Vec::new(),
+                },
+            );
+            ctx.send(
+                p,
+                Msg::NewRoot {
+                    root: root_id,
+                    level,
+                    home: me,
+                    children: [old_root, sib.node],
+                },
+            );
+        }
+        self.store.install(root);
+        self.store.set_root(root_id, level, me);
+        // Re-parent the local copies of both halves.
+        for child in [old_root, sib.node] {
+            if let Some(c) = self.store.get_mut(child) {
+                c.parent = Some(Link::new(root_id, me));
+            }
+        }
+    }
+}

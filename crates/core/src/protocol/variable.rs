@@ -1,0 +1,219 @@
+//! §4.3 — variable copies: processors join and unjoin the replication of
+//! interior nodes as leaves migrate, preserving the dB-tree property (a
+//! processor that owns a leaf holds every node on the root-to-leaf path).
+//!
+//! The PC registers all joins and unjoins, incrementing the node's version
+//! for each; insert relays carry the version their sender knew, so the PC
+//! can forward them to members that joined later (the Fig 6 fix, toggled by
+//! `TreeConfig::join_version_relay`).
+
+use history::ObserveKind;
+use simnet::{Context, ProcId};
+
+use crate::msg::{InstallReason, Msg};
+use crate::proc::DbProc;
+use crate::types::{Link, NodeId};
+
+impl DbProc {
+    /// After acquiring a leaf (or joining a node), make sure we replicate
+    /// the rest of the path to the root: join `parent` if we don't hold it.
+    pub(crate) fn ensure_path_replication(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        parent: Option<Link>,
+    ) {
+        let Some(parent) = parent else {
+            return; // reached the root
+        };
+        if self.store.contains(parent.node) {
+            return; // path already held from here up (dB-tree invariant)
+        }
+        if !self.pending_joins.insert(parent.node) {
+            return; // a join for this node is already in flight
+        }
+        // Clear the departed flag *now*: once the PC registers the join,
+        // other members may relay updates to us ahead of the grant arriving
+        // (different channels) — those must stash, not be discarded.
+        self.unjoined.remove(&parent.node);
+        ctx.send(
+            parent.home,
+            Msg::Join {
+                node: parent.node,
+                joiner: self.me,
+            },
+        );
+    }
+
+    /// PC: admit `joiner` to the replication of `node`.
+    pub(crate) fn handle_join(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, joiner: ProcId) {
+        let me = self.me;
+        let Some(copy) = self.store.get_mut(node) else {
+            return; // stale join (e.g. the node's PC view was wrong): drop
+        };
+        debug_assert_eq!(copy.pc, me, "joins are registered at the PC");
+        if copy.copies.contains(&joiner) {
+            // Already a member (duplicate join from racing migrations):
+            // resend the snapshot so the joiner converges.
+            let snapshot = copy.snapshot();
+            let covered = self.log.lock().copy_coverage(node.raw(), me.0);
+            ctx.send(
+                joiner,
+                Msg::InstallCopy {
+                    snapshot,
+                    reason: InstallReason::JoinGrant,
+                    covered,
+                },
+            );
+            return;
+        }
+        copy.version += 1;
+        let version = copy.version;
+        copy.add_member(joiner, version);
+        let snapshot = copy.snapshot();
+        let peers: Vec<ProcId> = copy.peers(me).filter(|&p| p != joiner).collect();
+
+        let tag = self.issue_tag("join");
+        let covered = {
+            let mut log = self.log.lock();
+            log.observe_initial(node.raw(), me.0, tag);
+            let covered = log.copy_coverage(node.raw(), me.0);
+            log.copy_created(node.raw(), joiner.0, covered.clone());
+            covered
+        };
+        ctx.send(
+            joiner,
+            Msg::InstallCopy {
+                snapshot,
+                reason: InstallReason::JoinGrant,
+                covered,
+            },
+        );
+        for p in peers {
+            ctx.send(
+                p,
+                Msg::RelayedJoin {
+                    node,
+                    member: joiner,
+                    version,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Non-PC copy: learn about a new member.
+    pub(crate) fn handle_relayed_join(
+        &mut self,
+        node: NodeId,
+        member: ProcId,
+        version: u64,
+        tag: u64,
+    ) {
+        let Some(copy) = self.store.get_mut(node) else {
+            if !self.unjoined.contains(&node) {
+                self.stash.entry(node).or_default().push(Msg::RelayedJoin {
+                    node,
+                    member,
+                    version,
+                    tag,
+                });
+            }
+            return;
+        };
+        copy.add_member(member, version);
+        copy.version = copy.version.max(version);
+        self.log
+            .lock()
+            .observe(node.raw(), self.me.0, tag, ObserveKind::Applied);
+    }
+
+    /// A member deletes its copy and leaves.
+    pub(crate) fn handle_unjoin(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, leaver: ProcId) {
+        let me = self.me;
+        let Some(copy) = self.store.get_mut(node) else {
+            return;
+        };
+        debug_assert_eq!(copy.pc, me, "unjoins are registered at the PC");
+        if !copy.copies.contains(&leaver) {
+            return;
+        }
+        copy.version += 1;
+        let version = copy.version;
+        copy.remove_member(leaver);
+        let peers: Vec<ProcId> = copy.peers(me).collect();
+        let tag = self.issue_tag("unjoin");
+        self.log.lock().observe_initial(node.raw(), me.0, tag);
+        self.metrics.unjoins += 1;
+        for p in peers {
+            ctx.send(
+                p,
+                Msg::RelayedUnjoin {
+                    node,
+                    member: leaver,
+                    version,
+                    tag,
+                },
+            );
+        }
+    }
+
+    /// Non-PC copy: learn about a departure.
+    pub(crate) fn handle_relayed_unjoin(
+        &mut self,
+        node: NodeId,
+        member: ProcId,
+        version: u64,
+        tag: u64,
+    ) {
+        let Some(copy) = self.store.get_mut(node) else {
+            if !self.unjoined.contains(&node) {
+                self.stash
+                    .entry(node)
+                    .or_default()
+                    .push(Msg::RelayedUnjoin {
+                        node,
+                        member,
+                        version,
+                        tag,
+                    });
+            }
+            return;
+        };
+        copy.remove_member(member);
+        copy.version = copy.version.max(version);
+        self.log
+            .lock()
+            .observe(node.raw(), self.me.0, tag, ObserveKind::Applied);
+    }
+
+    /// Leave `node`'s replication if this processor no longer holds any of
+    /// its children (the dB-tree invariant in reverse), recursively upward.
+    pub(crate) fn maybe_unjoin(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId) {
+        let me = self.me;
+        let (should_leave, pc, parent) = {
+            let Some(copy) = self.store.get(node) else {
+                return;
+            };
+            if copy.pc == me || copy.is_leaf() {
+                return; // the PC never leaves; leaves are owned, not joined
+            }
+            let holds_child = copy.entries.values().any(|e| {
+                e.child()
+                    .map(|c| c.home == me || self.store.contains(c.node))
+                    .unwrap_or(false)
+            });
+            (!holds_child, copy.pc, copy.parent)
+        };
+        if !should_leave {
+            return;
+        }
+        self.store.remove(node);
+        self.unjoined.insert(node);
+        self.log.lock().copy_deleted(node.raw(), me.0);
+        ctx.send(pc, Msg::Unjoin { node, leaver: me });
+        // Losing this copy may strand the level above, too.
+        if let Some(parent) = parent {
+            self.maybe_unjoin(ctx, parent.node);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Lazy relays: propagating applied updates to the other copies, with
+//! optional piggyback batching (§1.1).
+
+use history::ObserveKind;
+use simnet::Context;
+
+use crate::config::ProtocolKind;
+use crate::msg::{Msg, RelayedItem};
+use crate::proc::{DbProc, TIMER_PIGGYBACK};
+use crate::types::{Entry, Key, NodeId};
+
+impl DbProc {
+    /// Relay an applied update to every other copy of `node`.
+    ///
+    /// With piggybacking enabled, relays are buffered per destination and
+    /// flushed when a buffer fills or the flush timer fires — the paper's
+    /// observation that lazy updates need not travel on their own messages.
+    pub(crate) fn relay_update(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        key: Key,
+        entry: Entry,
+        tag: u64,
+        version: u64,
+    ) {
+        let peers: Vec<_> = {
+            let Some(copy) = self.store.get(node) else {
+                return;
+            };
+            copy.peers(self.me).collect()
+        };
+        if peers.is_empty() {
+            return;
+        }
+        let item = RelayedItem {
+            node,
+            key,
+            entry,
+            tag,
+            version,
+        };
+        match self.cfg.piggyback {
+            None => {
+                for peer in peers {
+                    ctx.send(
+                        peer,
+                        Msg::RelayedInsert {
+                            node,
+                            key,
+                            entry,
+                            tag,
+                            version,
+                        },
+                    );
+                }
+            }
+            Some(pb) => {
+                let mut full: Vec<simnet::ProcId> = Vec::new();
+                for peer in peers {
+                    let buf = self.relay_buf.entry(peer).or_default();
+                    buf.push(item.clone());
+                    if buf.len() >= pb.max_batch {
+                        full.push(peer);
+                    }
+                }
+                for peer in full {
+                    if let Some(batch) = self.relay_buf.remove(&peer) {
+                        ctx.send(peer, Msg::RelayBatch(batch));
+                    }
+                }
+                if !self.relay_buf.is_empty() && !self.relay_timer_armed {
+                    self.relay_timer_armed = true;
+                    ctx.set_timer(pb.flush_interval, TIMER_PIGGYBACK);
+                }
+            }
+        }
+    }
+
+    /// Flush all piggyback buffers (timer handler).
+    pub(crate) fn flush_relays(&mut self, ctx: &mut Context<'_, Msg>) {
+        let bufs = std::mem::take(&mut self.relay_buf);
+        for (peer, batch) in bufs {
+            if !batch.is_empty() {
+                ctx.send(peer, Msg::RelayBatch(batch));
+            }
+        }
+    }
+
+    /// A relayed insert arrives at this processor.
+    pub(crate) fn handle_relayed_insert(&mut self, ctx: &mut Context<'_, Msg>, item: RelayedItem) {
+        if !self.store.contains(item.node) {
+            if self.unjoined.contains(&item.node) {
+                // §4.3: a departed member discards relayed actions.
+                self.metrics.relays_discarded += 1;
+            } else {
+                // The copy's install is still in flight (sibling creation or
+                // join grant racing the relay on another channel): stash and
+                // replay on install.
+                let RelayedItem {
+                    node,
+                    key,
+                    entry,
+                    tag,
+                    version,
+                } = item;
+                self.stash.entry(node).or_default().push(Msg::RelayedInsert {
+                    node,
+                    key,
+                    entry,
+                    tag,
+                    version,
+                });
+            }
+            return;
+        }
+        self.apply_relayed_insert(ctx, item);
+    }
+
+    /// Apply a relayed insert at a resident copy.
+    pub(crate) fn apply_relayed_insert(&mut self, ctx: &mut Context<'_, Msg>, item: RelayedItem) {
+        let RelayedItem {
+            node,
+            key,
+            entry,
+            tag,
+            version,
+        } = item;
+        let copy = self.store.get_mut(node).expect("caller ensured resident");
+        let is_pc = copy.pc == self.me;
+        let in_range = copy.range.contains(key);
+
+        if in_range {
+            copy.upsert(key, entry);
+            let my_version = copy.version;
+            // §4.3: the PC re-relays to members that joined after the
+            // initial copy applied the insert — they were not in the initial
+            // copy's membership list and would otherwise miss it (Fig 6).
+            let late: Vec<_> = if is_pc && self.cfg.join_version_relay {
+                copy.members_joined_after(version).collect()
+            } else {
+                Vec::new()
+            };
+            self.metrics.relays_applied += 1;
+            self.log
+                .lock()
+                .observe(node.raw(), self.me.0, tag, ObserveKind::Applied);
+            for member in late {
+                if member != self.me {
+                    ctx.send(
+                        member,
+                        Msg::RelayedInsert {
+                            node,
+                            key,
+                            entry,
+                            tag,
+                            version: my_version,
+                        },
+                    );
+                }
+            }
+            if is_pc {
+                self.maybe_split(ctx, node);
+            }
+            return;
+        }
+
+        // Out of range: the key's range has already split away from this
+        // copy.
+        if is_pc {
+            match self.cfg.protocol {
+                ProtocolKind::SemiSync => {
+                    // Rewrite history (§4.1.2): re-issue as an initial
+                    // insert toward the right neighbour, so the update lands
+                    // where the split moved its range.
+                    let (right, level) = {
+                        let c = self.store.get(node).expect("resident");
+                        (c.right, c.level)
+                    };
+                    let right = right.expect("out-of-range key implies a right sibling");
+                    self.metrics.relays_forwarded += 1;
+                    self.log
+                        .lock()
+                        .observe(node.raw(), self.me.0, tag, ObserveKind::Forwarded);
+                    let msg = Msg::InsertAt {
+                        node: right.node,
+                        level,
+                        key,
+                        entry,
+                        tag,
+                    };
+                    self.send_to_node(ctx, right.node, right.home, msg);
+                }
+                ProtocolKind::Naive => {
+                    // Fig 4's bug, preserved on purpose: the PC ignores the
+                    // out-of-range relayed insert and the update is lost.
+                    self.metrics.relays_discarded += 1;
+                    self.log
+                        .lock()
+                        .observe(node.raw(), self.me.0, tag, ObserveKind::Discarded);
+                }
+                ProtocolKind::Sync | ProtocolKind::AvailableCopies => {
+                    // The synchronizing protocols order inserts before
+                    // splits, so an out-of-range relay at the PC means its
+                    // key was already re-homed by the split that the initial
+                    // copy observed before relaying. Discarding is safe.
+                    self.metrics.relays_discarded += 1;
+                    self.log
+                        .lock()
+                        .observe(node.raw(), self.me.0, tag, ObserveKind::Discarded);
+                }
+            }
+        } else {
+            // Non-PC copies always discard out-of-range relays: the split
+            // that shrank the range carried the key's fate (§4.1 rule 3).
+            self.metrics.relays_discarded += 1;
+            self.log
+                .lock()
+                .observe(node.raw(), self.me.0, tag, ObserveKind::Discarded);
+        }
+    }
+}

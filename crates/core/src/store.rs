@@ -1,0 +1,248 @@
+//! Per-processor node storage.
+
+use std::collections::HashMap;
+
+use simnet::ProcId;
+
+use crate::node::NodeCopy;
+use crate::types::{Key, NodeId};
+
+/// A forwarding address left behind by a migration (§4.2). Not required for
+/// correctness — misnavigation recovery handles missing nodes — so entries
+/// may be garbage-collected at any time.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardAddr {
+    /// Where the node went.
+    pub to: ProcId,
+    /// The node's version after the move.
+    pub version: u64,
+    /// Tick at which the address was created (for TTL GC).
+    pub created_at: u64,
+}
+
+/// The node manager's local store: every copy this processor maintains, its
+/// current root pointer, and (optionally) forwarding addresses.
+#[derive(Debug, Default)]
+pub struct NodeStore {
+    copies: HashMap<NodeId, NodeCopy>,
+    forwards: HashMap<NodeId, ForwardAddr>,
+    root: Option<NodeId>,
+    root_home: Option<ProcId>,
+    root_level: u8,
+    next_node_counter: u64,
+}
+
+impl NodeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint a fresh node id for this processor.
+    pub fn mint_node_id(&mut self, me: ProcId) -> NodeId {
+        let id = NodeId::mint(me, self.next_node_counter);
+        self.next_node_counter += 1;
+        id
+    }
+
+    /// Install (or replace) a copy.
+    pub fn install(&mut self, copy: NodeCopy) {
+        self.forwards.remove(&copy.id);
+        self.copies.insert(copy.id, copy);
+    }
+
+    /// Remove a copy, returning it.
+    pub fn remove(&mut self, id: NodeId) -> Option<NodeCopy> {
+        self.copies.remove(&id)
+    }
+
+    /// Borrow a copy.
+    pub fn get(&self, id: NodeId) -> Option<&NodeCopy> {
+        self.copies.get(&id)
+    }
+
+    /// Mutably borrow a copy.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut NodeCopy> {
+        self.copies.get_mut(&id)
+    }
+
+    /// Does the store hold a copy of `id`?
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.copies.contains_key(&id)
+    }
+
+    /// All local copies.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeCopy> {
+        self.copies.values()
+    }
+
+    /// Number of local copies.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// True when no copies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// Local leaf count (load metric for data balancing).
+    pub fn leaf_count(&self) -> usize {
+        self.copies.values().filter(|c| c.is_leaf()).count()
+    }
+
+    /// Record the root.
+    pub fn set_root(&mut self, root: NodeId, level: u8, home: ProcId) {
+        if level >= self.root_level || self.root.is_none() {
+            self.root = Some(root);
+            self.root_level = level;
+            self.root_home = Some(home);
+        }
+    }
+
+    /// The current root, if known.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// A processor guaranteed to hold the root.
+    pub fn root_home(&self) -> Option<ProcId> {
+        self.root_home
+    }
+
+    /// Leave a forwarding address for a departed node.
+    pub fn set_forward(&mut self, id: NodeId, addr: ForwardAddr) {
+        self.forwards.insert(id, addr);
+    }
+
+    /// Look up a forwarding address.
+    pub fn forward_for(&self, id: NodeId) -> Option<ForwardAddr> {
+        self.forwards.get(&id).copied()
+    }
+
+    /// Drop forwarding addresses older than `ttl` at time `now`. Returns the
+    /// number collected.
+    pub fn gc_forwards(&mut self, now: u64, ttl: u64) -> usize {
+        let before = self.forwards.len();
+        self.forwards
+            .retain(|_, f| now.saturating_sub(f.created_at) < ttl);
+        before - self.forwards.len()
+    }
+
+    /// Number of live forwarding addresses.
+    pub fn forward_count(&self) -> usize {
+        self.forwards.len()
+    }
+
+    /// Misnavigation recovery (§4.2 "missing node"): the best local node to
+    /// restart an action for `key` from — the *lowest-level* local copy
+    /// whose range contains the key (closest to the destination), falling
+    /// back to the highest-level copy present, then `None` if the store is
+    /// empty.
+    pub fn closest_for(&self, key: Key) -> Option<NodeId> {
+        self.copies
+            .values()
+            .filter(|c| c.range.contains(key))
+            .min_by_key(|c| (c.level, c.id))
+            .map(|c| c.id)
+            .or_else(|| {
+                self.copies
+                    .values()
+                    .max_by_key(|c| (c.level, c.id))
+                    .map(|c| c.id)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::KeyRange;
+
+    fn copy(id: u64, level: u8, low: u64, high: Option<u64>) -> NodeCopy {
+        NodeCopy::new(NodeId(id), level, KeyRange::new(low, high), ProcId(0))
+    }
+
+    #[test]
+    fn install_get_remove() {
+        let mut s = NodeStore::new();
+        s.install(copy(1, 0, 0, None));
+        assert!(s.contains(NodeId(1)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.leaf_count(), 1);
+        assert!(s.remove(NodeId(1)).is_some());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn root_tracking_prefers_higher_levels() {
+        let mut s = NodeStore::new();
+        s.set_root(NodeId(1), 1, ProcId(0));
+        s.set_root(NodeId(2), 0, ProcId(1)); // stale lower root ignored
+        assert_eq!(s.root(), Some(NodeId(1)));
+        s.set_root(NodeId(3), 2, ProcId(2));
+        assert_eq!(s.root(), Some(NodeId(3)));
+        assert_eq!(s.root_home(), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn closest_prefers_lowest_covering_level() {
+        let mut s = NodeStore::new();
+        s.install(copy(1, 2, 0, None)); // root-ish
+        s.install(copy(2, 1, 0, Some(100)));
+        s.install(copy(3, 0, 0, Some(10)));
+        assert_eq!(s.closest_for(5), Some(NodeId(3)));
+        assert_eq!(s.closest_for(50), Some(NodeId(2)));
+        assert_eq!(s.closest_for(500), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn closest_falls_back_to_highest_level() {
+        let mut s = NodeStore::new();
+        s.install(copy(3, 0, 0, Some(10)));
+        // Key not covered by any copy: fall back to the highest level.
+        assert_eq!(s.closest_for(50), Some(NodeId(3)));
+        assert_eq!(NodeStore::new().closest_for(5), None);
+    }
+
+    #[test]
+    fn forwarding_gc() {
+        let mut s = NodeStore::new();
+        s.set_forward(
+            NodeId(1),
+            ForwardAddr {
+                to: ProcId(2),
+                version: 1,
+                created_at: 100,
+            },
+        );
+        assert!(s.forward_for(NodeId(1)).is_some());
+        assert_eq!(s.gc_forwards(150, 100), 0);
+        assert_eq!(s.gc_forwards(300, 100), 1);
+        assert!(s.forward_for(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn install_clears_forward() {
+        let mut s = NodeStore::new();
+        s.set_forward(
+            NodeId(1),
+            ForwardAddr {
+                to: ProcId(2),
+                version: 1,
+                created_at: 0,
+            },
+        );
+        s.install(copy(1, 0, 0, None));
+        assert!(s.forward_for(NodeId(1)).is_none(), "node came back");
+    }
+
+    #[test]
+    fn minted_ids_unique() {
+        let mut s = NodeStore::new();
+        let a = s.mint_node_id(ProcId(3));
+        let b = s.mint_node_id(ProcId(3));
+        assert_ne!(a, b);
+        assert_eq!(a.minted_by(), ProcId(3));
+    }
+}

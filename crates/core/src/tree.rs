@@ -1,0 +1,318 @@
+//! `DbCluster` — the public facade: a simulated dB-tree deployment plus a
+//! client driver.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use history::HistoryLog;
+use parking_lot::Mutex;
+use simnet::{ProcId, SimConfig, SimTime, Simulation};
+
+use crate::build::{build_procs, BuildSpec};
+use crate::msg::Msg;
+use crate::proc::DbProc;
+use crate::types::{Intent, Key, NodeId, OpId, Outcome};
+
+/// One client operation for the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOp {
+    /// The processor the client submits to.
+    pub origin: ProcId,
+    /// The key.
+    pub key: Key,
+    /// Search or insert.
+    pub intent: Intent,
+}
+
+/// A completed range scan.
+#[derive(Clone, Debug)]
+pub struct ScanRecord {
+    /// The operation id.
+    pub op: OpId,
+    /// Inclusive start key requested.
+    pub from: Key,
+    /// Limit requested.
+    pub limit: u32,
+    /// The collected `(key, value)` pairs, in key order.
+    pub items: Vec<(Key, crate::types::Value)>,
+    /// Nodes visited.
+    pub hops: u32,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+}
+
+/// A completed operation with its timing.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// The submitted operation.
+    pub op: ClientOp,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time (when the leaf replied).
+    pub completed: SimTime,
+    /// The protocol-reported outcome.
+    pub outcome: Outcome,
+}
+
+impl OpRecord {
+    /// Virtual latency in ticks.
+    pub fn latency(&self) -> u64 {
+        self.completed - self.submitted
+    }
+}
+
+/// Aggregate results of a driven workload.
+#[derive(Clone, Debug, Default)]
+pub struct DriverStats {
+    /// Completed operations in completion order.
+    pub records: Vec<OpRecord>,
+    /// Virtual time from first injection to last completion.
+    pub makespan: u64,
+}
+
+impl DriverStats {
+    /// Mean latency in ticks.
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency()).sum::<u64>() as f64 / self.records.len() as f64
+    }
+
+    /// The `q`-quantile (0..1) of latency.
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut l: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        l.sort_unstable();
+        let idx = ((l.len() - 1) as f64 * q).round() as usize;
+        l[idx]
+    }
+
+    /// Operations per 1000 ticks of virtual time.
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 * 1000.0 / self.makespan as f64
+    }
+
+    /// Mean hops per operation.
+    pub fn mean_hops(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.outcome.hops as u64).sum::<u64>() as f64
+            / self.records.len() as f64
+    }
+
+    /// Total right-link chases.
+    pub fn total_chases(&self) -> u64 {
+        self.records.iter().map(|r| r.outcome.chases as u64).sum()
+    }
+}
+
+/// A simulated dB-tree deployment: N processors over a discrete-event
+/// network, plus client bookkeeping.
+pub struct DbCluster {
+    /// The underlying simulation (exposed for stats and inspection).
+    pub sim: Simulation<DbProc>,
+    log: Arc<Mutex<HistoryLog>>,
+    next_op: u64,
+    pending: HashMap<OpId, (ClientOp, SimTime)>,
+    pending_scans: HashMap<OpId, (Key, u32, SimTime)>,
+    scans: Vec<ScanRecord>,
+}
+
+impl DbCluster {
+    /// Build a deployment from a spec and a simulation config.
+    pub fn build(spec: &BuildSpec, sim_cfg: SimConfig) -> Self {
+        let (procs, log) = build_procs(spec);
+        DbCluster {
+            sim: Simulation::new(sim_cfg, procs),
+            log,
+            next_op: 1,
+            pending: HashMap::new(),
+            pending_scans: HashMap::new(),
+            scans: Vec::new(),
+        }
+    }
+
+    /// The shared history log.
+    pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> u32 {
+        self.sim.num_procs() as u32
+    }
+
+    /// Submit one client operation (delivered at now+1).
+    pub fn submit(&mut self, op: ClientOp) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.pending.insert(id, (op, self.sim.now()));
+        self.sim.inject(
+            op.origin,
+            Msg::Client {
+                op: id,
+                key: op.key,
+                intent: op.intent,
+            },
+        );
+        id
+    }
+
+    /// Submit a range scan: up to `limit` live entries from `from` onward,
+    /// collected by walking the leaf chain across processors.
+    pub fn scan(&mut self, origin: ProcId, from: Key, limit: u32) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.pending_scans.insert(id, (from, limit, self.sim.now()));
+        self.sim.inject(origin, Msg::ClientScan { op: id, from, limit });
+        id
+    }
+
+    /// Completed scans (drained).
+    pub fn take_scans(&mut self) -> Vec<ScanRecord> {
+        std::mem::take(&mut self.scans)
+    }
+
+    /// Inject a migration command (data balancing, §4.2).
+    pub fn migrate(&mut self, node: NodeId, owner: ProcId, dest: ProcId) {
+        self.sim.inject(owner, Msg::Migrate { node, dest });
+    }
+
+    /// Every resident leaf with its owning processor, sorted by node id
+    /// (deterministic — the shape balancers and tests pick targets from).
+    pub fn leaves(&self) -> Vec<(NodeId, ProcId)> {
+        let mut out: Vec<(NodeId, ProcId)> = self
+            .sim
+            .procs()
+            .flat_map(|(pid, p)| {
+                p.store
+                    .iter()
+                    .filter(|c| c.is_leaf())
+                    .map(move |c| (c.id, pid))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Run until the network is silent; returns completed-op records drained
+    /// along the way.
+    pub fn run_to_quiescence(&mut self) -> Vec<OpRecord> {
+        let mut records = Vec::new();
+        loop {
+            let progressed = self.sim.step();
+            self.drain_done(&mut records);
+            if !progressed {
+                return records;
+            }
+        }
+    }
+
+    /// Drive `ops` closed-loop with `concurrency` outstanding operations per
+    /// origin processor, then run to quiescence.
+    pub fn run_closed_loop(&mut self, ops: &[ClientOp], concurrency: usize) -> DriverStats {
+        let concurrency = concurrency.max(1);
+        let mut queues: BTreeMap<ProcId, VecDeque<ClientOp>> = BTreeMap::new();
+        for op in ops {
+            queues.entry(op.origin).or_default().push_back(*op);
+        }
+        let start = self.sim.now();
+        // Prime each origin's window.
+        for (_, q) in queues.iter_mut() {
+            for _ in 0..concurrency {
+                if let Some(op) = q.pop_front() {
+                    let id = OpId(self.next_op);
+                    self.next_op += 1;
+                    self.pending.insert(id, (op, self.sim.now()));
+                    self.sim.inject(
+                        op.origin,
+                        Msg::Client {
+                            op: id,
+                            key: op.key,
+                            intent: op.intent,
+                        },
+                    );
+                }
+            }
+        }
+        let mut records = Vec::with_capacity(ops.len());
+        let mut last_completion = start;
+        loop {
+            let progressed = self.sim.step();
+            let before = records.len();
+            self.drain_done(&mut records);
+            for r in &records[before..] {
+                last_completion = last_completion.max(r.completed);
+                if let Some(q) = queues.get_mut(&r.op.origin) {
+                    if let Some(next) = q.pop_front() {
+                        self.submit(next);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        DriverStats {
+            makespan: last_completion - start,
+            records,
+        }
+    }
+
+    fn drain_done(&mut self, records: &mut Vec<OpRecord>) {
+        for (at, _from, msg) in self.sim.drain_outputs() {
+            match msg {
+                Msg::Done(outcome) => {
+                    if let Some((op, submitted)) = self.pending.remove(&outcome.op) {
+                        records.push(OpRecord {
+                            op,
+                            submitted,
+                            completed: at,
+                            outcome,
+                        });
+                    }
+                }
+                Msg::ScanResult { op, items, hops } => {
+                    if let Some((from, limit, submitted)) = self.pending_scans.remove(&op) {
+                        self.scans.push(ScanRecord {
+                            op,
+                            from,
+                            limit,
+                            items,
+                            hops,
+                            submitted,
+                            completed: at,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Operations submitted but not yet completed (scans included).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len() + self.pending_scans.len()
+    }
+
+    /// Finalize history digests (call after quiescence, before
+    /// `HistoryLog::check`).
+    pub fn record_final_digests(&mut self) {
+        let mut log = self.log.lock();
+        for (pid, proc) in self.sim.procs() {
+            for copy in proc.store.iter() {
+                log.set_final_digest(copy.id.raw(), pid.0, copy.digest());
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Core identifier and entry types.
+
+use std::fmt;
+
+use simnet::ProcId;
+
+pub use blink::{Key, KeyRange};
+
+/// Values stored at the leaves.
+pub type Value = u64;
+
+/// Identifier of a *logical* node (every copy of the node shares it).
+///
+/// Encodes the allocating processor in the high bits so processors can mint
+/// ids without coordination: `NodeId = proc << 40 | counter`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Mint the `counter`-th node id of `proc`.
+    pub fn mint(proc: ProcId, counter: u64) -> Self {
+        debug_assert!(counter < (1 << 40), "node counter overflow");
+        NodeId(((proc.0 as u64) << 40) | counter)
+    }
+
+    /// The processor that allocated this id.
+    pub fn minted_by(self) -> ProcId {
+        ProcId((self.0 >> 40) as u32)
+    }
+
+    /// Raw value (used as the history log's node key).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}.{}", self.0 >> 40, self.0 & ((1 << 40) - 1))
+    }
+}
+
+/// Identifier of a client operation. Minted by the driver.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct OpId(pub u64);
+
+/// A routable reference to another node: its id plus a processor known to
+/// hold a copy (the copy's primary, kept fresh by link-change actions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    /// The target node.
+    pub node: NodeId,
+    /// A processor holding a copy (normally the PC / owner).
+    pub home: ProcId,
+}
+
+impl Link {
+    /// Construct a link.
+    pub fn new(node: NodeId, home: ProcId) -> Self {
+        Link { node, home }
+    }
+}
+
+/// An interior node's routing entry for one child.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ChildRef {
+    /// The child node.
+    pub node: NodeId,
+    /// Processor holding the child (owner for leaves, PC for interior).
+    pub home: ProcId,
+    /// The child's version when this reference was last refreshed. Child
+    /// home changes (migrations) are an *ordered* action class: an update is
+    /// applied only if its version exceeds this (§4.2 link-change rule).
+    pub version: u64,
+}
+
+/// One entry in a node: a stamped value or tombstone (leaves), or a child
+/// reference (interior).
+///
+/// Leaf entries carry a *stamp* — a totally-ordered update identifier — so
+/// that concurrent writes to the same key commute: every copy keeps the
+/// entry with the greatest stamp, whatever order the relays arrive in
+/// (a last-writer-wins register, the natural way to extend the paper's
+/// "inserts commute" rule to overwrites and deletes). Deletes are stamped
+/// tombstones: the never-merge policy (\[11\]) means emptied nodes persist,
+/// so a tombstone simply shadows the key until overwritten.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Entry {
+    /// Leaf payload with its update stamp.
+    Val {
+        /// The stored value.
+        value: Value,
+        /// Total-order position of the write (see [`Stamp`]).
+        stamp: u64,
+    },
+    /// A deleted key (lazy delete; shadows earlier writes).
+    Tomb {
+        /// Total-order position of the delete.
+        stamp: u64,
+    },
+    /// Interior routing entry.
+    Child(ChildRef),
+}
+
+/// Helpers for update stamps: `(per-processor counter << 8) | proc`, giving
+/// a deterministic total order over all leaf updates in a run (unique for up
+/// to 256 processors).
+pub struct Stamp;
+
+impl Stamp {
+    /// Compose a stamp.
+    #[allow(clippy::new_ret_no_self)] // Stamp is a namespace for u64 stamps
+    pub fn new(counter: u64, proc: ProcId) -> u64 {
+        (counter << 8) | (proc.0 as u64 & 0xFF)
+    }
+}
+
+impl Entry {
+    /// The child reference, if this is an interior entry.
+    pub fn child(&self) -> Option<ChildRef> {
+        match self {
+            Entry::Child(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The live value, if this is a (non-deleted) leaf entry.
+    pub fn value(&self) -> Option<Value> {
+        match self {
+            Entry::Val { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The stamp of a leaf entry (values and tombstones).
+    pub fn stamp(&self) -> Option<u64> {
+        match self {
+            Entry::Val { stamp, .. } | Entry::Tomb { stamp } => Some(*stamp),
+            Entry::Child(_) => None,
+        }
+    }
+
+    /// Words contributing to the copy digest.
+    pub(crate) fn digest_words(&self) -> [u64; 2] {
+        match self {
+            Entry::Val { value, .. } => [1, *value],
+            Entry::Tomb { .. } => [3, 0],
+            // Home hints and versions are routing metadata, not node value:
+            // copies may transiently disagree on them without being
+            // incompatible (the paper's value is the key set + links).
+            Entry::Child(c) => [2, c.node.raw()],
+        }
+    }
+}
+
+/// The purpose of a descent through the index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Intent {
+    /// Point lookup; report the value found.
+    Search,
+    /// Insert `value` at the key's leaf.
+    Insert(Value),
+    /// Delete the key (a lazy tombstone write; never-merge policy \[11\]).
+    Delete,
+}
+
+/// Outcome of a completed client operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Outcome {
+    /// The operation.
+    pub op: OpId,
+    /// For searches: the value found. For inserts: the previous value.
+    pub found: Option<Value>,
+    /// Nodes visited during the descent.
+    pub hops: u32,
+    /// Right-link chases performed (misnavigation recoveries).
+    pub chases: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::mint(ProcId(7), 42);
+        assert_eq!(id.minted_by(), ProcId(7));
+        assert_eq!(format!("{id:?}"), "n7.42");
+        assert_ne!(NodeId::mint(ProcId(0), 1), NodeId::mint(ProcId(1), 1));
+    }
+
+    #[test]
+    fn entry_accessors() {
+        let v = Entry::Val { value: 9, stamp: 1 };
+        assert_eq!(v.value(), Some(9));
+        assert_eq!(v.child(), None);
+        assert_eq!(v.stamp(), Some(1));
+        let t = Entry::Tomb { stamp: 2 };
+        assert_eq!(t.value(), None, "tombstones shadow the key");
+        assert_eq!(t.stamp(), Some(2));
+        let c = Entry::Child(ChildRef {
+            node: NodeId(3),
+            home: ProcId(1),
+            version: 0,
+        });
+        assert!(c.child().is_some());
+        assert_eq!(c.value(), None);
+        assert_eq!(c.stamp(), None);
+    }
+
+    #[test]
+    fn stamps_totally_ordered_and_unique() {
+        let a = Stamp::new(1, ProcId(0));
+        let b = Stamp::new(1, ProcId(1));
+        let c = Stamp::new(2, ProcId(0));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn digest_ignores_home_hint() {
+        let a = Entry::Child(ChildRef {
+            node: NodeId(3),
+            home: ProcId(1),
+            version: 0,
+        });
+        let b = Entry::Child(ChildRef {
+            node: NodeId(3),
+            home: ProcId(2),
+            version: 5,
+        });
+        assert_eq!(a.digest_words(), b.digest_words());
+    }
+}

@@ -1,0 +1,268 @@
+//! §4.2 (single-copy mobile nodes) and §4.3 (variable copies) end-to-end
+//! tests: migrations racing client operations, misnavigation recovery with
+//! and without forwarding addresses, and join/unjoin membership.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::{assert_clean, to_client};
+use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, Placement, TreeConfig};
+use simnet::{ProcId, SimConfig};
+use workload::{KeyDist, Mix, WorkloadGen};
+
+
+fn mobile_cfg(forwarding: bool) -> TreeConfig {
+    TreeConfig {
+        placement: Placement::Uniform { copies: 1 },
+        forwarding,
+        ..Default::default()
+    }
+}
+
+/// Run inserts interleaved with leaf migrations; return cluster + expected.
+fn run_with_migrations(
+    cfg: TreeConfig,
+    seed: u64,
+    n_ops: usize,
+    migrate_every: usize,
+) -> (DbCluster, BTreeSet<u64>) {
+    let preload: Vec<u64> = (0..200).map(|k| k * 10).collect();
+    let n_procs = 4;
+    let spec = BuildSpec::new(preload.clone(), n_procs, cfg);
+    let mut cluster = DbCluster::build(&spec, SimConfig::jittery(seed, 2, 25));
+
+    let mut gen = WorkloadGen::new(
+        KeyDist::Uniform { n: 2000 },
+        Mix { search_fraction: 0.3 },
+        n_procs,
+        seed,
+    );
+    let mut expected: BTreeSet<u64> = preload.into_iter().collect();
+    let ops = gen.batch(n_ops);
+    for (i, op) in ops.iter().enumerate() {
+        cluster.submit(to_client(op));
+        if let workload::OpKind::Insert = op.kind {
+            expected.insert(op.key);
+        }
+        if i % migrate_every == migrate_every - 1 {
+            // Move some leaf to the next processor over, while traffic is in
+            // flight.
+            let leaves = cluster.leaves();
+            if let Some(&(leaf, owner)) = leaves.get(i % leaves.len()) {
+                let dest = ProcId((owner.0 + 1) % cluster.n_procs());
+                cluster.migrate(leaf, owner, dest);
+            }
+        }
+        // Let the network make progress between submissions.
+        if i % 8 == 7 {
+            for _ in 0..30 {
+                if !cluster.sim.step() {
+                    break;
+                }
+            }
+        }
+    }
+    cluster.run_to_quiescence();
+    (cluster, expected)
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 — single-copy mobile nodes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn migrations_during_traffic_lose_nothing_without_forwarding() {
+    for seed in 0..4 {
+        let (mut cluster, expected) = run_with_migrations(mobile_cfg(false), seed, 300, 10);
+        assert_clean(&mut cluster, &expected);
+        let moves: u64 = cluster
+            .sim
+            .procs()
+            .map(|(_, p)| p.metrics.migrations_in)
+            .sum();
+        assert!(moves > 0, "migrations actually happened (seed {seed})");
+    }
+}
+
+#[test]
+fn migrations_during_traffic_lose_nothing_with_forwarding() {
+    for seed in 0..4 {
+        let (mut cluster, expected) = run_with_migrations(mobile_cfg(true), seed, 300, 10);
+        assert_clean(&mut cluster, &expected);
+    }
+}
+
+#[test]
+fn forwarding_addresses_reduce_recovery_cost() {
+    let run = |forwarding: bool| {
+        let (cluster, _) = run_with_migrations(mobile_cfg(forwarding), 99, 400, 5);
+        let recoveries: u64 = cluster
+            .sim
+            .procs()
+            .map(|(_, p)| p.metrics.missing_node_recoveries)
+            .sum();
+        let followed: u64 = cluster
+            .sim
+            .procs()
+            .map(|(_, p)| p.metrics.forwards_followed)
+            .sum();
+        (recoveries, followed)
+    };
+    let (rec_without, fol_without) = run(false);
+    let (rec_with, fol_with) = run(true);
+    assert_eq!(fol_without, 0, "no forwarding addresses to follow");
+    // With forwarding on, some messages take the shortcut.
+    assert!(
+        fol_with > 0 || rec_with <= rec_without,
+        "forwarding helps: followed {fol_with}, recoveries {rec_with} vs {rec_without}"
+    );
+}
+
+#[test]
+fn forwarding_addresses_garbage_collect() {
+    let cfg = TreeConfig {
+        forwarding_ttl: 50,
+        ..mobile_cfg(true)
+    };
+    let (mut cluster, expected) = run_with_migrations(cfg, 5, 200, 10);
+    assert_clean(&mut cluster, &expected);
+    // After quiescence + TTL, a fresh migration's GC timer has fired for old
+    // entries; at minimum the table is bounded by migrations.
+    let total_forwards: usize = cluster
+        .sim
+        .procs()
+        .map(|(_, p)| p.store.forward_count())
+        .sum();
+    let total_migrations: u64 = cluster
+        .sim
+        .procs()
+        .map(|(_, p)| p.metrics.migrations_out)
+        .sum();
+    assert!(
+        (total_forwards as u64) < total_migrations,
+        "GC collected some of {total_migrations} forwarding addresses ({total_forwards} left)"
+    );
+}
+
+#[test]
+fn migration_is_a_noop_to_self_or_unknown_nodes() {
+    let spec = BuildSpec::new((0..50).map(|k| k * 2).collect(), 2, mobile_cfg(false));
+    let mut cluster = DbCluster::build(&spec, SimConfig::seeded(1));
+    let leaves = cluster.leaves();
+    let (leaf, owner) = leaves[0];
+    // Self-migration: ignored.
+    cluster.migrate(leaf, owner, owner);
+    // Migration command to the wrong owner: ignored.
+    let not_owner = ProcId(1 - owner.0);
+    cluster.migrate(leaf, not_owner, owner);
+    cluster.run_to_quiescence();
+    let expected: BTreeSet<u64> = (0..50).map(|k| k * 2).collect();
+    assert_clean(&mut cluster, &expected);
+}
+
+// ---------------------------------------------------------------------------
+// §4.3 — variable copies
+// ---------------------------------------------------------------------------
+
+fn variable_cfg() -> TreeConfig {
+    TreeConfig {
+        placement: Placement::PathReplication,
+        variable_copies: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn leaf_migration_joins_the_path() {
+    // Build with all leaves on procs 0..3, then move one leaf to a processor
+    // and verify the dB-tree property: the destination joins every interior
+    // node on the leaf's path.
+    let (mut cluster, expected) = run_with_migrations(variable_cfg(), 3, 200, 8);
+    assert_clean(&mut cluster, &expected);
+    let joins: u64 = cluster.sim.procs().map(|(_, p)| p.metrics.joins).sum();
+    assert!(joins > 0, "at least one join happened");
+    let violations = checker::check_path_property(&cluster.sim);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn variable_copies_many_seeds_clean() {
+    for seed in 0..4 {
+        let (mut cluster, expected) = run_with_migrations(variable_cfg(), seed, 250, 12);
+        assert_clean(&mut cluster, &expected);
+        let violations = checker::check_path_property(&cluster.sim);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
+
+#[test]
+fn unjoin_happens_when_a_processor_loses_its_last_leaf_under_a_parent() {
+    // Concentrated migrations away from processor 0 should eventually make
+    // it unjoin some interior replication.
+    let preload: Vec<u64> = (0..300).map(|k| k * 5).collect();
+    let spec = BuildSpec::new(preload.clone(), 4, variable_cfg());
+    let mut cluster = DbCluster::build(&spec, SimConfig::jittery(17, 2, 20));
+    // Phase 1: move every leaf owned by P0 to P1 — P1 *joins* the interior
+    // replications above them (the PC, P0, never leaves per the paper).
+    let leaves = cluster.leaves();
+    for (leaf, owner) in &leaves {
+        if *owner == ProcId(0) {
+            cluster.migrate(*leaf, *owner, ProcId(1));
+        }
+    }
+    cluster.run_to_quiescence();
+    // Phase 2: move the same leaves onward to P2 — P1, a non-PC member, has
+    // now lost its last child under those parents and must unjoin.
+    for (leaf, owner) in &leaves {
+        if *owner == ProcId(0) {
+            cluster.migrate(*leaf, ProcId(1), ProcId(2));
+        }
+    }
+    cluster.run_to_quiescence();
+    let unjoins: u64 = cluster.sim.procs().map(|(_, p)| p.metrics.unjoins).sum();
+    assert!(unjoins > 0, "P1 left some interior replications");
+    let expected: BTreeSet<u64> = preload.into_iter().collect();
+    assert_clean(&mut cluster, &expected);
+    // P0 still serves searches (the root stays everywhere).
+    cluster.submit(ClientOp {
+        origin: ProcId(0),
+        key: 25,
+        intent: Intent::Search,
+    });
+    let records = cluster.run_to_quiescence();
+    assert_eq!(records[0].outcome.found, Some(25));
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6 — the join/insert race
+// ---------------------------------------------------------------------------
+
+#[test]
+fn join_version_relay_fixes_the_fig6_race() {
+    // With the version relay ON (the paper's algorithm), concurrent joins
+    // and inserts leave complete histories. With it OFF, at least one seed
+    // exhibits an incomplete-history violation at a late joiner.
+    let run = |join_version_relay: bool, seed: u64| {
+        let cfg = TreeConfig {
+            join_version_relay,
+            ..variable_cfg()
+        };
+        let (mut cluster, expected) = run_with_migrations(cfg, seed, 300, 4);
+        cluster.record_final_digests();
+        let history_violations = cluster.log().lock().check().len();
+        let lost = checker::check_keys(&cluster.sim, &expected).len();
+        (history_violations, lost)
+    };
+    let mut broken_total = 0;
+    for seed in 0..6 {
+        let (h, lost) = run(true, seed);
+        assert_eq!((h, lost), (0, 0), "paper algorithm clean (seed {seed})");
+        let (h, lost) = run(false, seed);
+        broken_total += h + lost;
+    }
+    assert!(
+        broken_total > 0,
+        "disabling the version relay reproduces the Fig 6 failure"
+    );
+}

@@ -1,0 +1,208 @@
+//! Buckets: the single-copy data holders (the analogue of dB-tree leaves).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simnet::ProcId;
+
+use crate::hashfn::{low_mask, matches_pattern, HashBits};
+
+/// Identifier of a bucket; encodes the minting processor like `dbtree`'s
+/// node ids.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BucketId(pub u64);
+
+impl BucketId {
+    /// Mint the `counter`-th bucket id of `proc`.
+    pub fn mint(proc: ProcId, counter: u64) -> Self {
+        BucketId(((proc.0 as u64) << 40) | counter)
+    }
+
+    /// Raw value (history-log key).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BucketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.0 >> 40, self.0 & ((1 << 40) - 1))
+    }
+}
+
+/// A routable reference to a bucket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BucketRef {
+    /// The bucket.
+    pub id: BucketId,
+    /// The processor storing it.
+    pub home: ProcId,
+    /// The bucket's local depth as known to the referrer (orders directory
+    /// patches for the same slot).
+    pub local_depth: u8,
+}
+
+/// One bucket: entries whose hashes match `pattern` on the low
+/// `local_depth` bits.
+#[derive(Clone, Debug)]
+pub struct Bucket {
+    /// The bucket's identity.
+    pub id: BucketId,
+    /// The low-bit pattern this bucket is responsible for.
+    pub pattern: u64,
+    /// Number of meaningful pattern bits.
+    pub local_depth: u8,
+    /// Stored entries, keyed by full hash (values keep the original key).
+    pub entries: BTreeMap<HashBits, (u64, u64)>,
+    /// Split images, in split order: `(bit, ref)` — entries whose hash has
+    /// `bit` set moved to `ref` when this bucket split at that bit. The
+    /// misnavigation-recovery chain (the hash table's "right links").
+    pub images: Vec<(u8, BucketRef)>,
+}
+
+impl Bucket {
+    /// A fresh bucket for `pattern`/`local_depth`.
+    pub fn new(id: BucketId, pattern: u64, local_depth: u8) -> Self {
+        Bucket {
+            id,
+            pattern,
+            local_depth,
+            entries: BTreeMap::new(),
+            images: Vec::new(),
+        }
+    }
+
+    /// Does this bucket currently own `h`?
+    pub fn owns(&self, h: HashBits) -> bool {
+        matches_pattern(h, self.pattern, self.local_depth)
+    }
+
+    /// For a hash this bucket does *not* own: the split image to forward
+    /// to. `None` means the hash mismatches the bucket's pre-split pattern
+    /// — a routing error recoverable only by restarting at the directory.
+    pub fn image_for(&self, h: HashBits) -> Option<BucketRef> {
+        for &(bit, image) in &self.images {
+            if (h >> bit) & 1 == 1 && (self.pattern >> bit) & 1 == 0 {
+                // The hash went to the 1-side of this split (and possibly
+                // deeper splits of the image — it recovers recursively).
+                if matches_pattern(h, self.pattern, bit) {
+                    return Some(image);
+                }
+            }
+        }
+        None
+    }
+
+    /// Split: deepen by one bit; entries whose hash has the new bit set
+    /// move to the returned sibling (placed by the caller); a split-image
+    /// link is recorded.
+    ///
+    /// Returns `(bit, sibling_pattern, moved_entries)`.
+    pub fn split(&mut self) -> (u8, u64, BTreeMap<HashBits, (u64, u64)>) {
+        let bit = self.local_depth;
+        self.local_depth += 1;
+        let sib_pattern = self.pattern | (1u64 << bit);
+        let moved: BTreeMap<HashBits, (u64, u64)> = {
+            let mut moved = BTreeMap::new();
+            self.entries.retain(|&h, &mut v| {
+                if (h >> bit) & 1 == 1 {
+                    moved.insert(h, v);
+                    false
+                } else {
+                    true
+                }
+            });
+            moved
+        };
+        (bit, sib_pattern, moved)
+    }
+
+    /// Record the image created by a split at `bit`.
+    pub fn record_image(&mut self, bit: u8, image: BucketRef) {
+        self.images.push((bit, image));
+    }
+
+    /// The bucket's value digest (for end-of-run validation).
+    pub fn digest(&self) -> u64 {
+        history::fnv1a(
+            [self.pattern, self.local_depth as u64]
+                .into_iter()
+                .chain(self.entries.iter().flat_map(|(&h, &(k, v))| [h, k, v])),
+        )
+    }
+
+    /// Structural invariant: every entry matches the pattern.
+    pub fn invariant_ok(&self) -> bool {
+        self.pattern & !low_mask(self.local_depth) == 0
+            && self.entries.keys().all(|&h| self.owns(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bref(id: u64, depth: u8) -> BucketRef {
+        BucketRef {
+            id: BucketId(id),
+            home: ProcId(0),
+            local_depth: depth,
+        }
+    }
+
+    #[test]
+    fn split_partitions_by_new_bit() {
+        let mut b = Bucket::new(BucketId(1), 0, 0);
+        for h in 0..8u64 {
+            b.entries.insert(h, (h, h));
+        }
+        let (bit, sib_pattern, moved) = b.split();
+        assert_eq!(bit, 0);
+        assert_eq!(sib_pattern, 1);
+        assert_eq!(b.local_depth, 1);
+        // Evens stay (bit0 = 0), odds move.
+        assert!(b.entries.keys().all(|h| h % 2 == 0));
+        assert!(moved.keys().all(|h| h % 2 == 1));
+        assert!(b.invariant_ok());
+    }
+
+    #[test]
+    fn repeated_splits_deepen() {
+        let mut b = Bucket::new(BucketId(1), 0, 0);
+        for h in 0..16u64 {
+            b.entries.insert(h, (h, h));
+        }
+        let (_, p1, _) = b.split(); // bit0: keeps xxx0
+        let (_, p2, _) = b.split(); // bit1: keeps xx00
+        assert_eq!((p1, p2), (0b1, 0b10));
+        assert_eq!(b.local_depth, 2);
+        assert!(b.entries.keys().all(|h| h % 4 == 0));
+        assert!(b.invariant_ok());
+    }
+
+    #[test]
+    fn image_routing_follows_the_split_chain() {
+        let mut b = Bucket::new(BucketId(1), 0, 0);
+        let (bit0, _, _) = b.split();
+        b.record_image(bit0, bref(10, 1)); // hashes ...1 → bucket 10
+        let (bit1, _, _) = b.split();
+        b.record_image(bit1, bref(20, 2)); // hashes ..10 → bucket 20
+
+        assert!(b.owns(0b100));
+        assert_eq!(b.image_for(0b001).unwrap().id, BucketId(10));
+        assert_eq!(b.image_for(0b011).unwrap().id, BucketId(10), "deeper: image recurses");
+        assert_eq!(b.image_for(0b010).unwrap().id, BucketId(20));
+        assert_eq!(b.image_for(0b110).unwrap().id, BucketId(20));
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let mut a = Bucket::new(BucketId(1), 0, 1);
+        let mut b = Bucket::new(BucketId(1), 0, 1);
+        a.entries.insert(2, (2, 20));
+        b.entries.insert(2, (2, 20));
+        assert_eq!(a.digest(), b.digest());
+        b.entries.insert(4, (4, 40));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,306 @@
+//! Cluster bootstrap, client driver, and end-of-run checkers for the
+//! distributed hash table.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use history::HistoryLog;
+use parking_lot::Mutex;
+use simnet::{ProcId, SimConfig, SimTime, Simulation};
+
+use crate::bucket::{Bucket, BucketId, BucketRef};
+use crate::dir::Directory;
+use crate::hashfn::hash_of;
+use crate::msg::{HKind, HMsg, HOutcome};
+use crate::proc::{HashConfig, HashProc, DIR_NODE};
+
+/// What to build.
+#[derive(Clone, Debug)]
+pub struct HashSpec {
+    /// Keys preloaded with value = key.
+    pub preload: Vec<u64>,
+    /// Cluster size.
+    pub n_procs: u32,
+    /// Configuration.
+    pub cfg: HashConfig,
+}
+
+/// A completed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct HashOpRecord {
+    /// The outcome reported by the owning bucket.
+    pub outcome: HOutcome,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+}
+
+/// Aggregate statistics of a driven workload.
+#[derive(Clone, Debug, Default)]
+pub struct HashClusterStats {
+    /// Completed operations.
+    pub records: Vec<HashOpRecord>,
+}
+
+impl HashClusterStats {
+    /// Operations reported lost (NaiveNoLinks drops).
+    pub fn lost(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.lost).count()
+    }
+
+    /// Total misnavigation recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.records.iter().map(|r| r.outcome.recoveries as u64).sum()
+    }
+
+    /// Mean latency in virtual ticks.
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.completed - r.submitted)
+            .sum::<u64>() as f64
+            / self.records.len() as f64
+    }
+}
+
+/// A simulated distributed hash table.
+pub struct HashCluster {
+    /// The underlying simulation.
+    pub sim: Simulation<HashProc>,
+    log: Arc<Mutex<HistoryLog>>,
+    next_op: u64,
+    pending: HashMap<u64, SimTime>,
+}
+
+impl HashCluster {
+    /// Bootstrap: an initial directory of depth `ceil(log2(n_procs))`,
+    /// bucket *i* on processor `i % n_procs`, preloaded keys hashed in.
+    pub fn build(spec: &HashSpec, sim_cfg: SimConfig) -> Self {
+        let n = spec.n_procs;
+        assert!(n > 0);
+        let log = Arc::new(Mutex::new(if spec.cfg.record_history {
+            HistoryLog::new()
+        } else {
+            HistoryLog::disabled()
+        }));
+
+        // Initial depth: enough buckets that every processor owns one.
+        let mut depth = 0u8;
+        while (1usize << depth) < n as usize {
+            depth += 1;
+        }
+        let n_buckets = 1usize << depth;
+
+        // Mint bootstrap ids with *per-processor* counters so they can
+        // never collide with the ids processors mint for split images later
+        // (each processor's counter space is dense from 0).
+        let mut per_proc_counter = vec![0u64; n as usize];
+        let mut buckets: Vec<Bucket> = (0..n_buckets)
+            .map(|i| {
+                let home = ProcId((i % n as usize) as u32);
+                let counter = per_proc_counter[home.index()];
+                per_proc_counter[home.index()] += 1;
+                Bucket::new(BucketId::mint(home, counter), i as u64, depth)
+            })
+            .collect();
+        for &key in &spec.preload {
+            let h = hash_of(key);
+            let idx = (h & ((n_buckets as u64) - 1)) as usize;
+            buckets[idx].entries.insert(h, (key, key));
+        }
+        let slots: Vec<BucketRef> = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BucketRef {
+                id: b.id,
+                home: ProcId((i % n as usize) as u32),
+                local_depth: depth,
+            })
+            .collect();
+
+        {
+            let mut l = log.lock();
+            for p in 0..n {
+                l.copy_created(DIR_NODE, p, []);
+            }
+            for (i, b) in buckets.iter().enumerate() {
+                l.copy_created(b.id.raw(), (i % n as usize) as u32, []);
+            }
+        }
+
+        let procs: Vec<HashProc> = (0..n)
+            .map(|p| {
+                let dir = Directory::from_slots(depth, slots.clone());
+                let mine: BTreeMap<BucketId, Bucket> = buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (*i % n as usize) as u32 == p)
+                    .map(|(_, b)| (b.id, b.clone()))
+                    .collect();
+                HashProc::new(ProcId(p), n, spec.cfg.clone(), dir, mine, Arc::clone(&log))
+            })
+            .collect();
+
+        HashCluster {
+            sim: Simulation::new(sim_cfg, procs),
+            log,
+            next_op: 1,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The shared history log.
+    pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Submit one operation at `origin`.
+    pub fn submit(&mut self, origin: ProcId, key: u64, kind: HKind) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(op, self.sim.now());
+        self.sim.inject(origin, HMsg::Client { op, key, kind });
+        op
+    }
+
+    /// Run to quiescence, collecting completions.
+    pub fn run_to_quiescence(&mut self) -> HashClusterStats {
+        let mut stats = HashClusterStats::default();
+        loop {
+            let progressed = self.sim.step();
+            for (at, _from, msg) in self.sim.drain_outputs() {
+                if let HMsg::Done(outcome) = msg {
+                    if let Some(submitted) = self.pending.remove(&outcome.op) {
+                        stats.records.push(HashOpRecord {
+                            outcome,
+                            submitted,
+                            completed: at,
+                        });
+                    }
+                }
+            }
+            if !progressed {
+                return stats;
+            }
+        }
+    }
+
+    /// Record final digests into the history log (call before `check`).
+    pub fn record_final_digests(&mut self) {
+        let mut log = self.log.lock();
+        for (pid, proc) in self.sim.procs() {
+            log.set_final_digest(DIR_NODE, pid.0, proc.dir.digest());
+            for (id, b) in &proc.buckets {
+                log.set_final_digest(id.raw(), pid.0, b.digest());
+            }
+        }
+    }
+}
+
+/// A violation found by the hash-table checker.
+#[derive(Clone, Debug)]
+pub enum HashViolation {
+    /// Directory copies ended with different contents.
+    DirDiverged {
+        /// `(proc, digest)` of each copy.
+        digests: Vec<(u32, u64)>,
+    },
+    /// A key present in `expected` is not findable from some processor.
+    KeyLost {
+        /// The key.
+        key: u64,
+        /// The processor whose directory could not reach it.
+        from: ProcId,
+    },
+    /// A bucket's entries violate its pattern invariant.
+    BadBucket {
+        /// The bucket.
+        bucket: BucketId,
+    },
+    /// Undelivered stashed operations at quiescence.
+    DanglingStash {
+        /// The processor.
+        proc: ProcId,
+        /// Stash size.
+        count: usize,
+    },
+    /// History-log violations (rendered).
+    History {
+        /// Description.
+        detail: String,
+    },
+}
+
+/// Run the full end-of-run checker: directory convergence, bucket
+/// invariants, key findability from *every* processor's directory (chasing
+/// split-image links exactly like the protocol does), stash drainage, and
+/// the §3 history requirements.
+pub fn check_hash_cluster(cluster: &mut HashCluster, expected: &BTreeMap<u64, u64>) -> Vec<HashViolation> {
+    cluster.record_final_digests();
+    let mut out = Vec::new();
+
+    // Directory convergence.
+    let digests: Vec<(u32, u64)> = cluster
+        .sim
+        .procs()
+        .map(|(p, proc)| (p.0, proc.dir.digest()))
+        .collect();
+    if digests.windows(2).any(|w| w[0].1 != w[1].1) {
+        out.push(HashViolation::DirDiverged { digests });
+    }
+
+    // Bucket invariants + global bucket map.
+    let mut all_buckets: HashMap<BucketId, &Bucket> = HashMap::new();
+    for (_, proc) in cluster.sim.procs() {
+        for (id, b) in &proc.buckets {
+            if !b.invariant_ok() {
+                out.push(HashViolation::BadBucket { bucket: *id });
+            }
+            all_buckets.insert(*id, b);
+        }
+    }
+
+    // Findability from every processor.
+    for (pid, proc) in cluster.sim.procs() {
+        for (&key, &value) in expected {
+            let h = hash_of(key);
+            let mut cur = proc.dir.route(h).id;
+            let mut found = None;
+            for _ in 0..64 {
+                let Some(b) = all_buckets.get(&cur) else { break };
+                if b.owns(h) {
+                    found = b.entries.get(&h).map(|&(_, v)| v);
+                    break;
+                }
+                match b.image_for(h) {
+                    Some(img) => cur = img.id,
+                    None => break,
+                }
+            }
+            if found != Some(value) {
+                out.push(HashViolation::KeyLost { key, from: pid });
+            }
+        }
+    }
+
+    // Stashes and pending patches drained.
+    for (pid, proc) in cluster.sim.procs() {
+        let count: usize =
+            proc.stash_sizes().values().sum::<usize>() + proc.pending_patch_count();
+        if count > 0 {
+            out.push(HashViolation::DanglingStash { proc: pid, count });
+        }
+    }
+
+    // §3 requirements.
+    for v in cluster.log().lock().check() {
+        out.push(HashViolation::History {
+            detail: v.to_string(),
+        });
+    }
+    out
+}

@@ -1,0 +1,250 @@
+//! The replicated directory and its lazy patches.
+//!
+//! Every processor holds a directory copy: `2^global_depth` slots mapping
+//! the low bits of a hash to a [`BucketRef`]. Splits publish [`DirPatch`]es
+//! that each copy applies independently; patches for different buckets
+//! commute, and patches for the same slot chain are ordered by the split
+//! bit (≥ comparisons skip stale patches — the ordered-history rule).
+
+use crate::bucket::{BucketId, BucketRef};
+use crate::hashfn::{low_mask, HashBits};
+
+/// What applying a patch did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatchOutcome {
+    /// Slots changed.
+    Applied,
+    /// The parent's slots already reflect this split (duplicate/stale).
+    Stale,
+    /// No slot references the parent yet: the patch that introduces the
+    /// parent (it is itself a recent split image) is still in flight on
+    /// another channel. The caller must retry after later patches apply —
+    /// dropping it would leave this copy permanently wrong.
+    ParentUnknown,
+}
+
+/// A lazy directory update published by a bucket split: the bucket at
+/// `parent` split at `bit`, creating `image` for hashes with that bit set.
+#[derive(Clone, Copy, Debug)]
+pub struct DirPatch {
+    /// The bucket that split.
+    pub parent: BucketId,
+    /// The parent's new local depth (= `bit + 1`).
+    pub new_depth: u8,
+    /// The split bit.
+    pub bit: u8,
+    /// The new bucket for the 1-side.
+    pub image: BucketRef,
+    /// History tag of the update.
+    pub tag: u64,
+}
+
+/// One processor's directory copy.
+#[derive(Clone, Debug)]
+pub struct Directory {
+    global_depth: u8,
+    slots: Vec<BucketRef>,
+}
+
+impl Directory {
+    /// A depth-0 directory pointing everything at `root`.
+    pub fn new(root: BucketRef) -> Self {
+        Directory {
+            global_depth: 0,
+            slots: vec![root],
+        }
+    }
+
+    /// Build a directory at `depth` from explicit slots (bootstrap).
+    pub fn from_slots(depth: u8, slots: Vec<BucketRef>) -> Self {
+        assert_eq!(slots.len(), 1usize << depth);
+        Directory {
+            global_depth: depth,
+            slots,
+        }
+    }
+
+    /// Current global depth.
+    pub fn global_depth(&self) -> u8 {
+        self.global_depth
+    }
+
+    /// Number of slots (`2^global_depth`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the directory is empty (never: kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The bucket responsible for `h`, per this (possibly stale) copy.
+    pub fn route(&self, h: HashBits) -> BucketRef {
+        self.slots[(h & low_mask(self.global_depth)) as usize]
+    }
+
+    /// Double the directory (each slot pair mirrors the old slot).
+    fn double(&mut self) {
+        let old = self.slots.clone();
+        self.slots = Vec::with_capacity(old.len() * 2);
+        // Slot index layout: low bits select — new index i maps to old
+        // index i & old_mask.
+        for i in 0..old.len() * 2 {
+            self.slots.push(old[i & (old.len() - 1)]);
+        }
+        self.global_depth += 1;
+    }
+
+    /// Apply a lazy patch.
+    pub fn apply(&mut self, patch: &DirPatch) -> PatchOutcome {
+        // Don't deepen the directory for a patch we can't yet place.
+        if !self.slots.iter().any(|s| s.id == patch.parent) {
+            return PatchOutcome::ParentUnknown;
+        }
+        while self.global_depth < patch.new_depth {
+            self.double();
+        }
+        let mut changed = false;
+        for i in 0..self.slots.len() {
+            let slot = &mut self.slots[i];
+            if slot.id != patch.parent {
+                continue;
+            }
+            // Only slots on the 1-side of the split bit move to the image;
+            // all of the parent's slots advance their recorded depth.
+            if slot.local_depth >= patch.new_depth {
+                continue; // stale patch for this slot
+            }
+            if (i as u64 >> patch.bit) & 1 == 1 {
+                *slot = patch.image;
+            } else {
+                slot.local_depth = patch.new_depth;
+            }
+            changed = true;
+        }
+        if changed {
+            PatchOutcome::Applied
+        } else {
+            PatchOutcome::Stale
+        }
+    }
+
+    /// Digest for convergence checks.
+    pub fn digest(&self) -> u64 {
+        history::fnv1a(
+            std::iter::once(self.global_depth as u64).chain(
+                self.slots
+                    .iter()
+                    .flat_map(|s| [s.id.raw(), s.local_depth as u64]),
+            ),
+        )
+    }
+
+    /// Iterate the slots (for checkers).
+    pub fn slots(&self) -> &[BucketRef] {
+        &self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::ProcId;
+
+    fn bref(id: u64, depth: u8) -> BucketRef {
+        BucketRef {
+            id: BucketId(id),
+            home: ProcId(0),
+            local_depth: depth,
+        }
+    }
+
+    fn patch(parent: u64, bit: u8, image: u64) -> DirPatch {
+        DirPatch {
+            parent: BucketId(parent),
+            new_depth: bit + 1,
+            bit,
+            image: bref(image, bit + 1),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn patch_doubles_and_splits_slots() {
+        let mut d = Directory::new(bref(1, 0));
+        assert_eq!(d.apply(&patch(1, 0, 2)), PatchOutcome::Applied);
+        assert_eq!(d.global_depth(), 1);
+        assert_eq!(d.route(0b0).id, BucketId(1));
+        assert_eq!(d.route(0b1).id, BucketId(2));
+    }
+
+    #[test]
+    fn patches_for_different_buckets_commute() {
+        let mk = || {
+            let mut d = Directory::new(bref(1, 0));
+            d.apply(&patch(1, 0, 2)); // 1 covers ..0, 2 covers ..1
+            d
+        };
+        let p_a = patch(1, 1, 3); // 1 splits: ..10 → 3
+        let p_b = patch(2, 1, 4); // 2 splits: ..11 → 4
+        let mut d1 = mk();
+        d1.apply(&p_a);
+        d1.apply(&p_b);
+        let mut d2 = mk();
+        d2.apply(&p_b);
+        d2.apply(&p_a);
+        assert_eq!(d1.digest(), d2.digest());
+        assert_eq!(d1.route(0b10).id, BucketId(3));
+        assert_eq!(d1.route(0b11).id, BucketId(4));
+    }
+
+    #[test]
+    fn stale_patch_skipped() {
+        let mut d = Directory::new(bref(1, 0));
+        let p = patch(1, 0, 2);
+        assert_eq!(d.apply(&p), PatchOutcome::Applied);
+        assert_eq!(d.apply(&p), PatchOutcome::Stale, "replay is a no-op");
+    }
+
+    #[test]
+    fn same_bucket_patch_chain_applies_in_split_order() {
+        // Patches for the same bucket form an *ordered* action class. The
+        // order is guaranteed operationally: a bucket never moves, so all
+        // its split patches originate from one processor and every
+        // directory copy receives them FIFO (exactly how the dB-tree orders
+        // relayed splits). Applied in order, the chain is correct; replays
+        // and stale duplicates are skipped.
+        let p1 = patch(1, 0, 2);
+        let p2 = patch(1, 1, 3);
+        let mut d = Directory::new(bref(1, 0));
+        assert_eq!(d.apply(&p1), PatchOutcome::Applied);
+        assert_eq!(d.apply(&p2), PatchOutcome::Applied);
+        assert_eq!(d.apply(&p1), PatchOutcome::Stale, "stale duplicate skipped");
+        assert_eq!(d.route(0b00).id, BucketId(1));
+        assert_eq!(d.route(0b01).id, BucketId(2));
+        assert_eq!(d.route(0b10).id, BucketId(3));
+        assert_eq!(d.route(0b11).id, BucketId(2));
+    }
+
+    #[test]
+    fn unknown_parent_is_reported_not_dropped() {
+        // The image patch for bucket 3 arrives before the patch that
+        // introduces bucket 3 itself: the caller must retry it later.
+        let mut d = Directory::new(bref(1, 0));
+        let late = patch(3, 1, 4);
+        assert_eq!(d.apply(&late), PatchOutcome::ParentUnknown);
+        assert_eq!(d.apply(&patch(1, 0, 3)), PatchOutcome::Applied);
+        assert_eq!(d.apply(&late), PatchOutcome::Applied, "retry succeeds");
+        assert_eq!(d.route(0b01).id, BucketId(3));
+        assert_eq!(d.route(0b11).id, BucketId(4));
+    }
+
+    #[test]
+    fn route_uses_low_bits() {
+        let mut d = Directory::new(bref(1, 0));
+        d.apply(&patch(1, 0, 2));
+        assert_eq!(d.route(0xFFFF_FFF0).id, BucketId(1));
+        assert_eq!(d.route(0xFFFF_FFF1).id, BucketId(2));
+    }
+}

@@ -1,0 +1,54 @@
+//! Hashing and bit-pattern utilities for extendible hashing.
+
+/// A key's hash, of which the *low* bits select the directory slot
+/// (standard extendible-hashing convention).
+pub type HashBits = u64;
+
+/// Fibonacci hash: odd multiplier scrambles keys uniformly; deterministic.
+pub fn hash_of(key: u64) -> HashBits {
+    key.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Does `h` match `pattern` on its low `depth` bits?
+pub fn matches_pattern(h: HashBits, pattern: u64, depth: u8) -> bool {
+    let mask = low_mask(depth);
+    (h & mask) == (pattern & mask)
+}
+
+/// A mask selecting the low `depth` bits.
+pub fn low_mask(depth: u8) -> u64 {
+    if depth >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << depth) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(3), 0b111);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(matches_pattern(0b1010, 0b10, 2));
+        assert!(!matches_pattern(0b1011, 0b10, 2));
+        assert!(matches_pattern(0xFFFF, 0, 0), "depth 0 matches everything");
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(hash_of(42), hash_of(42));
+        // Low bits of consecutive keys differ (the property the directory
+        // index relies on).
+        let low3: std::collections::HashSet<u64> =
+            (0..64u64).map(|k| hash_of(k) & 0b111).collect();
+        assert_eq!(low3.len(), 8, "all 8 patterns hit");
+    }
+}

@@ -1,0 +1,145 @@
+//! Protocol messages for the distributed hash table.
+
+use simnet::{Payload, ProcId};
+
+use crate::bucket::BucketId;
+use crate::dir::DirPatch;
+use crate::hashfn::HashBits;
+
+/// What a client operation does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HKind {
+    /// Point lookup.
+    Search,
+    /// Insert/overwrite.
+    Insert(u64),
+    /// Remove the key.
+    Delete,
+}
+
+/// Outcome of a completed hash-table operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HOutcome {
+    /// Operation id (driver-minted).
+    pub op: u64,
+    /// Value found (searches) or previous value (updates).
+    pub found: Option<u64>,
+    /// Buckets/processors visited.
+    pub hops: u32,
+    /// Misnavigation recoveries performed (stale-directory forwards).
+    pub recoveries: u32,
+    /// `true` only under the broken `NaiveNoLinks` protocol: the operation
+    /// was misrouted and dropped because no split-image link existed.
+    pub lost: bool,
+}
+
+/// A full bucket on the wire (image placement).
+#[derive(Clone, Debug)]
+pub struct BucketSnapshot {
+    /// The bucket's identity.
+    pub id: BucketId,
+    /// Pattern.
+    pub pattern: u64,
+    /// Local depth.
+    pub local_depth: u8,
+    /// Entries.
+    pub entries: Vec<(HashBits, (u64, u64))>,
+}
+
+/// Hash-table protocol messages.
+#[derive(Clone, Debug)]
+pub enum HMsg {
+    /// Client submits an operation at its local processor.
+    Client {
+        /// Operation id.
+        op: u64,
+        /// The key.
+        key: u64,
+        /// What to do.
+        kind: HKind,
+    },
+    /// Perform the operation at a bucket.
+    AtBucket {
+        /// Operation id.
+        op: u64,
+        /// The key.
+        key: u64,
+        /// Its hash.
+        h: HashBits,
+        /// What to do.
+        kind: HKind,
+        /// The target bucket.
+        bucket: BucketId,
+        /// Hops so far.
+        hops: u32,
+        /// Recoveries so far.
+        recoveries: u32,
+    },
+    /// Lazy directory patch (no acknowledgement).
+    Patch(DirPatch),
+    /// Synchronous-protocol patch: apply and acknowledge.
+    PatchSync {
+        /// The patch.
+        patch: DirPatch,
+        /// Who to acknowledge.
+        from: ProcId,
+    },
+    /// Acknowledgement of a synchronous patch.
+    PatchAck {
+        /// The bucket whose split is being acknowledged.
+        parent: BucketId,
+        /// The split bit.
+        bit: u8,
+    },
+    /// Install a new bucket (a split image placed on this processor).
+    InstallBucket {
+        /// The bucket.
+        snapshot: BucketSnapshot,
+        /// History tag of the creating split.
+        tag: u64,
+    },
+    /// Operation complete; sent to `ProcId::EXTERNAL`.
+    Done(HOutcome),
+}
+
+impl Payload for HMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            HMsg::Client { .. } => "client",
+            HMsg::AtBucket { .. } => "op",
+            HMsg::Patch(_) => "dir.patch",
+            HMsg::PatchSync { .. } => "dir.patch-sync",
+            HMsg::PatchAck { .. } => "dir.ack",
+            HMsg::InstallBucket { .. } => "bucket.install",
+            HMsg::Done(_) => "done",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            HMsg::InstallBucket { snapshot, .. } => 32 + snapshot.entries.len() * 24,
+            _ => 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_label_protocol_planes() {
+        let p = HMsg::Patch(DirPatch {
+            parent: BucketId(1),
+            new_depth: 1,
+            bit: 0,
+            image: crate::bucket::BucketRef {
+                id: BucketId(2),
+                home: ProcId(0),
+                local_depth: 1,
+            },
+            tag: 0,
+        });
+        assert_eq!(p.kind(), "dir.patch");
+    }
+}

@@ -1,0 +1,36 @@
+//! # history — the paper's copy-correctness theory, executable
+//!
+//! Section 3 of the paper defines when a lazy replica-maintenance algorithm
+//! is correct. This crate implements that theory twice, at two altitudes:
+//!
+//! * [`model`] — the formal objects themselves: copy histories `(I_c, A_c)`,
+//!   backwards extensions, uniform histories, validity, and the
+//!   *compatible histories* relation. A small concrete action vocabulary
+//!   (insert / half-split over a toy node value) makes the definitions
+//!   executable, and the crate's tests replay Figs 3 and 4 against them.
+//! * [`log`] — a runtime recorder that a protocol implementation feeds with
+//!   every issued and performed update action. At the end of a computation,
+//!   [`log::HistoryLog::check`] verifies the three requirements the paper's
+//!   theorems establish:
+//!   - **Complete histories** — every issued update action was eventually
+//!     observed by the structure (nothing silently lost);
+//!   - **Compatible histories** — for every node, each live copy observed
+//!     exactly the node's initial-update set `M_n` (modulo its creation
+//!     snapshot) and all copies reached the same final value;
+//!   - **Ordered histories** — actions of an ordered class (link-changes,
+//!     with version numbers as the total order) were applied in order at
+//!     every copy.
+//!
+//! The `dbtree` crate calls into [`log`] from every protocol, so a protocol
+//! bug (like the deliberately broken "naive" protocol of Fig 4) surfaces as
+//! a typed violation rather than a silent wrong answer.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod model;
+pub mod taxonomy;
+
+pub use log::{fnv1a, HistoryLog, LogSummary, ObserveKind, Violation};
+pub use model::{Action, CompatibleError, History, NodeValue};
+pub use taxonomy::{check_pair, derive_table, PairVerdict, Shape};

@@ -1,0 +1,127 @@
+//! Property-based tests of the §3 theory: the commutativity classification
+//! of §4.1, checked over arbitrary action interleavings of the formal model.
+
+use history::model::{Action, History, NodeValue};
+use proptest::prelude::*;
+
+fn base_value(keys: &[u64]) -> NodeValue {
+    let mut v = NodeValue::new(0, None);
+    v.keys.extend(keys.iter().copied());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// §4.1 rule 1: any two insert actions on a copy commute — swapping
+    /// adjacent inserts never changes the final value.
+    #[test]
+    fn inserts_commute(
+        base in proptest::collection::vec(0u64..100, 0..10),
+        k1 in 0u64..100,
+        k2 in 0u64..100,
+        i1 in any::<bool>(),
+        i2 in any::<bool>(),
+    ) {
+        let v = base_value(&base);
+        let a = Action::Insert { tag: 1, key: k1, initial: i1 };
+        let b = Action::Insert { tag: 2, key: k2, initial: i2 };
+        let mut h1 = History::new(v.clone());
+        h1.push(a);
+        h1.push(b);
+        let mut h2 = History::new(v);
+        h2.push(b);
+        h2.push(a);
+        prop_assert_eq!(h1.compatible(&h2), Ok(()));
+    }
+
+    /// §4.1 rule 3: a relayed half-split commutes with a *relayed* insert
+    /// (the relayed insert has no subsequent actions, so only the final
+    /// value matters, and it is order-independent).
+    #[test]
+    fn relayed_split_commutes_with_relayed_insert(
+        base in proptest::collection::vec(0u64..100, 0..10),
+        key in 0u64..100,
+        at in 1u64..100,
+    ) {
+        let v = base_value(&base);
+        let ins = Action::Insert { tag: 1, key, initial: false };
+        let split = Action::HalfSplit { tag: 2, at, sib: 9, initial: false };
+        let mut h1 = History::new(v.clone());
+        h1.push(ins);
+        h1.push(split);
+        let mut h2 = History::new(v);
+        h2.push(split);
+        h2.push(ins);
+        let (v1, _) = h1.final_value();
+        let (v2, _) = h2.final_value();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// §4.1 rule 2: two half-splits do NOT commute whenever their sibling
+    /// names differ and both cut the node (the right pointer depends on
+    /// order).
+    #[test]
+    fn half_splits_conflict(
+        base in proptest::collection::vec(0u64..100, 0..10),
+        at1 in 1u64..100,
+        at2 in 1u64..100,
+    ) {
+        prop_assume!(at1 != at2);
+        let v = base_value(&base);
+        let s1 = Action::HalfSplit { tag: 1, at: at1, sib: 11, initial: true };
+        let s2 = Action::HalfSplit { tag: 2, at: at2, sib: 22, initial: false };
+        let mut h1 = History::new(v.clone());
+        h1.push(s1);
+        h1.push(s2);
+        let mut h2 = History::new(v);
+        h2.push(s2);
+        h2.push(s1);
+        let (v1, _) = h1.final_value();
+        let (v2, _) = h2.final_value();
+        // The final `right` pointer always reflects the last split applied.
+        prop_assert_ne!(v1.right, v2.right);
+        // And the ranges differ unless one split's point was already outside
+        // the other's remaining range.
+        prop_assert_eq!(v1.high, Some(at1.min(at2)));
+        prop_assert_eq!(v2.high, Some(at1.min(at2)));
+    }
+
+    /// Backwards extension (§3.1) never changes the final value or the
+    /// suffix of subsequent actions.
+    #[test]
+    fn backwards_extension_preserves_value(
+        prefix_keys in proptest::collection::vec(0u64..100, 0..10),
+        suffix_keys in proptest::collection::vec(0u64..100, 0..10),
+    ) {
+        let mut prefix = History::new(NodeValue::new(0, None));
+        for (i, &k) in prefix_keys.iter().enumerate() {
+            prefix.push(Action::Insert { tag: i as u64 + 1, key: k, initial: true });
+        }
+        let (mid, _) = prefix.final_value();
+        let mut h = History::new(mid);
+        for (i, &k) in suffix_keys.iter().enumerate() {
+            h.push(Action::Insert { tag: 1000 + i as u64, key: k, initial: true });
+        }
+        let ext = h.backwards_extend(&prefix);
+        prop_assert_eq!(ext.final_value().0, h.final_value().0);
+        prop_assert_eq!(ext.uniform().len(), prefix_keys.len() + suffix_keys.len());
+    }
+
+    /// Uniform histories erase the initial/relayed distinction, nothing
+    /// else.
+    #[test]
+    fn uniform_is_flag_blind(
+        keys in proptest::collection::vec(0u64..100, 1..20),
+        flags in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mut h1 = History::new(NodeValue::new(0, None));
+        let mut h2 = History::new(NodeValue::new(0, None));
+        for (i, &k) in keys.iter().enumerate() {
+            let f = flags.get(i).copied().unwrap_or(false);
+            h1.push(Action::Insert { tag: i as u64, key: k, initial: f });
+            h2.push(Action::Insert { tag: i as u64, key: k, initial: !f });
+        }
+        prop_assert_eq!(h1.uniform(), h2.uniform());
+    }
+}

@@ -1,0 +1,59 @@
+//! The per-action handle a [`Process`](crate::Process) uses to interact with
+//! the world: send messages, set timers, read the clock, draw randomness.
+
+use rand::rngs::SmallRng;
+
+use crate::{ProcId, SimTime};
+
+/// Buffered outgoing effects of one action.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: ProcId, msg: M },
+    Timer { delay: u64, token: u64 },
+}
+
+/// Handle passed to every [`Process`](crate::Process) callback.
+///
+/// All effects are buffered and applied by the runtime after the callback
+/// returns, which is what makes each callback an atomic *action* in the
+/// paper's sense.
+pub struct Context<'a, M> {
+    pub(crate) me: ProcId,
+    pub(crate) now: SimTime,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The processor this action is executing on.
+    #[inline]
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Current virtual time (wall-clock-derived in the threaded runtime).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send `msg` to `to`. Sending to [`ProcId::EXTERNAL`] emits a
+    /// simulation output; sending to `self.me()` enqueues a local action.
+    #[inline]
+    pub fn send(&mut self, to: ProcId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Fire `on_timer(token)` on this processor after `delay` ticks.
+    #[inline]
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.effects.push(Effect::Timer { delay, token });
+    }
+
+    /// Deterministic per-run randomness (shared stream; do not assume
+    /// per-processor independence).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

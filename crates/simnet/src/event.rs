@@ -1,0 +1,128 @@
+//! The event heap: a deterministic priority queue of pending deliveries.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{ProcId, SimTime};
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to the owning processor.
+    Deliver { from: ProcId, msg: M },
+    /// Fire a timer with the given token.
+    Timer { token: u64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub at: SimTime,
+    /// Global sequence number: total tiebreaker so runs are deterministic.
+    pub seq: u64,
+    pub to: ProcId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-heap of events.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: SimTime, to: ProcId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, to, kind });
+    }
+
+    /// Re-insert a popped event at a later time, preserving its original
+    /// sequence number so it cannot be overtaken by events sent after it
+    /// (the service-time model relies on this for per-channel FIFO).
+    pub fn requeue(&mut self, at: SimTime, event: Event<M>) {
+        self.heap.push(Event { at, ..event });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(SimTime(30), ProcId(0), EventKind::Timer { token: 3 });
+        q.push(SimTime(10), ProcId(0), EventKind::Timer { token: 1 });
+        q.push(SimTime(20), ProcId(0), EventKind::Timer { token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for token in 0..10 {
+            q.push(SimTime(5), ProcId(0), EventKind::Timer { token });
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1), ProcId(0), EventKind::Timer { token: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

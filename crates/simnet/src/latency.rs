@@ -1,0 +1,155 @@
+//! Message latency models.
+//!
+//! The paper assumes a reliable network that delivers each message exactly
+//! once, in order per channel. Latency is otherwise unconstrained, and the
+//! interesting protocol behaviours (Figs 3–6) arise precisely from *different
+//! channels* racing each other. The models here let experiments control that
+//! race surface while the simulator core enforces per-channel FIFO.
+
+use rand::Rng;
+
+use crate::ProcId;
+
+/// How long a message takes from send to delivery.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every remote hop takes exactly `remote` ticks, local hand-offs `local`.
+    Constant {
+        /// Latency of a message a processor sends to itself.
+        local: u64,
+        /// Latency of a message between two distinct processors.
+        remote: u64,
+    },
+    /// Remote latency drawn uniformly from `[min, max]`; local fixed.
+    ///
+    /// This is the model used by the race experiments: jitter makes
+    /// independently-sent relays arrive in different orders at different
+    /// copies, exactly the situation of Fig 3.
+    Uniform {
+        /// Latency of a local hand-off.
+        local: u64,
+        /// Minimum remote latency (inclusive).
+        min: u64,
+        /// Maximum remote latency (inclusive).
+        max: u64,
+    },
+    /// One processor is degraded: every remote message it sends or receives
+    /// takes `factor` times longer. Models the paper's motivating scenario
+    /// — non-blocking algorithms "enhance concurrency because a slow
+    /// operation never blocks a fast operation".
+    SlowProc {
+        /// Latency of a local hand-off.
+        local: u64,
+        /// Baseline remote latency.
+        remote: u64,
+        /// The degraded processor.
+        slow: ProcId,
+        /// Remote-latency multiplier for traffic touching `slow`.
+        factor: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant {
+            local: 1,
+            remote: 10,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A convenient jittery model for race-heavy experiments.
+    pub fn jittery(min: u64, max: u64) -> Self {
+        LatencyModel::Uniform { local: 1, min, max }
+    }
+
+    /// Sample the latency of one message from `src` to `dst`.
+    pub fn sample<R: Rng>(&self, src: ProcId, dst: ProcId, rng: &mut R) -> u64 {
+        let local = src == dst;
+        match *self {
+            LatencyModel::Constant { local: l, remote } => {
+                if local {
+                    l
+                } else {
+                    remote
+                }
+            }
+            LatencyModel::Uniform { local: l, min, max } => {
+                if local {
+                    l
+                } else if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+            LatencyModel::SlowProc {
+                local: l,
+                remote,
+                slow,
+                factor,
+            } => {
+                if local {
+                    l
+                } else if src == slow || dst == slow {
+                    remote * factor
+                } else {
+                    remote
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model() {
+        let m = LatencyModel::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(m.sample(ProcId(0), ProcId(0), &mut rng), 1);
+        assert_eq!(m.sample(ProcId(0), ProcId(1), &mut rng), 10);
+    }
+
+    #[test]
+    fn uniform_model_in_bounds() {
+        let m = LatencyModel::jittery(5, 20);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let l = m.sample(ProcId(0), ProcId(1), &mut rng);
+            assert!((5..=20).contains(&l), "latency {l} out of bounds");
+        }
+        assert_eq!(m.sample(ProcId(2), ProcId(2), &mut rng), 1);
+    }
+
+    #[test]
+    fn slow_proc_penalizes_its_channels_only() {
+        let m = LatencyModel::SlowProc {
+            local: 1,
+            remote: 10,
+            slow: ProcId(2),
+            factor: 8,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(m.sample(ProcId(0), ProcId(1), &mut rng), 10);
+        assert_eq!(m.sample(ProcId(0), ProcId(2), &mut rng), 80);
+        assert_eq!(m.sample(ProcId(2), ProcId(1), &mut rng), 80);
+        assert_eq!(m.sample(ProcId(2), ProcId(2), &mut rng), 1, "local stays local");
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = LatencyModel::Uniform {
+            local: 1,
+            min: 7,
+            max: 7,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(m.sample(ProcId(0), ProcId(1), &mut rng), 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! # simnet — deterministic message-passing network simulation
+//!
+//! `simnet` is the substrate on which the dB-tree protocols run. It provides
+//! two runtimes that share a single [`Process`] trait:
+//!
+//! * [`Simulation`] — a single-threaded discrete-event simulator with a
+//!   virtual clock. Channels are reliable and FIFO per `(src, dst)` pair
+//!   (exactly the network model assumed by the paper, §4), message latencies
+//!   are configurable, and every run is a pure function of its inputs and RNG
+//!   seed, so protocol races are reproducible and property-testable.
+//! * [`threaded::Cluster`] — the same processes driven by real OS threads and
+//!   crossbeam channels, for wall-clock-parallel example programs.
+//!
+//! The simulator counts messages by kind and by locality (see [`NetStats`]),
+//! which is what the paper's message-complexity claims (e.g. `3·|copies|` vs
+//! `|copies|` messages per split) are measured with.
+//!
+//! ```
+//! use simnet::{Simulation, SimConfig, Process, Context, ProcId, Payload};
+//!
+//! #[derive(Clone, Debug)]
+//! enum Ping { Ping(u32), Pong(u32) }
+//! impl Payload for Ping {
+//!     fn kind(&self) -> &'static str {
+//!         match self { Ping::Ping(_) => "ping", Ping::Pong(_) => "pong" }
+//!     }
+//! }
+//!
+//! struct Echo;
+//! impl Process for Echo {
+//!     type Msg = Ping;
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: ProcId, msg: Ping) {
+//!         if let Ping::Ping(n) = msg { ctx.send(from, Ping::Pong(n)); }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default(), vec![Echo, Echo]);
+//! sim.inject(ProcId(0), Ping::Ping(7));
+//! sim.run();
+//! assert_eq!(sim.stats().total_messages(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod context;
+mod event;
+mod latency;
+mod sim;
+mod stats;
+pub mod threaded;
+mod time;
+mod trace;
+
+pub use context::Context;
+pub use latency::LatencyModel;
+pub use sim::{SimConfig, Simulation};
+pub use stats::{KindStats, NetStats};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEntry};
+
+use std::fmt;
+
+/// Identifier of a simulated processor.
+///
+/// Processors are dense small integers, assigned in the order the process
+/// objects are handed to [`Simulation::new`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Sender id used for messages injected from outside the simulation
+    /// (client requests). Replies sent *to* this id are collected as
+    /// simulation outputs rather than delivered to a process.
+    pub const EXTERNAL: ProcId = ProcId(u32::MAX);
+
+    /// Returns `true` for the synthetic external endpoint.
+    #[inline]
+    pub fn is_external(self) -> bool {
+        self == Self::EXTERNAL
+    }
+
+    /// The processor's index into the process table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "P(ext)")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Message payloads carried by the network.
+///
+/// `kind` buckets the per-kind statistics; `size_hint` feeds the byte
+/// counters (a logical size — the simulator never serializes).
+pub trait Payload: Clone + fmt::Debug {
+    /// A short static label used to bucket message statistics.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+
+    /// Logical size of the message in bytes, for byte accounting.
+    fn size_hint(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// A state machine that runs on one simulated processor.
+///
+/// One invocation of [`Process::on_message`] is the paper's *action*: it runs
+/// atomically with respect to all other actions on the same processor, and
+/// schedules its subsequent actions by sending messages through the
+/// [`Context`].
+pub trait Process {
+    /// The message type this process exchanges.
+    type Msg: Payload;
+
+    /// Called once before any message is delivered.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Deliver one message. Runs atomically (the paper's node-manager model).
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcId, msg: Self::Msg);
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _token: u64) {}
+}

@@ -1,0 +1,218 @@
+//! Message accounting.
+//!
+//! The paper's efficiency claims are message-complexity claims, so the
+//! simulator counts every send: total, by kind, by locality, and by sender.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one message kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages between distinct processors.
+    pub remote: u64,
+    /// Messages a processor sent to itself (local queue hand-offs).
+    pub local: u64,
+    /// Sum of payload `size_hint`s for remote messages.
+    pub remote_bytes: u64,
+}
+
+impl KindStats {
+    /// Remote + local count.
+    pub fn total(&self) -> u64 {
+        self.remote + self.local
+    }
+}
+
+/// Aggregated network statistics for a run.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    by_kind: BTreeMap<&'static str, KindStats>,
+    per_proc_sent: Vec<u64>,
+    per_proc_received: Vec<u64>,
+    max_inflight: usize,
+}
+
+impl NetStats {
+    pub(crate) fn new(n_procs: usize) -> Self {
+        NetStats {
+            by_kind: BTreeMap::new(),
+            per_proc_sent: vec![0; n_procs],
+            per_proc_received: vec![0; n_procs],
+            max_inflight: 0,
+        }
+    }
+
+    pub(crate) fn record_send(
+        &mut self,
+        kind: &'static str,
+        src: usize,
+        dst: Option<usize>,
+        size: usize,
+        local: bool,
+    ) {
+        let entry = self.by_kind.entry(kind).or_default();
+        if local {
+            entry.local += 1;
+        } else {
+            entry.remote += 1;
+            entry.remote_bytes += size as u64;
+        }
+        if let Some(s) = self.per_proc_sent.get_mut(src) {
+            *s += 1;
+        }
+        if let Some(d) = dst.and_then(|d| self.per_proc_received.get_mut(d)) {
+            *d += 1;
+        }
+    }
+
+    pub(crate) fn observe_inflight(&mut self, inflight: usize) {
+        self.max_inflight = self.max_inflight.max(inflight);
+    }
+
+    /// All messages sent, local and remote, across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.by_kind.values().map(KindStats::total).sum()
+    }
+
+    /// Remote messages only — the paper's cost unit.
+    pub fn remote_messages(&self) -> u64 {
+        self.by_kind.values().map(|k| k.remote).sum()
+    }
+
+    /// Remote bytes (sum of payload size hints).
+    pub fn remote_bytes(&self) -> u64 {
+        self.by_kind.values().map(|k| k.remote_bytes).sum()
+    }
+
+    /// Counters for one message kind (zeros if never seen).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(kind, counters)` in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Sum of remote counts over kinds matching the predicate.
+    pub fn remote_matching(&self, mut pred: impl FnMut(&str) -> bool) -> u64 {
+        self.by_kind
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, v)| v.remote)
+            .sum()
+    }
+
+    /// Messages sent per processor (index = `ProcId.0`).
+    pub fn per_proc_sent(&self) -> &[u64] {
+        &self.per_proc_sent
+    }
+
+    /// Messages received per processor.
+    pub fn per_proc_received(&self) -> &[u64] {
+        &self.per_proc_received
+    }
+
+    /// High-water mark of simultaneously in-flight events.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Difference from a prior snapshot: counters in `self` minus `earlier`.
+    ///
+    /// Used to attribute message costs to a single phase of a run (e.g. "one
+    /// split"), since stats only accumulate.
+    pub fn delta_since(&self, earlier: &NetStats) -> NetStats {
+        let mut out = self.clone();
+        for (kind, prev) in &earlier.by_kind {
+            let e = out.by_kind.entry(kind).or_default();
+            e.remote = e.remote.saturating_sub(prev.remote);
+            e.local = e.local.saturating_sub(prev.local);
+            e.remote_bytes = e.remote_bytes.saturating_sub(prev.remote_bytes);
+        }
+        for (i, prev) in earlier.per_proc_sent.iter().enumerate() {
+            if let Some(s) = out.per_proc_sent.get_mut(i) {
+                *s = s.saturating_sub(*prev);
+            }
+        }
+        for (i, prev) in earlier.per_proc_received.iter().enumerate() {
+            if let Some(r) = out.per_proc_received.get_mut(i) {
+                *r = r.saturating_sub(*prev);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages: {} total ({} remote, {} remote bytes)",
+            self.total_messages(),
+            self.remote_messages(),
+            self.remote_bytes()
+        )?;
+        for (kind, ks) in &self.by_kind {
+            writeln!(
+                f,
+                "  {:<24} remote {:>8}  local {:>8}",
+                kind, ks.remote, ks.local
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind_and_locality() {
+        let mut s = NetStats::new(2);
+        s.record_send("insert", 0, Some(1), 16, false);
+        s.record_send("insert", 0, Some(0), 16, true);
+        s.record_send("search", 1, Some(0), 8, false);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.remote_messages(), 2);
+        assert_eq!(s.kind("insert").remote, 1);
+        assert_eq!(s.kind("insert").local, 1);
+        assert_eq!(s.kind("search").remote, 1);
+        assert_eq!(s.kind("missing"), KindStats::default());
+        assert_eq!(s.remote_bytes(), 24);
+        assert_eq!(s.per_proc_sent(), &[2, 1]);
+        assert_eq!(s.per_proc_received(), &[2, 1]);
+    }
+
+    #[test]
+    fn delta_since_attributes_a_phase() {
+        let mut s = NetStats::new(1);
+        s.record_send("a", 0, Some(0), 4, false);
+        let snap = s.clone();
+        s.record_send("a", 0, Some(0), 4, false);
+        s.record_send("b", 0, Some(0), 4, false);
+        let d = s.delta_since(&snap);
+        assert_eq!(d.kind("a").remote, 1);
+        assert_eq!(d.kind("b").remote, 1);
+        assert_eq!(d.per_proc_sent(), &[2]);
+    }
+
+    #[test]
+    fn remote_matching_filters() {
+        let mut s = NetStats::new(1);
+        s.record_send("split.start", 0, None, 0, false);
+        s.record_send("split.end", 0, None, 0, false);
+        s.record_send("insert", 0, None, 0, false);
+        assert_eq!(s.remote_matching(|k| k.starts_with("split")), 2);
+    }
+
+    #[test]
+    fn inflight_high_water() {
+        let mut s = NetStats::new(0);
+        s.observe_inflight(3);
+        s.observe_inflight(1);
+        assert_eq!(s.max_inflight(), 3);
+    }
+}

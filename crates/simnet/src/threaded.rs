@@ -1,0 +1,232 @@
+//! A threaded runtime for the same [`Process`] trait.
+//!
+//! Each process runs on its own OS thread with a crossbeam channel as its
+//! message queue (the paper's queue manager). Channels are reliable and FIFO,
+//! matching the §4 network model; cross-channel interleaving comes from real
+//! scheduler nondeterminism instead of a latency model.
+//!
+//! The cluster is intended for example programs that want genuine wall-clock
+//! parallelism. Tests and experiments should prefer the deterministic
+//! [`Simulation`](crate::Simulation).
+
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::context::Effect;
+use crate::{Context, Payload, ProcId, Process, SimTime};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+enum Envelope<M> {
+    Msg { from: ProcId, msg: M },
+    Shutdown,
+}
+
+type Channel<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
+
+/// A running cluster of processes on OS threads.
+///
+/// Inject messages with [`Cluster::inject`], collect replies addressed to
+/// [`ProcId::EXTERNAL`] with [`Cluster::recv_output`], then call
+/// [`Cluster::shutdown`].
+pub struct Cluster<M: Payload + Send + 'static> {
+    senders: Vec<Sender<Envelope<M>>>,
+    outputs: Receiver<(ProcId, M)>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl<M: Payload + Send + 'static> Cluster<M> {
+    /// Spawn one thread per process.
+    pub fn spawn<P>(procs: Vec<P>) -> Self
+    where
+        P: Process<Msg = M> + Send + 'static,
+    {
+        let n = procs.len();
+        let (out_tx, out_rx) = unbounded::<(ProcId, M)>();
+        let channels: Vec<Channel<M>> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<M>>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, (mut proc, (_, rx))) in procs.into_iter().zip(channels).enumerate() {
+            let me = ProcId(i as u32);
+            let peer_senders = senders.clone();
+            let out = out_tx.clone();
+            let handle = thread::Builder::new()
+                .name(format!("simnet-p{i}"))
+                .spawn(move || {
+                    let epoch = Instant::now();
+                    let mut rng = SmallRng::seed_from_u64(0x5EED ^ i as u64);
+                    let mut effects: Vec<Effect<M>> = Vec::new();
+                    let now = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
+
+                    // Run on_start.
+                    {
+                        let mut ctx = Context {
+                            me,
+                            now: now(epoch),
+                            effects: &mut effects,
+                            rng: &mut rng,
+                        };
+                        proc.on_start(&mut ctx);
+                    }
+                    flush(&mut effects, me, &peer_senders, &out);
+
+                    while let Ok(env) = rx.recv() {
+                        match env {
+                            Envelope::Msg { from, msg } => {
+                                let mut ctx = Context {
+                                    me,
+                                    now: now(epoch),
+                                    effects: &mut effects,
+                                    rng: &mut rng,
+                                };
+                                proc.on_message(&mut ctx, from, msg);
+                                flush(&mut effects, me, &peer_senders, &out);
+                            }
+                            Envelope::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn simnet thread");
+            handles.push(handle);
+        }
+
+        Cluster {
+            senders,
+            outputs: out_rx,
+            handles,
+        }
+    }
+
+    /// Number of processes in the cluster.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if the cluster has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Send `msg` to `to` from the external endpoint.
+    pub fn inject(&self, to: ProcId, msg: M) {
+        let _ = self.senders[to.index()].send(Envelope::Msg {
+            from: ProcId::EXTERNAL,
+            msg,
+        });
+    }
+
+    /// Blocking-receive the next message addressed to `ProcId::EXTERNAL`.
+    pub fn recv_output(&self) -> Option<(ProcId, M)> {
+        self.outputs.recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or disconnection.
+    pub fn recv_output_timeout(&self, timeout: std::time::Duration) -> Option<(ProcId, M)> {
+        self.outputs.recv_timeout(timeout).ok()
+    }
+
+    /// Stop all threads (after their queues drain to the shutdown marker) and
+    /// join them.
+    pub fn shutdown(self) {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn flush<M: Payload>(
+    effects: &mut Vec<Effect<M>>,
+    me: ProcId,
+    peers: &[Sender<Envelope<M>>],
+    out: &Sender<(ProcId, M)>,
+) {
+    for effect in effects.drain(..) {
+        match effect {
+            Effect::Send { to, msg } => {
+                if to.is_external() {
+                    let _ = out.send((me, msg));
+                } else {
+                    let _ = peers[to.index()].send(Envelope::Msg { from: me, msg });
+                }
+            }
+            // Timers are a discrete-event facility; the threaded runtime
+            // drops them (document: protocols used with Cluster must not
+            // rely on timers for correctness — ours use them only for
+            // piggyback flushing, which the threaded runtime disables).
+            Effect::Timer { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+    impl Payload for Num {}
+
+    struct Doubler;
+    impl Process for Doubler {
+        type Msg = Num;
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: ProcId, msg: Num) {
+            if from.is_external() {
+                ctx.send(ProcId::EXTERNAL, Num(msg.0 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let cluster = Cluster::spawn(vec![Doubler, Doubler]);
+        cluster.inject(ProcId(0), Num(21));
+        cluster.inject(ProcId(1), Num(4));
+        let mut got = vec![];
+        for _ in 0..2 {
+            let (_, Num(n)) = cluster
+                .recv_output_timeout(Duration::from_secs(5))
+                .expect("output");
+            got.push(n);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![8, 42]);
+        cluster.shutdown();
+    }
+
+    struct Forwarder {
+        n: u32,
+    }
+    impl Process for Forwarder {
+        type Msg = Num;
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, _from: ProcId, msg: Num) {
+            if msg.0 == 0 {
+                ctx.send(ProcId::EXTERNAL, Num(ctx.me().0 as u64));
+            } else {
+                let next = ProcId((ctx.me().0 + 1) % self.n);
+                ctx.send(next, Num(msg.0 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_of_threads() {
+        let n = 4;
+        let cluster = Cluster::spawn((0..n).map(|_| Forwarder { n }).collect());
+        cluster.inject(ProcId(0), Num(9));
+        let (who, _) = cluster
+            .recv_output_timeout(Duration::from_secs(5))
+            .expect("ring completes");
+        // P0 consumes 9, P1 consumes 8, ...: value 0 is consumed by P1.
+        assert_eq!(who, ProcId(1));
+        cluster.shutdown();
+    }
+}

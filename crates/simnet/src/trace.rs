@@ -1,0 +1,97 @@
+//! Optional capture of delivered messages, for debugging and for the
+//! schedule-shape assertions in protocol tests.
+
+use crate::{ProcId, SimTime};
+
+/// One delivered message (or fired timer), as recorded by the tracer.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Virtual delivery time.
+    pub at: SimTime,
+    /// Sender (`ProcId::EXTERNAL` for injected messages).
+    pub from: ProcId,
+    /// Receiver.
+    pub to: ProcId,
+    /// The payload's `kind()`, or `"timer"`.
+    pub kind: &'static str,
+    /// `format!("{:?}")` of the payload, captured lazily only when tracing.
+    pub detail: String,
+}
+
+/// A bounded in-memory trace of deliveries.
+#[derive(Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `cap` entries (later entries are dropped and
+    /// counted).
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.cap {
+            self.entries.push(entry);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded entries, in delivery order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries discarded after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries of one kind, in delivery order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: &'static str) -> TraceEntry {
+        TraceEntry {
+            at: SimTime(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            kind,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn caps_and_counts_drops() {
+        let mut t = Trace::with_capacity(2);
+        t.record(entry("a"));
+        t.record(entry("b"));
+        t.record(entry("c"));
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filters_by_kind() {
+        let mut t = Trace::with_capacity(10);
+        t.record(entry("a"));
+        t.record(entry("b"));
+        t.record(entry("a"));
+        assert_eq!(t.of_kind("a").count(), 2);
+        assert_eq!(t.of_kind("b").count(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Key distributions.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `0..n`, rank 0 most popular.
+///
+/// Implemented by inverting a precomputed harmonic CDF (exact, O(log n) per
+/// sample, O(n) memory). Suitable for the n ≤ ~10⁷ key spaces the
+/// experiments use; implemented here to stay within the approved dependency
+/// set.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `0..n` with exponent `theta` (`theta = 0` is uniform;
+    /// classic YCSB-style skew is `theta ≈ 0.99`).
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty Zipf domain");
+        assert!(theta >= 0.0, "negative skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point: first index with cdf[i] >= u.
+        let i = self.cdf.partition_point(|&c| c < u);
+        i.min(self.cdf.len() - 1) as u64
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// A stream of keys.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over `[0, n)`.
+    Uniform {
+        /// Domain size.
+        n: u64,
+    },
+    /// Zipf-skewed ranks scattered over the key space (rank r maps to key
+    /// `scatter(r)` so popular keys are not neighbours).
+    Zipfian {
+        /// The rank distribution.
+        zipf: Zipf,
+        /// If true, ranks are scattered by a Fibonacci hash so hot keys
+        /// spread across leaves; if false, rank = key (hot keys collide on
+        /// the same leaves — the contention adversary).
+        scatter: bool,
+    },
+    /// Strictly increasing keys — every insert lands on the rightmost leaf,
+    /// the classic split-storm adversary.
+    Sequential {
+        /// Next key to emit.
+        next: u64,
+        /// Gap between consecutive keys.
+        stride: u64,
+    },
+    /// With probability `hot_prob`, draw from the hot fraction of the space.
+    Hotspot {
+        /// Domain size.
+        n: u64,
+        /// Fraction of the domain that is hot (0..1).
+        hot_fraction: f64,
+        /// Probability a draw is hot (0..1).
+        hot_prob: f64,
+    },
+}
+
+impl KeyDist {
+    /// Draw the next key (mutates internal state for `Sequential`).
+    pub fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::Zipfian { zipf, scatter } => {
+                let rank = zipf.sample(rng);
+                if *scatter {
+                    // Fibonacci hashing: bijective scatter over u64.
+                    rank.wrapping_mul(0x9E3779B97F4A7C15)
+                } else {
+                    rank
+                }
+            }
+            KeyDist::Sequential { next, stride } => {
+                let k = *next;
+                *next = next.wrapping_add(*stride);
+                k
+            }
+            KeyDist::Hotspot {
+                n,
+                hot_fraction,
+                hot_prob,
+            } => {
+                let hot_n = ((*n as f64) * *hot_fraction).max(1.0) as u64;
+                if rng.gen::<f64>() < *hot_prob {
+                    rng.gen_range(0..hot_n)
+                } else {
+                    rng.gen_range(hot_n..(*n).max(hot_n + 1))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+        // All samples in domain (indexing above would have panicked).
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max as f64 / *min as f64 <= 1.2, "min {min} max {max}");
+    }
+
+    #[test]
+    fn sequential_strides() {
+        let mut d = KeyDist::Sequential { next: 10, stride: 5 };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(d.next_key(&mut rng), 10);
+        assert_eq!(d.next_key(&mut rng), 15);
+        assert_eq!(d.next_key(&mut rng), 20);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut d = KeyDist::Uniform { n: 100 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.next_key(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut d = KeyDist::Hotspot {
+            n: 1000,
+            hot_fraction: 0.1,
+            hot_prob: 0.9,
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hot = (0..10_000)
+            .filter(|_| d.next_key(&mut rng) < 100)
+            .count();
+        assert!(hot > 8_000, "hot draws: {hot}");
+    }
+}
