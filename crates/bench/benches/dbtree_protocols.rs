@@ -30,8 +30,7 @@ fn bench_protocols(c: &mut Criterion) {
             |b, &p| {
                 b.iter(|| {
                     let mut cluster = build_cluster(protocol_cfg(p), 4, 100, 3);
-                    let (stats, _) =
-                        drive(&mut cluster, 100, 400, Mix::INSERT_ONLY, 4000, 3, 4);
+                    let (stats, _) = drive(&mut cluster, 100, 400, Mix::INSERT_ONLY, 4000, 3, 4);
                     stats.records.len()
                 })
             },
@@ -55,7 +54,9 @@ fn bench_path_replication(c: &mut Criterion) {
                     &mut cluster,
                     200,
                     400,
-                    Mix { search_fraction: 0.8 },
+                    Mix {
+                        search_fraction: 0.8,
+                    },
                     4000,
                     9,
                     4,

@@ -18,6 +18,7 @@ fn main() {
         "e10_piggyback",
         "e11_hash_table",
         "e12_slow_replica",
+        "e13_fault_tolerance",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

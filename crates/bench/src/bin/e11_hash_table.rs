@@ -14,7 +14,10 @@ use simnet::{ProcId, SimConfig};
 use std::collections::BTreeMap;
 
 fn main() {
-    section("E11", "lazy updates on a distributed extendible hash table (§5)");
+    section(
+        "E11",
+        "lazy updates on a distributed extendible hash table (§5)",
+    );
     let mut table = Table::new(&[
         "protocol",
         "splits",
@@ -28,7 +31,11 @@ fn main() {
 
     let n_procs = 8u32;
     let n_ops = 3000u64;
-    for protocol in [DirProtocol::Lazy, DirProtocol::Sync, DirProtocol::NaiveNoLinks] {
+    for protocol in [
+        DirProtocol::Lazy,
+        DirProtocol::Sync,
+        DirProtocol::NaiveNoLinks,
+    ] {
         let spec = HashSpec {
             preload: (0..100).map(|k| k * 7).collect(),
             n_procs,
@@ -76,6 +83,8 @@ fn main() {
     }
     table.print();
     note("lazy: P-1 patch messages per split, zero blocking, stale routes recovered via links;");
-    note("sync: 2(P-1) messages + ops stalled behind the ack barrier; naive (no links): ops lost —");
+    note(
+        "sync: 2(P-1) messages + ops stalled behind the ack barrier; naive (no links): ops lost —",
+    );
     note("the same trichotomy the dB-tree exhibits, confirming the §3 theory generalizes");
 }

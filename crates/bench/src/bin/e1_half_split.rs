@@ -66,7 +66,10 @@ fn main() {
             .iter()
             .filter(|r| matches!(r.op.intent, Intent::Search))
             .collect();
-        let found = searches.iter().filter(|r| r.outcome.found.is_some()).count();
+        let found = searches
+            .iter()
+            .filter(|r| r.outcome.found.is_some())
+            .count();
         let not_found = searches.len() - found;
         let splits = sum_metric(&cluster, |m| m.splits_initiated);
         let chases = stats.total_chases();

@@ -20,7 +20,12 @@ fn main() {
     let placements: Vec<(&str, Placement)> = vec![
         ("path", Placement::PathReplication),
         ("none (1 copy)", Placement::Uniform { copies: 1 }),
-        ("full (P copies)", Placement::Uniform { copies: procs as usize }),
+        (
+            "full (P copies)",
+            Placement::Uniform {
+                copies: procs as usize,
+            },
+        ),
     ];
 
     let mut per_level = Table::new(&["placement", "level", "nodes", "copies", "copies/node"]);

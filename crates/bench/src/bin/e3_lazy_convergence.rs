@@ -15,7 +15,10 @@ use dbtree::{
 use simnet::{ProcId, SimConfig};
 
 fn main() {
-    section("E3", "Fig 3 — concurrent lazy inserts at different copies converge");
+    section(
+        "E3",
+        "Fig 3 — concurrent lazy inserts at different copies converge",
+    );
 
     let mut table = Table::new(&[
         "seed",

@@ -34,8 +34,7 @@ fn main() {
                 ..TreeConfig::fixed_copies(protocol, 3)
             };
             let mut cluster = build_cluster(cfg, 4, 30, seed);
-            let (stats, expected) =
-                drive(&mut cluster, 30, 500, Mix::INSERT_ONLY, 2000, seed, 4);
+            let (stats, expected) = drive(&mut cluster, 30, 500, Mix::INSERT_ONLY, 2000, seed, 4);
             cluster.record_final_digests();
             let lost = checker::check_keys(&cluster.sim, &expected).len();
             match protocol {

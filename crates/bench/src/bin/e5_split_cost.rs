@@ -11,7 +11,10 @@ use dbtree::{ProtocolKind, TreeConfig};
 use workload::Mix;
 
 fn main() {
-    section("E5", "Fig 5 — messages per split and insert blocking, sync vs semisync");
+    section(
+        "E5",
+        "Fig 5 — messages per split and insert blocking, sync vs semisync",
+    );
     let mut table = Table::new(&[
         "copies",
         "protocol",
@@ -55,6 +58,8 @@ fn main() {
         }
     }
     table.print();
-    note("R = copies per node; measured msgs/split counts remote split.start/ack/end/relay traffic;");
+    note(
+        "R = copies per node; measured msgs/split counts remote split.start/ack/end/relay traffic;",
+    );
     note("semisync is 3x cheaper per split and never blocks an initial insert (its column is 0)");
 }

@@ -25,7 +25,9 @@ fn run(join_version_relay: bool, seed: u64) -> (usize, usize, u64) {
     let mut cluster = DbCluster::build(&spec, SimConfig::jittery(seed, 2, 25));
     let mut gen = WorkloadGen::new(
         KeyDist::Uniform { n: 2000 },
-        Mix { search_fraction: 0.2 },
+        Mix {
+            search_fraction: 0.2,
+        },
         4,
         seed,
     );
@@ -59,7 +61,10 @@ fn run(join_version_relay: bool, seed: u64) -> (usize, usize, u64) {
 }
 
 fn main() {
-    section("E6", "Fig 6 — concurrent joins and inserts (version-relay fix)");
+    section(
+        "E6",
+        "Fig 6 — concurrent joins and inserts (version-relay fix)",
+    );
     let mut table = Table::new(&[
         "seed",
         "version relay",

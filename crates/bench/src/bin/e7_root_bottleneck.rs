@@ -13,7 +13,10 @@ use dbtree::{Placement, TreeConfig};
 use workload::Mix;
 
 fn main() {
-    section("E7", "root bottleneck — throughput vs processors, replicated root or not");
+    section(
+        "E7",
+        "root bottleneck — throughput vs processors, replicated root or not",
+    );
     let mut table = Table::new(&[
         "procs",
         "placement",
@@ -42,15 +45,7 @@ fn main() {
             let mut sim_cfg = simnet::SimConfig::jittery(11, 2, 25);
             sim_cfg.service_time = 3;
             let mut cluster = dbtree::DbCluster::build(&spec, sim_cfg);
-            let (stats, _) = drive(
-                &mut cluster,
-                2000,
-                3000,
-                Mix::READ_HEAVY,
-                20_000,
-                11,
-                4,
-            );
+            let (stats, _) = drive(&mut cluster, 2000, 3000, Mix::READ_HEAVY, 20_000, 11, 4);
             let tput = stats.throughput_per_kilotick();
             let base_tput = *base.get_or_insert(tput);
             let recv = cluster.sim.stats().per_proc_received();

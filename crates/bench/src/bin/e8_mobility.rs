@@ -76,6 +76,10 @@ fn main() {
         ]);
     }
     table.print();
-    note("balancing cuts the leaf-count imbalance by an order of magnitude at ~linear message cost;");
-    note("forwarding addresses are a pure optimization — correctness holds with zero of them (§4.2)");
+    note(
+        "balancing cuts the leaf-count imbalance by an order of magnitude at ~linear message cost;",
+    );
+    note(
+        "forwarding addresses are a pure optimization — correctness holds with zero of them (§4.2)",
+    );
 }

@@ -25,8 +25,18 @@ fn main() {
     ]);
 
     for (mix_label, mix) in [
-        ("insert-heavy", Mix { search_fraction: 0.2 }),
-        ("read-heavy", Mix { search_fraction: 0.9 }),
+        (
+            "insert-heavy",
+            Mix {
+                search_fraction: 0.2,
+            },
+        ),
+        (
+            "read-heavy",
+            Mix {
+                search_fraction: 0.9,
+            },
+        ),
     ] {
         for &copies in &[2usize, 4, 8] {
             for protocol in [ProtocolKind::SemiSync, ProtocolKind::AvailableCopies] {

@@ -25,10 +25,7 @@ pub struct KeyRange {
 
 impl KeyRange {
     /// The full key space `[0, +∞)`.
-    pub const ALL: KeyRange = KeyRange {
-        low: 0,
-        high: None,
-    };
+    pub const ALL: KeyRange = KeyRange { low: 0, high: None };
 
     /// `[low, high)`.
     pub fn new(low: Key, high: Option<Key>) -> Self {

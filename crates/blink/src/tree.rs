@@ -104,7 +104,9 @@ impl BLinkTree {
             if node.is_leaf() {
                 return node.get(key);
             }
-            let (_, child) = node.child_for(key).expect("interior node routes all in-range keys");
+            let (_, child) = node
+                .child_for(key)
+                .expect("interior node routes all in-range keys");
             cur = NodeRef(child as u32);
         }
     }
@@ -125,7 +127,9 @@ impl BLinkTree {
                 break;
             }
             path.push(cur);
-            let (_, child) = node.child_for(key).expect("interior node routes all in-range keys");
+            let (_, child) = node
+                .child_for(key)
+                .expect("interior node routes all in-range keys");
             cur = NodeRef(child as u32);
         }
 
@@ -205,7 +209,9 @@ impl BLinkTree {
             if node.is_leaf() {
                 break;
             }
-            let (_, child) = node.child_for(from).expect("interior node routes all in-range keys");
+            let (_, child) = node
+                .child_for(from)
+                .expect("interior node routes all in-range keys");
             cur = NodeRef(child as u32);
         }
         let mut out = Vec::new();

@@ -6,9 +6,9 @@
 //! produces a migration plan that the cluster driver injects as `Migrate`
 //! commands (the *mechanism* half, `protocol::mobile`).
 
-use simnet::{ProcId, Simulation};
+use simnet::ProcId;
 
-use crate::proc::DbProc;
+use crate::tree::DbSim;
 use crate::types::NodeId;
 
 /// One planned migration.
@@ -23,7 +23,7 @@ pub struct Move {
 }
 
 /// Per-processor leaf counts (index = processor id).
-pub fn leaf_loads(sim: &Simulation<DbProc>) -> Vec<usize> {
+pub fn leaf_loads(sim: &DbSim) -> Vec<usize> {
     sim.procs().map(|(_, p)| p.store.leaf_count()).collect()
 }
 
@@ -45,7 +45,7 @@ pub fn imbalance(loads: &[usize]) -> f64 {
 /// Greedy rebalancing plan: repeatedly move a leaf from the most-loaded to
 /// the least-loaded processor until the spread is at most `tolerance`
 /// leaves. Deterministic: picks the lowest-numbered movable leaf each step.
-pub fn plan_rebalance(sim: &Simulation<DbProc>, tolerance: usize) -> Vec<Move> {
+pub fn plan_rebalance(sim: &DbSim, tolerance: usize) -> Vec<Move> {
     let mut loads = leaf_loads(sim);
     // Collect each processor's leaves once.
     let mut leaves_by_proc: Vec<Vec<NodeId>> = sim

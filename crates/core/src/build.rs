@@ -80,12 +80,7 @@ pub fn build_procs(spec: &BuildSpec) -> (Vec<DbProc>, Arc<Mutex<HistoryLog>>) {
     let mut levels: Vec<Vec<ProtoNode>> = Vec::new();
     let mut leaves: Vec<ProtoNode> = Vec::with_capacity(n_leaves);
     for i in 0..n_leaves {
-        let chunk: Vec<Key> = keys
-            .iter()
-            .copied()
-            .skip(i * fill)
-            .take(fill)
-            .collect();
+        let chunk: Vec<Key> = keys.iter().copied().skip(i * fill).take(fill).collect();
         let low = if i == 0 {
             0
         } else {
@@ -198,9 +193,7 @@ pub fn build_procs(spec: &BuildSpec) -> (Vec<DbProc>, Arc<Mutex<HistoryLog>>) {
     }
     for (li, level) in levels.iter().enumerate() {
         for (i, node) in level.iter().enumerate() {
-            let right = level
-                .get(i + 1)
-                .map(|next| Link::new(next.id, next.pc));
+            let right = level.get(i + 1).map(|next| Link::new(next.id, next.pc));
             let left = if i > 0 {
                 Some(Link::new(level[i - 1].id, level[i - 1].pc))
             } else {

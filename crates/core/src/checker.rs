@@ -3,10 +3,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use simnet::{ProcId, Simulation};
+use simnet::ProcId;
 
 use crate::node::NodeCopy;
 use crate::proc::DbProc;
+use crate::tree::DbSim;
 use crate::types::{Entry, Key, NodeId};
 
 /// A violation found by the global checker.
@@ -89,7 +90,7 @@ pub struct GlobalView<'a> {
 
 impl<'a> GlobalView<'a> {
     /// Snapshot the cluster.
-    pub fn new(sim: &'a Simulation<DbProc>) -> Self {
+    pub fn new(sim: &'a DbSim) -> Self {
         let mut copies: HashMap<NodeId, Vec<(ProcId, &'a NodeCopy)>> = HashMap::new();
         let mut root = None;
         let mut root_level = 0;
@@ -182,14 +183,19 @@ impl<'a> GlobalView<'a> {
         if nodes.is_empty() {
             return 0.0;
         }
-        let cap = nodes.iter().map(|c| c.entries.len()).max().unwrap_or(1).max(1);
+        let cap = nodes
+            .iter()
+            .map(|c| c.entries.len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let total: usize = nodes.iter().map(|c| c.entries.len()).sum();
         total as f64 / (cap * nodes.len()) as f64
     }
 }
 
 /// Check value convergence of every replicated node.
-pub fn check_convergence(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
+pub fn check_convergence(sim: &DbSim) -> Vec<TreeViolation> {
     let view = GlobalView::new(sim);
     let mut out = Vec::new();
     for (node, list) in &view.copies {
@@ -208,7 +214,7 @@ pub fn check_convergence(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
 }
 
 /// Check that every key in `expected` is findable by root navigation.
-pub fn check_keys(sim: &Simulation<DbProc>, expected: &BTreeSet<Key>) -> Vec<TreeViolation> {
+pub fn check_keys(sim: &DbSim, expected: &BTreeSet<Key>) -> Vec<TreeViolation> {
     let view = GlobalView::new(sim);
     expected
         .iter()
@@ -218,7 +224,7 @@ pub fn check_keys(sim: &Simulation<DbProc>, expected: &BTreeSet<Key>) -> Vec<Tre
 }
 
 /// Check the level-0 chain tiles `[0, +∞)`.
-pub fn check_leaf_chain(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
+pub fn check_leaf_chain(sim: &DbSim) -> Vec<TreeViolation> {
     let view = GlobalView::new(sim);
     let mut leaves: Vec<&NodeCopy> = view
         .copies
@@ -271,7 +277,7 @@ pub fn check_leaf_chain(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
 
 /// Check the dB-tree path-replication property (Fig 2): every processor that
 /// owns a leaf holds a copy of each node on the root-to-leaf path.
-pub fn check_path_property(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
+pub fn check_path_property(sim: &DbSim) -> Vec<TreeViolation> {
     let view = GlobalView::new(sim);
     let mut out = Vec::new();
     for (pid, proc) in sim.procs() {
@@ -294,7 +300,7 @@ pub fn check_path_property(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
 }
 
 /// Check for dangling stashes at quiescence.
-pub fn check_stashes(sim: &Simulation<DbProc>) -> Vec<TreeViolation> {
+pub fn check_stashes(sim: &DbSim) -> Vec<TreeViolation> {
     let mut out = Vec::new();
     for (pid, proc) in sim.procs() {
         for (node, events) in &proc.stash_view() {

@@ -67,5 +67,7 @@ pub use msg::{InstallReason, LinkDir, Msg, SplitInfo};
 pub use node::{NodeCopy, NodeSnapshot};
 pub use proc::DbProc;
 pub use store::NodeStore;
-pub use tree::{ClientOp, DbCluster, DriverStats, OpRecord, ScanRecord};
-pub use types::{ChildRef, Entry, Intent, Key, KeyRange, Link, NodeId, OpId, Outcome, Stamp, Value};
+pub use tree::{ClientOp, DbCluster, DbSim, DriverStats, OpRecord, QuiesceError, ScanRecord};
+pub use types::{
+    ChildRef, Entry, Intent, Key, KeyRange, Link, NodeId, OpId, Outcome, Stamp, Value,
+};

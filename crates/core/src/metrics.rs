@@ -34,6 +34,11 @@ pub struct ProcMetrics {
     pub joins: u64,
     /// Replications unjoined (§4.3).
     pub unjoins: u64,
+    /// Crash restarts this processor went through (fault plans only).
+    pub recoveries: u64,
+    /// Interior copies dropped at restart and re-acquired via the §4.3
+    /// join protocol.
+    pub recovery_rejoins: u64,
 }
 
 impl ProcMetrics {
@@ -53,6 +58,8 @@ impl ProcMetrics {
         self.migrations_in += other.migrations_in;
         self.joins += other.joins;
         self.unjoins += other.unjoins;
+        self.recoveries += other.recoveries;
+        self.recovery_rejoins += other.recovery_rejoins;
     }
 }
 

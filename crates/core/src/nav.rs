@@ -237,9 +237,7 @@ impl DbProc {
         let version = copy.version;
         let prev = copy.upsert(key, entry);
         let tag = self.issue_tag("leaf-write");
-        self.log
-            .lock()
-            .observe_initial(node.raw(), self.me.0, tag);
+        self.log.lock().observe_initial(node.raw(), self.me.0, tag);
         self.relay_update(ctx, node, key, entry, tag, version);
         self.reply(
             ctx,
@@ -360,9 +358,7 @@ impl DbProc {
         let copy = self.store.get_mut(node).expect("checked above");
         let version = copy.version;
         copy.upsert(key, entry);
-        self.log
-            .lock()
-            .observe_initial(node.raw(), self.me.0, tag);
+        self.log.lock().observe_initial(node.raw(), self.me.0, tag);
         self.relay_update(ctx, node, key, entry, tag, version);
         self.maybe_split(ctx, node);
     }
@@ -390,12 +386,7 @@ impl DbProc {
 
     /// Queue an action behind an available-copies lock. The `ctx` is unused
     /// but kept so call sites read uniformly.
-    pub(crate) fn queue_behind_lock(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        node: NodeId,
-        msg: Msg,
-    ) {
+    pub(crate) fn queue_behind_lock(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, msg: Msg) {
         let now = ctx.now().ticks();
         let copy = self.store.get_mut(node).expect("locked copy exists");
         copy.lock

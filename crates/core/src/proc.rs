@@ -185,10 +185,17 @@ impl DbProc {
         let is_leaf = copy.is_leaf();
         self.store.install(copy);
         self.unjoined.remove(&id);
-        // The PC records `copy_created` for sibling copies and join grants
-        // at creation time; migrations record here (the sender recorded the
-        // deletion of its copy).
-        if matches!(reason, InstallReason::Migration { .. }) {
+        // The PC records `copy_created` for sibling copies at creation time;
+        // migrations and join grants record here, when the snapshot actually
+        // lands. For grants this re-marks a copy live after a crash-recovery
+        // rejoin (the restart logged `copy_deleted`); the `covered` tags are
+        // the PC's coverage, which this snapshot synthesizes. Recording only
+        // on a real install keeps the duplicate-grant early-return above from
+        // claiming coverage a resident copy never received.
+        if matches!(
+            reason,
+            InstallReason::Migration { .. } | InstallReason::JoinGrant
+        ) {
             self.log.lock().copy_created(id.raw(), self.me.0, covered);
         }
         // Apply protocol events that raced ahead of the install, in arrival
@@ -202,10 +209,9 @@ impl DbProc {
             InstallReason::Migration { from } => {
                 self.metrics.migrations_in += 1;
                 self.after_migration_in(ctx, id, from);
-                if self.cfg.variable_copies
-                    && is_leaf {
-                        self.ensure_path_replication(ctx, parent);
-                    }
+                if self.cfg.variable_copies && is_leaf {
+                    self.ensure_path_replication(ctx, parent);
+                }
             }
             InstallReason::JoinGrant => {
                 self.metrics.joins += 1;
@@ -235,18 +241,14 @@ impl DbProc {
                     version,
                 },
             ),
-            Msg::RelayedSplit { node, info, tag } => self.handle_relayed_split(ctx, node, info, tag),
+            Msg::RelayedSplit { node, info, tag } => {
+                self.handle_relayed_split(ctx, node, info, tag)
+            }
             other => self.on_message(ctx, self.me, other),
         }
     }
 
-    fn handle_new_root(
-        &mut self,
-        root: NodeId,
-        level: u8,
-        home: ProcId,
-        children: [NodeId; 2],
-    ) {
+    fn handle_new_root(&mut self, root: NodeId, level: u8, home: ProcId, children: [NodeId; 2]) {
         self.store.set_root(root, level, home);
         for child in children {
             if let Some(c) = self.store.get_mut(child) {
@@ -313,7 +315,9 @@ impl Process for DbProc {
             Msg::SplitStart { node } => self.handle_split_start(ctx, from, node),
             Msg::SplitAck { node } => self.handle_split_ack(ctx, node),
             Msg::SplitEnd { node, info, tag } => self.handle_split_end(ctx, node, info, tag),
-            Msg::RelayedSplit { node, info, tag } => self.handle_relayed_split(ctx, node, info, tag),
+            Msg::RelayedSplit { node, info, tag } => {
+                self.handle_relayed_split(ctx, node, info, tag)
+            }
             Msg::InstallCopy {
                 snapshot,
                 reason,
@@ -384,6 +388,40 @@ impl Process for DbProc {
                 self.store.gc_forwards(ctx.now().ticks(), ttl);
             }
             _ => {}
+        }
+    }
+
+    /// Crash recovery (§1.1 stability model + §4.3 joins): the stable store
+    /// — leaves, PC copies, and the session outbox — survives the crash;
+    /// the volatile cache of non-PC interior copies does not. Each dropped
+    /// copy is re-acquired from its PC through the version-numbered join
+    /// protocol, which resynchronizes it exactly like a late joiner.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.metrics.recoveries += 1;
+        // The piggyback timer died with the crash; the buffered relays are
+        // stable, so flush them now and let the next buffering re-arm it.
+        self.relay_timer_armed = false;
+        self.flush_relays(ctx);
+        let me = self.me;
+        let mut victims: Vec<(NodeId, ProcId)> = self
+            .store
+            .iter()
+            .filter(|c| !c.is_leaf() && c.pc != me)
+            .map(|c| (c.id, c.pc))
+            .collect();
+        // The store iterates in hash order; the join messages must go out
+        // in a replayable order or identical seeds diverge.
+        victims.sort_unstable();
+        for (node, pc) in victims {
+            self.store.remove(node);
+            self.log.lock().copy_deleted(node.raw(), me.0);
+            if self.pending_joins.insert(node) {
+                self.metrics.recovery_rejoins += 1;
+                // Relays may race ahead of the re-grant; they must stash
+                // for replay, not be discarded as post-unjoin strays.
+                self.unjoined.remove(&node);
+                ctx.send(pc, Msg::Join { node, joiner: me });
+            }
         }
     }
 }

@@ -20,7 +20,12 @@ impl DbProc {
     ///
     /// Only sole-copy nodes migrate (replicated interior nodes change
     /// membership via join/unjoin instead).
-    pub(crate) fn handle_migrate(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, dest: ProcId) {
+    pub(crate) fn handle_migrate(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        dest: ProcId,
+    ) {
         if dest == self.me {
             return;
         }

@@ -163,11 +163,7 @@ impl DbProc {
         let me = self.me;
         let root_id = self.store.mint_node_id(me);
         let level = old_level + 1;
-        let low = self
-            .store
-            .get(old_root)
-            .map(|c| c.range.low)
-            .unwrap_or(0);
+        let low = self.store.get(old_root).map(|c| c.range.low).unwrap_or(0);
 
         let mut root = NodeCopy::new(root_id, level, KeyRange::new(low, None), me);
         root.copies = (0..self.n_procs).map(ProcId).collect();

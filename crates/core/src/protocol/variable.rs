@@ -128,7 +128,12 @@ impl DbProc {
     }
 
     /// A member deletes its copy and leaves.
-    pub(crate) fn handle_unjoin(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, leaver: ProcId) {
+    pub(crate) fn handle_unjoin(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        leaver: ProcId,
+    ) {
         let me = self.me;
         let Some(copy) = self.store.get_mut(node) else {
             return;

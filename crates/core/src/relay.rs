@@ -104,13 +104,16 @@ impl DbProc {
                     tag,
                     version,
                 } = item;
-                self.stash.entry(node).or_default().push(Msg::RelayedInsert {
-                    node,
-                    key,
-                    entry,
-                    tag,
-                    version,
-                });
+                self.stash
+                    .entry(node)
+                    .or_default()
+                    .push(Msg::RelayedInsert {
+                        node,
+                        key,
+                        entry,
+                        tag,
+                        version,
+                    });
             }
             return;
         }

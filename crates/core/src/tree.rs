@@ -6,12 +6,52 @@ use std::sync::Arc;
 
 use history::HistoryLog;
 use parking_lot::Mutex;
-use simnet::{ProcId, SimConfig, SimTime, Simulation};
+use simnet::{
+    ProcId, RunOutcome, SessionConfig, SessionMsg, SessionProc, SimConfig, SimTime, Simulation,
+};
 
 use crate::build::{build_procs, BuildSpec};
 use crate::msg::Msg;
 use crate::proc::DbProc;
 use crate::types::{Intent, Key, NodeId, OpId, Outcome};
+
+/// The simulation type a [`DbCluster`] drives: every [`DbProc`] is wrapped
+/// in the reliable-delivery session layer. With the default (pass-through)
+/// session config the wrapper adds nothing — message statistics are
+/// identical to driving bare `DbProc`s — and `SessionProc` derefs to
+/// `DbProc`, so checkers and metrics readers inspect processors unchanged.
+pub type DbSim = Simulation<SessionProc<DbProc>>;
+
+/// Why a run aborted before the network went silent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuiesceError {
+    /// `SimConfig::max_events` was hit — likely a protocol livelock (or a
+    /// fault plan that keeps a retransmission loop alive forever).
+    EventLimit {
+        /// Events delivered when the limit tripped.
+        delivered: u64,
+    },
+    /// `SimConfig::max_time` was passed.
+    TimeLimit {
+        /// Virtual time when the limit tripped.
+        now: SimTime,
+    },
+}
+
+impl std::fmt::Display for QuiesceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuiesceError::EventLimit { delivered } => {
+                write!(f, "event limit hit after {delivered} deliveries")
+            }
+            QuiesceError::TimeLimit { now } => {
+                write!(f, "time limit hit at t={}", now.ticks())
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuiesceError {}
 
 /// One client operation for the driver.
 #[derive(Clone, Copy, Debug)]
@@ -105,7 +145,10 @@ impl DriverStats {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.outcome.hops as u64).sum::<u64>() as f64
+        self.records
+            .iter()
+            .map(|r| r.outcome.hops as u64)
+            .sum::<u64>() as f64
             / self.records.len() as f64
     }
 
@@ -119,7 +162,7 @@ impl DriverStats {
 /// network, plus client bookkeeping.
 pub struct DbCluster {
     /// The underlying simulation (exposed for stats and inspection).
-    pub sim: Simulation<DbProc>,
+    pub sim: DbSim,
     log: Arc<Mutex<HistoryLog>>,
     next_op: u64,
     pending: HashMap<OpId, (ClientOp, SimTime)>,
@@ -129,8 +172,32 @@ pub struct DbCluster {
 
 impl DbCluster {
     /// Build a deployment from a spec and a simulation config.
+    ///
+    /// The reliable-delivery session layer is enabled exactly when the
+    /// config carries an active fault plan: a fault-free cluster pays no
+    /// session overhead (and its message counts are unchanged), while a
+    /// faulty one gets the exactly-once FIFO channels the protocols assume.
     pub fn build(spec: &BuildSpec, sim_cfg: SimConfig) -> Self {
+        let session = if sim_cfg.faults.is_active() {
+            SessionConfig::reliable()
+        } else {
+            SessionConfig::default()
+        };
+        Self::build_with_session(spec, sim_cfg, session)
+    }
+
+    /// Build with an explicit session configuration (e.g. to demonstrate
+    /// what a lossy network does *without* the session layer).
+    pub fn build_with_session(
+        spec: &BuildSpec,
+        sim_cfg: SimConfig,
+        session: SessionConfig,
+    ) -> Self {
         let (procs, log) = build_procs(spec);
+        let procs = procs
+            .into_iter()
+            .map(|p| SessionProc::new(p, session))
+            .collect();
         DbCluster {
             sim: Simulation::new(sim_cfg, procs),
             log,
@@ -158,11 +225,11 @@ impl DbCluster {
         self.pending.insert(id, (op, self.sim.now()));
         self.sim.inject(
             op.origin,
-            Msg::Client {
+            SessionMsg::Raw(Msg::Client {
                 op: id,
                 key: op.key,
                 intent: op.intent,
-            },
+            }),
         );
         id
     }
@@ -173,7 +240,14 @@ impl DbCluster {
         let id = OpId(self.next_op);
         self.next_op += 1;
         self.pending_scans.insert(id, (from, limit, self.sim.now()));
-        self.sim.inject(origin, Msg::ClientScan { op: id, from, limit });
+        self.sim.inject(
+            origin,
+            SessionMsg::Raw(Msg::ClientScan {
+                op: id,
+                from,
+                limit,
+            }),
+        );
         id
     }
 
@@ -184,7 +258,8 @@ impl DbCluster {
 
     /// Inject a migration command (data balancing, §4.2).
     pub fn migrate(&mut self, node: NodeId, owner: ProcId, dest: ProcId) {
-        self.sim.inject(owner, Msg::Migrate { node, dest });
+        self.sim
+            .inject(owner, SessionMsg::Raw(Msg::Migrate { node, dest }));
     }
 
     /// Every resident leaf with its owning processor, sorted by node id
@@ -207,13 +282,41 @@ impl DbCluster {
 
     /// Run until the network is silent; returns completed-op records drained
     /// along the way.
+    ///
+    /// Panics if a simulation limit (`max_events` / `max_time`) trips first
+    /// — a silent early return here used to masquerade as quiescence and let
+    /// livelocked runs "pass". Use [`DbCluster::try_run_to_quiescence`] to
+    /// handle limits as values.
     pub fn run_to_quiescence(&mut self) -> Vec<OpRecord> {
+        match self.try_run_to_quiescence() {
+            Ok(records) => records,
+            Err(e) => panic!(
+                "run_to_quiescence: {e} before the network went silent \
+                 ({} ops still pending)",
+                self.pending_ops()
+            ),
+        }
+    }
+
+    /// Run until the network is silent, or fail with the limit that tripped.
+    pub fn try_run_to_quiescence(&mut self) -> Result<Vec<OpRecord>, QuiesceError> {
         let mut records = Vec::new();
         loop {
+            if let Some(outcome) = self.sim.limit_exceeded() {
+                self.drain_done(&mut records);
+                return Err(match outcome {
+                    RunOutcome::EventLimit => QuiesceError::EventLimit {
+                        delivered: self.sim.events_delivered(),
+                    },
+                    _ => QuiesceError::TimeLimit {
+                        now: self.sim.now(),
+                    },
+                });
+            }
             let progressed = self.sim.step();
             self.drain_done(&mut records);
             if !progressed {
-                return records;
+                return Ok(records);
             }
         }
     }
@@ -236,11 +339,11 @@ impl DbCluster {
                     self.pending.insert(id, (op, self.sim.now()));
                     self.sim.inject(
                         op.origin,
-                        Msg::Client {
+                        SessionMsg::Raw(Msg::Client {
                             op: id,
                             key: op.key,
                             intent: op.intent,
-                        },
+                        }),
                     );
                 }
             }
@@ -248,6 +351,13 @@ impl DbCluster {
         let mut records = Vec::with_capacity(ops.len());
         let mut last_completion = start;
         loop {
+            if let Some(outcome) = self.sim.limit_exceeded() {
+                panic!(
+                    "run_closed_loop: {outcome:?} before the workload drained \
+                     ({} ops still pending)",
+                    self.pending_ops()
+                );
+            }
             let progressed = self.sim.step();
             let before = records.len();
             self.drain_done(&mut records);
@@ -271,6 +381,8 @@ impl DbCluster {
 
     fn drain_done(&mut self, records: &mut Vec<OpRecord>) {
         for (at, _from, msg) in self.sim.drain_outputs() {
+            // Client replies leave the system unsessioned.
+            let SessionMsg::Raw(msg) = msg else { continue };
             match msg {
                 Msg::Done(outcome) => {
                     if let Some((op, submitted)) = self.pending.remove(&outcome.op) {

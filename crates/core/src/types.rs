@@ -13,7 +13,9 @@ pub type Value = u64;
 ///
 /// Encodes the allocating processor in the high bits so processors can mint
 /// ids without coordination: `NodeId = proc << 40 | counter`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -41,7 +43,9 @@ impl fmt::Debug for NodeId {
 }
 
 /// Identifier of a client operation. Minted by the driver.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct OpId(pub u64);
 
 /// A routable reference to another node: its id plus a processor known to

@@ -68,4 +68,3 @@ pub fn assert_clean(cluster: &mut DbCluster, expected: &BTreeSet<Key>) {
             .join("\n")
     );
 }
-

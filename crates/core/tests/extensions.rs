@@ -27,11 +27,11 @@ fn delete_shadows_then_reinsert_revives() {
     let mut cluster = build(TreeConfig::default(), 100, 1);
     let key = 500u64;
     let steps: Vec<(Intent, Option<u64>)> = vec![
-        (Intent::Search, Some(500)),      // preloaded value = key
-        (Intent::Delete, Some(500)),      // delete reports the old value
-        (Intent::Search, None),           // gone
-        (Intent::Delete, None),           // idempotent-ish: nothing there
-        (Intent::Insert(7), None),        // revive
+        (Intent::Search, Some(500)), // preloaded value = key
+        (Intent::Delete, Some(500)), // delete reports the old value
+        (Intent::Search, None),      // gone
+        (Intent::Delete, None),      // idempotent-ish: nothing there
+        (Intent::Insert(7), None),   // revive
         (Intent::Search, Some(7)),
     ];
     for (i, (intent, expect)) in steps.into_iter().enumerate() {

@@ -11,7 +11,6 @@ use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, Placement, TreeCon
 use simnet::{ProcId, SimConfig};
 use workload::{KeyDist, Mix, WorkloadGen};
 
-
 fn mobile_cfg(forwarding: bool) -> TreeConfig {
     TreeConfig {
         placement: Placement::Uniform { copies: 1 },
@@ -34,7 +33,9 @@ fn run_with_migrations(
 
     let mut gen = WorkloadGen::new(
         KeyDist::Uniform { n: 2000 },
-        Mix { search_fraction: 0.3 },
+        Mix {
+            search_fraction: 0.3,
+        },
         n_procs,
         seed,
     );
@@ -47,9 +48,11 @@ fn run_with_migrations(
         }
         if i % migrate_every == migrate_every - 1 {
             // Move some leaf to the next processor over, while traffic is in
-            // flight.
+            // flight. The set can be transiently empty when every leaf is
+            // itself mid-migration (removed at the source, install in
+            // flight) — skip this round rather than divide by zero.
             let leaves = cluster.leaves();
-            if let Some(&(leaf, owner)) = leaves.get(i % leaves.len()) {
+            if let Some(&(leaf, owner)) = leaves.get(i % leaves.len().max(1)) {
                 let dest = ProcId((owner.0 + 1) % cluster.n_procs());
                 cluster.migrate(leaf, owner, dest);
             }

@@ -16,14 +16,8 @@ use workload::Mix;
 
 #[test]
 fn semisync_path_replication_heavy_inserts() {
-    let (mut cluster, expected) = run_workload(
-        TreeConfig::default(),
-        4,
-        200,
-        600,
-        Mix::INSERT_ONLY,
-        1,
-    );
+    let (mut cluster, expected) =
+        run_workload(TreeConfig::default(), 4, 200, 600, Mix::INSERT_ONLY, 1);
     assert_clean(&mut cluster, &expected);
 }
 
@@ -35,7 +29,9 @@ fn semisync_mixed_workload_many_seeds() {
             6,
             100,
             400,
-            Mix { search_fraction: 0.5 },
+            Mix {
+                search_fraction: 0.5,
+            },
             seed,
         );
         assert_clean(&mut cluster, &expected);
@@ -146,8 +142,7 @@ fn naive_protocol_loses_keys_semisync_does_not() {
                 fanout: 6,
                 ..TreeConfig::fixed_copies(protocol, 3)
             };
-            let (mut cluster, expected) =
-                run_workload(cfg, 4, 30, 500, Mix::INSERT_ONLY, seed);
+            let (mut cluster, expected) = run_workload(cfg, 4, 30, 500, Mix::INSERT_ONLY, seed);
             cluster.record_final_digests();
             let violations = checker::check_keys(&cluster.sim, &expected);
             violations.len()
@@ -178,7 +173,16 @@ fn available_copies_correct() {
 #[test]
 fn available_copies_queues_actions_behind_locks() {
     let cfg = TreeConfig::fixed_copies(ProtocolKind::AvailableCopies, 4);
-    let (cluster, _) = run_workload(cfg, 4, 50, 800, Mix { search_fraction: 0.5 }, 5);
+    let (cluster, _) = run_workload(
+        cfg,
+        4,
+        50,
+        800,
+        Mix {
+            search_fraction: 0.5,
+        },
+        5,
+    );
     let queued: u64 = cluster
         .sim
         .procs()
@@ -238,7 +242,9 @@ fn runs_are_deterministic_given_seed() {
             4,
             100,
             300,
-            Mix { search_fraction: 0.3 },
+            Mix {
+                search_fraction: 0.3,
+            },
             77,
         );
         (

@@ -242,7 +242,10 @@ fn root_split_broadcasts_the_new_root_to_every_processor() {
         let root = *roots.iter().next().expect("checked");
         let view = GlobalView::new(&cluster.sim);
         let level = view.authoritative(root).expect("root resident").level;
-        assert!(level >= 1, "{protocol:?}: the tree grew (root level {level})");
+        assert!(
+            level >= 1,
+            "{protocol:?}: the tree grew (root level {level})"
+        );
 
         // Every processor serves a search from its local root.
         for p in 0..3u32 {

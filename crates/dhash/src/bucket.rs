@@ -190,7 +190,11 @@ mod tests {
 
         assert!(b.owns(0b100));
         assert_eq!(b.image_for(0b001).unwrap().id, BucketId(10));
-        assert_eq!(b.image_for(0b011).unwrap().id, BucketId(10), "deeper: image recurses");
+        assert_eq!(
+            b.image_for(0b011).unwrap().id,
+            BucketId(10),
+            "deeper: image recurses"
+        );
         assert_eq!(b.image_for(0b010).unwrap().id, BucketId(20));
         assert_eq!(b.image_for(0b110).unwrap().id, BucketId(20));
     }

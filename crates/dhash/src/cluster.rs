@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use history::HistoryLog;
 use parking_lot::Mutex;
-use simnet::{ProcId, SimConfig, SimTime, Simulation};
+use simnet::{ProcId, SessionConfig, SessionMsg, SessionProc, SimConfig, SimTime, Simulation};
 
 use crate::bucket::{Bucket, BucketId, BucketRef};
 use crate::dir::Directory;
@@ -51,7 +51,10 @@ impl HashClusterStats {
 
     /// Total misnavigation recoveries.
     pub fn recoveries(&self) -> u64 {
-        self.records.iter().map(|r| r.outcome.recoveries as u64).sum()
+        self.records
+            .iter()
+            .map(|r| r.outcome.recoveries as u64)
+            .sum()
     }
 
     /// Mean latency in virtual ticks.
@@ -67,10 +70,15 @@ impl HashClusterStats {
     }
 }
 
+/// The simulation type driving a [`HashCluster`]: every processor runs
+/// behind a reliable-delivery session endpoint, which is a transparent
+/// pass-through unless the [`SimConfig`] carries an active fault plan.
+pub type HashSim = Simulation<SessionProc<HashProc>>;
+
 /// A simulated distributed hash table.
 pub struct HashCluster {
     /// The underlying simulation.
-    pub sim: Simulation<HashProc>,
+    pub sim: HashSim,
     log: Arc<Mutex<HistoryLog>>,
     next_op: u64,
     pending: HashMap<u64, SimTime>,
@@ -145,6 +153,18 @@ impl HashCluster {
             })
             .collect();
 
+        // Lossy network ⇒ wrap every processor in the reliable-delivery
+        // session layer; on a perfect network the wrapper passes messages
+        // through untouched.
+        let session = if sim_cfg.faults.is_active() {
+            SessionConfig::reliable()
+        } else {
+            SessionConfig::default()
+        };
+        let procs: Vec<SessionProc<HashProc>> = procs
+            .into_iter()
+            .map(|p| SessionProc::new(p, session))
+            .collect();
         HashCluster {
             sim: Simulation::new(sim_cfg, procs),
             log,
@@ -163,7 +183,8 @@ impl HashCluster {
         let op = self.next_op;
         self.next_op += 1;
         self.pending.insert(op, self.sim.now());
-        self.sim.inject(origin, HMsg::Client { op, key, kind });
+        self.sim
+            .inject(origin, SessionMsg::Raw(HMsg::Client { op, key, kind }));
         op
     }
 
@@ -173,6 +194,7 @@ impl HashCluster {
         loop {
             let progressed = self.sim.step();
             for (at, _from, msg) in self.sim.drain_outputs() {
+                let SessionMsg::Raw(msg) = msg else { continue };
                 if let HMsg::Done(outcome) = msg {
                     if let Some(submitted) = self.pending.remove(&outcome.op) {
                         stats.records.push(HashOpRecord {
@@ -239,7 +261,10 @@ pub enum HashViolation {
 /// invariants, key findability from *every* processor's directory (chasing
 /// split-image links exactly like the protocol does), stash drainage, and
 /// the §3 history requirements.
-pub fn check_hash_cluster(cluster: &mut HashCluster, expected: &BTreeMap<u64, u64>) -> Vec<HashViolation> {
+pub fn check_hash_cluster(
+    cluster: &mut HashCluster,
+    expected: &BTreeMap<u64, u64>,
+) -> Vec<HashViolation> {
     cluster.record_final_digests();
     let mut out = Vec::new();
 
@@ -271,7 +296,9 @@ pub fn check_hash_cluster(cluster: &mut HashCluster, expected: &BTreeMap<u64, u6
             let mut cur = proc.dir.route(h).id;
             let mut found = None;
             for _ in 0..64 {
-                let Some(b) = all_buckets.get(&cur) else { break };
+                let Some(b) = all_buckets.get(&cur) else {
+                    break;
+                };
                 if b.owns(h) {
                     found = b.entries.get(&h).map(|&(_, v)| v);
                     break;
@@ -289,8 +316,7 @@ pub fn check_hash_cluster(cluster: &mut HashCluster, expected: &BTreeMap<u64, u6
 
     // Stashes and pending patches drained.
     for (pid, proc) in cluster.sim.procs() {
-        let count: usize =
-            proc.stash_sizes().values().sum::<usize>() + proc.pending_patch_count();
+        let count: usize = proc.stash_sizes().values().sum::<usize>() + proc.pending_patch_count();
         if count > 0 {
             out.push(HashViolation::DanglingStash { proc: pid, count });
         }

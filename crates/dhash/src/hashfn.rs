@@ -47,8 +47,7 @@ mod tests {
         assert_eq!(hash_of(42), hash_of(42));
         // Low bits of consecutive keys differ (the property the directory
         // index relies on).
-        let low3: std::collections::HashSet<u64> =
-            (0..64u64).map(|k| hash_of(k) & 0b111).collect();
+        let low3: std::collections::HashSet<u64> = (0..64u64).map(|k| hash_of(k) & 0b111).collect();
         assert_eq!(low3.len(), 8, "all 8 patterns hit");
     }
 }

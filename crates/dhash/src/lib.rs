@@ -39,7 +39,8 @@ mod proc;
 
 pub use bucket::{Bucket, BucketId, BucketRef};
 pub use cluster::{
-    check_hash_cluster, HashCluster, HashClusterStats, HashOpRecord, HashSpec, HashViolation,
+    check_hash_cluster, HashCluster, HashClusterStats, HashOpRecord, HashSim, HashSpec,
+    HashViolation,
 };
 pub use dir::{DirPatch, Directory, PatchOutcome};
 pub use hashfn::{hash_of, matches_pattern, HashBits};

@@ -293,14 +293,20 @@ impl HashProc {
         let image_id = self.mint_bucket();
         let me = self.me;
         let image_home = if self.cfg.spread_images {
-            ProcId((me.0 + 1 + (image_id.raw() % (self.n_procs as u64 - 1).max(1)) as u32) % self.n_procs)
+            ProcId(
+                (me.0 + 1 + (image_id.raw() % (self.n_procs as u64 - 1).max(1)) as u32)
+                    % self.n_procs,
+            )
         } else {
             me
         };
         let tag = self.log.lock().issue("dir-patch");
 
         let (bit, patch, snapshot) = {
-            let b = self.buckets.get_mut(&bucket).expect("splitting a local bucket");
+            let b = self
+                .buckets
+                .get_mut(&bucket)
+                .expect("splitting a local bucket");
             let (bit, sib_pattern, moved) = b.split();
             let new_depth = b.local_depth;
             let image_ref = BucketRef {
@@ -376,7 +382,12 @@ impl HashProc {
     /// once the patch has actually been incorporated — a `ParentUnknown`
     /// patch defers its acknowledgement along with itself, otherwise the
     /// splitter's barrier would release while this copy is stale.
-    fn apply_patch_local(&mut self, ctx: &mut Context<'_, HMsg>, patch: &DirPatch, ack: Option<ProcId>) {
+    fn apply_patch_local(
+        &mut self,
+        ctx: &mut Context<'_, HMsg>,
+        patch: &DirPatch,
+        ack: Option<ProcId>,
+    ) {
         match self.dir.apply(patch) {
             PatchOutcome::Applied => {
                 self.metrics.patches_applied += 1;

@@ -60,7 +60,10 @@ fn drive(
 
 #[test]
 fn lazy_protocol_sequential_ops_exact() {
-    let mut cluster = HashCluster::build(&spec(DirProtocol::Lazy, 100, 4), SimConfig::jittery(1, 2, 25));
+    let mut cluster = HashCluster::build(
+        &spec(DirProtocol::Lazy, 100, 4),
+        SimConfig::jittery(1, 2, 25),
+    );
     let (expected, stats) = drive(&mut cluster, 100, 300, 1);
     assert_eq!(stats.lost(), 0);
     let violations = check_hash_cluster(&mut cluster, &expected);
@@ -70,8 +73,10 @@ fn lazy_protocol_sequential_ops_exact() {
 #[test]
 fn lazy_protocol_concurrent_inserts_converge() {
     for seed in 0..6u64 {
-        let mut cluster =
-            HashCluster::build(&spec(DirProtocol::Lazy, 50, 4), SimConfig::jittery(seed, 2, 30));
+        let mut cluster = HashCluster::build(
+            &spec(DirProtocol::Lazy, 50, 4),
+            SimConfig::jittery(seed, 2, 30),
+        );
         // Fire a large concurrent batch: splits, patches, and operations
         // race freely.
         let mut expected: BTreeMap<u64, u64> = (0..50).map(|k| (k * 3, k * 3)).collect();
@@ -98,8 +103,10 @@ fn stale_directories_recover_through_image_links() {
     // via image links.
     let mut total_recoveries = 0u64;
     for seed in 0..6u64 {
-        let mut cluster =
-            HashCluster::build(&spec(DirProtocol::Lazy, 20, 6), SimConfig::jittery(seed, 2, 60));
+        let mut cluster = HashCluster::build(
+            &spec(DirProtocol::Lazy, 20, 6),
+            SimConfig::jittery(seed, 2, 60),
+        );
         for i in 0..400u64 {
             let key = 30_000 + i;
             cluster.submit(ProcId((i % 6) as u32), key, HKind::Insert(key));
@@ -117,8 +124,7 @@ fn stale_directories_recover_through_image_links() {
 #[test]
 fn sync_protocol_correct_but_blocks_and_costs_more() {
     let run = |protocol| {
-        let mut cluster =
-            HashCluster::build(&spec(protocol, 50, 4), SimConfig::jittery(3, 2, 25));
+        let mut cluster = HashCluster::build(&spec(protocol, 50, 4), SimConfig::jittery(3, 2, 25));
         let mut expected: BTreeMap<u64, u64> = (0..50).map(|k| (k * 3, k * 3)).collect();
         for i in 0..500u64 {
             let key = 40_000 + i;
@@ -170,24 +176,22 @@ fn naive_no_links_drops_operations() {
 #[test]
 fn deterministic_given_seed() {
     let run = || {
-        let mut cluster =
-            HashCluster::build(&spec(DirProtocol::Lazy, 30, 4), SimConfig::jittery(9, 2, 30));
+        let mut cluster = HashCluster::build(
+            &spec(DirProtocol::Lazy, 30, 4),
+            SimConfig::jittery(9, 2, 30),
+        );
         for i in 0..200u64 {
             cluster.submit(ProcId((i % 4) as u32), 60_000 + i, HKind::Insert(i));
         }
         cluster.run_to_quiescence();
-        (
-            cluster.sim.stats().total_messages(),
-            cluster.sim.now(),
-        )
+        (cluster.sim.stats().total_messages(), cluster.sim.now())
     };
     assert_eq!(run(), run());
 }
 
 #[test]
 fn delete_then_search_misses() {
-    let mut cluster =
-        HashCluster::build(&spec(DirProtocol::Lazy, 10, 2), SimConfig::seeded(4));
+    let mut cluster = HashCluster::build(&spec(DirProtocol::Lazy, 10, 2), SimConfig::seeded(4));
     cluster.submit(ProcId(0), 3, HKind::Search);
     let s = cluster.run_to_quiescence();
     assert_eq!(s.records[0].outcome.found, Some(3), "preloaded");

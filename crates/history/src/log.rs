@@ -278,10 +278,12 @@ impl HistoryLog {
     }
 
     fn copy_entry(&mut self, node: u64, proc: u32) -> &mut CopyRecord {
-        self.copies.entry((node, proc)).or_insert_with(|| CopyRecord {
-            live: true,
-            ..CopyRecord::default()
-        })
+        self.copies
+            .entry((node, proc))
+            .or_insert_with(|| CopyRecord {
+                live: true,
+                ..CopyRecord::default()
+            })
     }
 
     /// Evaluate the complete, compatible, and ordered history requirements.
@@ -347,11 +349,7 @@ impl HistoryLog {
     pub fn summary(&self) -> LogSummary {
         LogSummary {
             issued: self.issued.len() as u64,
-            observations: self
-                .copies
-                .values()
-                .map(|r| r.observed.len() as u64)
-                .sum(),
+            observations: self.copies.values().map(|r| r.observed.len() as u64).sum(),
             discards: 0,
             forwards: 0,
             live_copies: self.copies.values().filter(|r| r.live).count() as u64,
@@ -417,7 +415,11 @@ mod tests {
         let violations = log.check();
         assert!(violations.iter().any(|v| matches!(
             v,
-            Violation::Incomplete { node: 7, proc: 1, .. }
+            Violation::Incomplete {
+                node: 7,
+                proc: 1,
+                ..
+            }
         )));
     }
 
@@ -441,7 +443,10 @@ mod tests {
         log.set_final_digest(3, 0, 1);
         log.set_final_digest(3, 1, 2);
         let violations = log.check();
-        assert!(matches!(violations.as_slice(), [Violation::Diverged { node: 3, .. }]));
+        assert!(matches!(
+            violations.as_slice(),
+            [Violation::Diverged { node: 3, .. }]
+        ));
     }
 
     #[test]

@@ -219,7 +219,12 @@ mod tests {
         // Rule 2: splits conflict with splits.
         for a in [SplitInitial, SplitRelayed] {
             for b in [SplitInitial, SplitRelayed] {
-                assert!(!lookup(&t, a, b), "{}/{} must conflict", a.label(), b.label());
+                assert!(
+                    !lookup(&t, a, b),
+                    "{}/{} must conflict",
+                    a.label(),
+                    b.label()
+                );
             }
         }
         // Rule 3: relayed split vs relayed insert commutes...

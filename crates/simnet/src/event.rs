@@ -12,6 +12,10 @@ pub(crate) enum EventKind<M> {
     Deliver { from: ProcId, msg: M },
     /// Fire a timer with the given token.
     Timer { token: u64 },
+    /// Fault-plan control: crash the owning processor.
+    Crash,
+    /// Fault-plan control: restart the owning processor.
+    Restart,
 }
 
 #[derive(Debug)]
@@ -20,6 +24,10 @@ pub(crate) struct Event<M> {
     /// Global sequence number: total tiebreaker so runs are deterministic.
     pub seq: u64,
     pub to: ProcId,
+    /// Crash epoch of the target when this event was scheduled. A crash
+    /// bumps the target's epoch, invalidating deliveries and timers that
+    /// were already in flight (the crashed processor's volatile state).
+    pub epoch: u32,
     pub kind: EventKind<M>,
 }
 
@@ -61,9 +69,20 @@ impl<M> EventQueue<M> {
     }
 
     pub fn push(&mut self, at: SimTime, to: ProcId, kind: EventKind<M>) {
+        self.push_epoch(at, to, 0, kind);
+    }
+
+    /// Push with an explicit crash-epoch stamp (see [`Event::epoch`]).
+    pub fn push_epoch(&mut self, at: SimTime, to: ProcId, epoch: u32, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, to, kind });
+        self.heap.push(Event {
+            at,
+            seq,
+            to,
+            epoch,
+            kind,
+        });
     }
 
     /// Re-insert a popped event at a later time, preserving its original
@@ -97,7 +116,9 @@ mod tests {
         q.push(SimTime(30), ProcId(0), EventKind::Timer { token: 3 });
         q.push(SimTime(10), ProcId(0), EventKind::Timer { token: 1 });
         q.push(SimTime(20), ProcId(0), EventKind::Timer { token: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -93,7 +93,10 @@ impl LatencyModel {
                 if local {
                     l
                 } else if src == slow || dst == slow {
-                    remote * factor
+                    // Saturate: an extreme degradation factor should pin the
+                    // latency at the horizon, not wrap around to something
+                    // tiny (which would silently invert the experiment).
+                    remote.saturating_mul(factor)
                 } else {
                     remote
                 }
@@ -139,7 +142,26 @@ mod tests {
         assert_eq!(m.sample(ProcId(0), ProcId(1), &mut rng), 10);
         assert_eq!(m.sample(ProcId(0), ProcId(2), &mut rng), 80);
         assert_eq!(m.sample(ProcId(2), ProcId(1), &mut rng), 80);
-        assert_eq!(m.sample(ProcId(2), ProcId(2), &mut rng), 1, "local stays local");
+        assert_eq!(
+            m.sample(ProcId(2), ProcId(2), &mut rng),
+            1,
+            "local stays local"
+        );
+    }
+
+    #[test]
+    fn slow_proc_extreme_factor_saturates() {
+        // Regression: `remote * factor` used to overflow in release builds,
+        // wrapping a "very slow" processor around to a very fast one.
+        let m = LatencyModel::SlowProc {
+            local: 1,
+            remote: 10,
+            slow: ProcId(1),
+            factor: u64::MAX,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(m.sample(ProcId(0), ProcId(1), &mut rng), u64::MAX);
+        assert_eq!(m.sample(ProcId(0), ProcId(2), &mut rng), 10);
     }
 
     #[test]

@@ -44,7 +44,9 @@
 
 mod context;
 mod event;
+mod fault;
 mod latency;
+pub mod session;
 mod sim;
 mod stats;
 pub mod threaded;
@@ -52,8 +54,10 @@ mod time;
 mod trace;
 
 pub use context::Context;
+pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
-pub use sim::{SimConfig, Simulation};
+pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
+pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};
@@ -64,7 +68,9 @@ use std::fmt;
 ///
 /// Processors are dense small integers, assigned in the order the process
 /// objects are handed to [`Simulation::new`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -136,4 +142,14 @@ pub trait Process {
 
     /// A timer set via [`Context::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _token: u64) {}
+
+    /// The processor restarted after a crash scheduled by a
+    /// [`FaultPlan`]. Everything volatile — in-flight deliveries to this
+    /// processor and its armed timers — is already gone; the process object
+    /// itself survives, playing the paper's §1.1 "stable" store (a
+    /// recoverable queue manager). Implementations should discard whatever
+    /// state they model as volatile and re-arm any timers they need.
+    ///
+    /// Never called without an active fault plan.
+    fn on_restart(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
 }

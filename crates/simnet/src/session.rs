@@ -1,0 +1,633 @@
+//! Reliable-delivery session layer.
+//!
+//! The dB-tree protocols assume the network delivers every message exactly
+//! once and in FIFO order per channel (§4 of the paper). A [`FaultPlan`]
+//! (drops, duplicates, partitions, crashes) breaks that assumption at the
+//! physical layer; [`SessionProc`] restores it end-to-end, so every protocol
+//! runs unchanged over a lossy network.
+//!
+//! The mechanism is classic go-back-N ARQ:
+//!
+//! * each remote message gets a per-`(src, dst)` sequence number and is held
+//!   in an outbox until acknowledged;
+//! * receivers deliver in sequence order, buffer out-of-order arrivals,
+//!   suppress duplicates, and answer every data message with a cumulative
+//!   ack;
+//! * senders retransmit the whole outbox on a retransmission timeout, with
+//!   exponential backoff.
+//!
+//! **Stability model.** The paper's §1.1 architecture gives every processor a
+//! *stable* queue manager (backed by recoverable storage) in front of
+//! volatile node copies. We model crash/restart the same way: the process
+//! object — including the session outbox and the receiver's delivery
+//! counters — survives a crash, while everything in flight (deliveries,
+//! armed timers, out-of-order buffers) is lost. On restart the session
+//! retransmits its outbox and re-arms its timers, so exactly-once delivery
+//! holds across crashes too.
+//!
+//! With `enabled == false` (the default) every message passes through as
+//! [`SessionMsg::Raw`], whose `kind`/`size_hint` delegate to the inner
+//! payload — message statistics are byte-identical to running the inner
+//! process directly.
+//!
+//! [`FaultPlan`]: crate::FaultPlan
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::{Deref, DerefMut};
+
+use crate::context::{Context, Effect};
+use crate::{Payload, ProcId, Process};
+
+/// High bit of the timer-token space, reserved for session retransmission
+/// timers. Inner processes must keep their own tokens below this bit.
+pub const SESSION_TIMER_BIT: u64 = 1 << 63;
+
+#[inline]
+fn session_token(dst: ProcId) -> u64 {
+    SESSION_TIMER_BIT | dst.0 as u64
+}
+
+/// Tuning knobs for the session layer.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Master switch. Off = every message passes through untouched.
+    pub enabled: bool,
+    /// Initial retransmission timeout, in ticks. Should comfortably exceed
+    /// one round trip under the latency model in use.
+    pub base_rto: u64,
+    /// Backoff ceiling for the retransmission timeout.
+    pub max_rto: u64,
+    /// Give up on a channel after this many consecutive fruitless
+    /// retransmission rounds (e.g. the peer is partitioned away for good).
+    pub max_retries: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            enabled: false,
+            base_rto: 50,
+            max_rto: 2000,
+            max_retries: 64,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A reliable-delivery configuration with default timing.
+    pub fn reliable() -> Self {
+        SessionConfig {
+            enabled: true,
+            ..SessionConfig::default()
+        }
+    }
+}
+
+/// Wire format of a sessioned channel.
+#[derive(Clone, Debug)]
+pub enum SessionMsg<M> {
+    /// Pass-through (session disabled, local hand-off, or external client
+    /// traffic). Carries no session state.
+    Raw(M),
+    /// Sequenced payload on a reliable channel.
+    Data {
+        /// Position in the per-`(src, dst)` sequence, starting at 0.
+        seq: u64,
+        /// The inner payload.
+        msg: M,
+    },
+    /// Cumulative acknowledgement: every `seq < upto` has been delivered.
+    Ack {
+        /// One past the highest in-order sequence delivered.
+        upto: u64,
+    },
+}
+
+impl<M: Payload> Payload for SessionMsg<M> {
+    fn kind(&self) -> &'static str {
+        match self {
+            // Data keeps the inner kind so per-kind message counts remain
+            // comparable with and without the session layer.
+            SessionMsg::Raw(m) => m.kind(),
+            SessionMsg::Data { msg, .. } => msg.kind(),
+            SessionMsg::Ack { .. } => "session.ack",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            SessionMsg::Raw(m) => m.size_hint(),
+            SessionMsg::Data { msg, .. } => msg.size_hint() + 8,
+            SessionMsg::Ack { .. } => 8,
+        }
+    }
+}
+
+/// Sender half of one directed channel (stable across crashes).
+#[derive(Clone, Debug)]
+struct SendState<M> {
+    next_seq: u64,
+    /// Sent but unacknowledged, in sequence order.
+    outbox: VecDeque<(u64, M)>,
+    rto: u64,
+    retries: u32,
+    timer_armed: bool,
+}
+
+impl<M> SendState<M> {
+    fn new(base_rto: u64) -> Self {
+        SendState {
+            next_seq: 0,
+            outbox: VecDeque::new(),
+            rto: base_rto,
+            retries: 0,
+            timer_armed: false,
+        }
+    }
+}
+
+/// Receiver half of one directed channel. `next_expected` is stable (it is
+/// what makes redelivered messages recognizable as duplicates after a
+/// crash); the out-of-order buffer is volatile and cleared on restart.
+#[derive(Clone, Debug)]
+struct RecvState<M> {
+    next_expected: u64,
+    buffer: BTreeMap<u64, M>,
+}
+
+impl<M> Default for RecvState<M> {
+    fn default() -> Self {
+        RecvState {
+            next_expected: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+}
+
+/// Counters kept by one processor's session layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// First transmissions of sequenced payloads.
+    pub data_sent: u64,
+    /// Retransmitted payloads (timeouts and post-restart replays).
+    pub retransmissions: u64,
+    /// Cumulative acks sent.
+    pub acks_sent: u64,
+    /// Arrivals discarded as duplicates.
+    pub dup_suppressed: u64,
+    /// Arrivals buffered because they overtook a gap.
+    pub out_of_order: u64,
+    /// Payloads abandoned after `max_retries` fruitless rounds.
+    pub aborted: u64,
+}
+
+impl SessionStats {
+    /// Accumulate another processor's counters (cluster-wide totals).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.data_sent += other.data_sent;
+        self.retransmissions += other.retransmissions;
+        self.acks_sent += other.acks_sent;
+        self.dup_suppressed += other.dup_suppressed;
+        self.out_of_order += other.out_of_order;
+        self.aborted += other.aborted;
+    }
+}
+
+/// Wraps any [`Process`], giving it exactly-once FIFO channels over a lossy
+/// network. Derefs to the inner process so existing inspection code
+/// (checkers, metrics readers) works unchanged.
+pub struct SessionProc<P: Process> {
+    inner: P,
+    cfg: SessionConfig,
+    send: BTreeMap<ProcId, SendState<P::Msg>>,
+    recv: BTreeMap<ProcId, RecvState<P::Msg>>,
+    stats: SessionStats,
+}
+
+impl<P: Process> SessionProc<P> {
+    /// Wrap `inner` with the given session configuration.
+    pub fn new(inner: P, cfg: SessionConfig) -> Self {
+        SessionProc {
+            inner,
+            cfg,
+            send: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Wrap `inner` with the session layer switched off (pure pass-through).
+    pub fn passthrough(inner: P) -> Self {
+        SessionProc::new(inner, SessionConfig::default())
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// This processor's session counters.
+    pub fn session_stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Total payloads currently awaiting acknowledgement.
+    pub fn unacked(&self) -> usize {
+        self.send.values().map(|s| s.outbox.len()).sum()
+    }
+
+    /// Run `f` against the inner process, then translate its effects:
+    /// sends go through the session send path, timers pass through (their
+    /// tokens must stay below [`SESSION_TIMER_BIT`]).
+    fn with_inner(
+        &mut self,
+        ctx: &mut Context<'_, SessionMsg<P::Msg>>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) {
+        let mut inner_effects: Vec<Effect<P::Msg>> = Vec::new();
+        {
+            let mut inner_ctx = Context {
+                me: ctx.me,
+                now: ctx.now,
+                effects: &mut inner_effects,
+                rng: &mut *ctx.rng,
+            };
+            f(&mut self.inner, &mut inner_ctx);
+        }
+        for effect in inner_effects {
+            match effect {
+                Effect::Send { to, msg } => self.send_out(ctx, to, msg),
+                Effect::Timer { delay, token } => {
+                    debug_assert!(
+                        token & SESSION_TIMER_BIT == 0,
+                        "inner timer token collides with the session bit"
+                    );
+                    ctx.set_timer(delay, token);
+                }
+            }
+        }
+    }
+
+    fn send_out(&mut self, ctx: &mut Context<'_, SessionMsg<P::Msg>>, to: ProcId, msg: P::Msg) {
+        // Local hand-offs never cross the network and client replies leave
+        // the system; neither needs (or gets) session framing.
+        if !self.cfg.enabled || to.is_external() || to == ctx.me() {
+            ctx.send(to, SessionMsg::Raw(msg));
+            return;
+        }
+        let base_rto = self.cfg.base_rto;
+        let st = self
+            .send
+            .entry(to)
+            .or_insert_with(|| SendState::new(base_rto));
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.outbox.push_back((seq, msg.clone()));
+        self.stats.data_sent += 1;
+        ctx.send(to, SessionMsg::Data { seq, msg });
+        if !st.timer_armed {
+            st.timer_armed = true;
+            ctx.set_timer(st.rto, session_token(to));
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        ctx: &mut Context<'_, SessionMsg<P::Msg>>,
+        from: ProcId,
+        seq: u64,
+        msg: P::Msg,
+    ) {
+        let st = self.recv.entry(from).or_default();
+        // Collect deliverable messages first so the channel borrow ends
+        // before the inner process runs (it may itself send on this channel).
+        let mut deliver = Vec::new();
+        if seq < st.next_expected {
+            self.stats.dup_suppressed += 1;
+        } else if seq == st.next_expected {
+            st.next_expected += 1;
+            deliver.push(msg);
+            while let Some(m) = st.buffer.remove(&st.next_expected) {
+                st.next_expected += 1;
+                deliver.push(m);
+            }
+        } else if st.buffer.insert(seq, msg).is_some() {
+            self.stats.dup_suppressed += 1;
+        } else {
+            self.stats.out_of_order += 1;
+        }
+        let upto = st.next_expected;
+        self.stats.acks_sent += 1;
+        ctx.send(from, SessionMsg::Ack { upto });
+        for m in deliver {
+            self.with_inner(ctx, |p, c| p.on_message(c, from, m));
+        }
+    }
+
+    fn on_ack(&mut self, from: ProcId, upto: u64) {
+        let Some(st) = self.send.get_mut(&from) else {
+            return;
+        };
+        let mut progressed = false;
+        while st.outbox.front().is_some_and(|(s, _)| *s < upto) {
+            st.outbox.pop_front();
+            progressed = true;
+        }
+        if progressed {
+            // The channel is alive: restart the backoff schedule.
+            st.rto = self.cfg.base_rto;
+            st.retries = 0;
+        }
+    }
+
+    /// Retransmit everything outstanding to `dst` (go-back-N).
+    fn retransmit(&mut self, ctx: &mut Context<'_, SessionMsg<P::Msg>>, dst: ProcId) {
+        let Some(st) = self.send.get_mut(&dst) else {
+            return;
+        };
+        for (seq, msg) in st.outbox.iter() {
+            ctx.send(
+                dst,
+                SessionMsg::Data {
+                    seq: *seq,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.stats.retransmissions += st.outbox.len() as u64;
+    }
+}
+
+impl<P: Process> Deref for SessionProc<P> {
+    type Target = P;
+    fn deref(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Process> DerefMut for SessionProc<P> {
+    fn deref_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+}
+
+impl<P: Process> Process for SessionProc<P> {
+    type Msg = SessionMsg<P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.with_inner(ctx, |p, c| p.on_start(c));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcId, msg: Self::Msg) {
+        match msg {
+            SessionMsg::Raw(m) => self.with_inner(ctx, |p, c| p.on_message(c, from, m)),
+            SessionMsg::Data { seq, msg } => self.on_data(ctx, from, seq, msg),
+            SessionMsg::Ack { upto } => self.on_ack(from, upto),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
+        if token & SESSION_TIMER_BIT == 0 {
+            self.with_inner(ctx, |p, c| p.on_timer(c, token));
+            return;
+        }
+        let dst = ProcId((token & !SESSION_TIMER_BIT) as u32);
+        let Some(st) = self.send.get_mut(&dst) else {
+            return;
+        };
+        if st.outbox.is_empty() {
+            // Everything acked since the timer was armed; stand down (there
+            // is no cancel API — timers self-disarm by firing into an empty
+            // outbox).
+            st.timer_armed = false;
+            return;
+        }
+        st.retries += 1;
+        if st.retries > self.cfg.max_retries {
+            self.stats.aborted += st.outbox.len() as u64;
+            st.outbox.clear();
+            st.timer_armed = false;
+            return;
+        }
+        st.rto = (st.rto * 2).min(self.cfg.max_rto);
+        let rto = st.rto;
+        self.retransmit(ctx, dst);
+        ctx.set_timer(rto, token);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        if self.cfg.enabled {
+            // Out-of-order buffers are volatile; the delivery counters are
+            // part of the stable queue manager and survive, which is what
+            // makes redelivered payloads recognizable as duplicates.
+            for st in self.recv.values_mut() {
+                st.buffer.clear();
+            }
+            // The crash destroyed every armed timer: retransmit anything
+            // outstanding and re-arm from scratch.
+            let dsts: Vec<ProcId> = self.send.keys().copied().collect();
+            for dst in dsts {
+                let st = self.send.get_mut(&dst).expect("key just listed");
+                st.rto = self.cfg.base_rto;
+                st.retries = 0;
+                if st.outbox.is_empty() {
+                    st.timer_armed = false;
+                } else {
+                    st.timer_armed = true;
+                    let rto = st.rto;
+                    self.retransmit(ctx, dst);
+                    ctx.set_timer(rto, session_token(dst));
+                }
+            }
+        }
+        self.with_inner(ctx, |p, c| p.on_restart(c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrashEvent, FaultPlan, SimConfig, SimTime, Simulation};
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Num(u32),
+    }
+
+    impl Payload for Msg {
+        fn kind(&self) -> &'static str {
+            "num"
+        }
+    }
+
+    /// P0 streams `count` numbered messages to P1; P1 records arrivals.
+    struct Streamer {
+        count: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Process for Streamer {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.me() == ProcId(0) {
+                for n in 0..self.count {
+                    ctx.send(ProcId(1), Msg::Num(n));
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcId, msg: Msg) {
+            let Msg::Num(n) = msg;
+            self.seen.push(n);
+        }
+    }
+
+    fn streamers(count: u32) -> Vec<SessionProc<Streamer>> {
+        (0..2)
+            .map(|_| {
+                SessionProc::new(
+                    Streamer {
+                        count,
+                        seen: vec![],
+                    },
+                    SessionConfig::reliable(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exactly_once_in_order_over_drops() {
+        for seed in 0..8 {
+            let mut cfg = SimConfig::jittery(seed, 2, 25);
+            cfg.faults = FaultPlan::lossy(0.25);
+            let mut sim = Simulation::new(cfg, streamers(100));
+            sim.run();
+            let p1 = sim.proc(ProcId(1)).inner();
+            assert_eq!(p1.seen, (0..100).collect::<Vec<_>>(), "seed {seed}");
+            assert!(
+                sim.stats().faults().dropped > 0,
+                "seed {seed}: faults were injected"
+            );
+            assert!(
+                sim.proc(ProcId(0)).session_stats().retransmissions > 0,
+                "seed {seed}: losses were repaired by retransmission"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_once_over_duplication() {
+        for seed in 0..8 {
+            let mut cfg = SimConfig::jittery(seed, 2, 25);
+            cfg.faults = FaultPlan::none().with_dup(0.3);
+            let mut sim = Simulation::new(cfg, streamers(100));
+            sim.run();
+            let p1 = sim.proc(ProcId(1)).inner();
+            assert_eq!(p1.seen, (0..100).collect::<Vec<_>>(), "seed {seed}");
+            assert!(sim.stats().faults().duplicated > 0, "seed {seed}");
+            assert!(
+                sim.proc(ProcId(1)).session_stats().dup_suppressed > 0,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_once_over_drops_and_dups() {
+        for seed in 0..8 {
+            let mut cfg = SimConfig::jittery(seed, 2, 25);
+            cfg.faults = FaultPlan::lossy(0.15).with_dup(0.15);
+            let mut sim = Simulation::new(cfg, streamers(100));
+            sim.run();
+            let p1 = sim.proc(ProcId(1)).inner();
+            assert_eq!(p1.seen, (0..100).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn receiver_crash_does_not_double_deliver() {
+        // P1 crashes mid-stream and restarts. Its delivery counter is
+        // stable, so retransmitted payloads it already consumed must be
+        // suppressed, and payloads lost in flight must be redelivered:
+        // exactly-once end to end.
+        for seed in 0..8 {
+            let mut cfg = SimConfig::jittery(seed, 2, 25);
+            cfg.faults = FaultPlan::none().with_crash(CrashEvent {
+                proc: ProcId(1),
+                at: SimTime(40),
+                restart_at: Some(SimTime(400)),
+            });
+            let mut sim = Simulation::new(cfg, streamers(50));
+            sim.run();
+            assert!(sim.stats().faults().crashes == 1, "seed {seed}");
+            let p1 = sim.proc(ProcId(1)).inner();
+            assert_eq!(p1.seen, (0..50).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn passthrough_preserves_message_stats() {
+        // Session off, no faults: per-kind counts equal an unwrapped run.
+        let raw = {
+            let procs = (0..2)
+                .map(|_| Streamer {
+                    count: 40,
+                    seen: vec![],
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::seeded(9), procs);
+            sim.run();
+            sim.stats().kind("num")
+        };
+        let wrapped = {
+            let procs = (0..2)
+                .map(|_| {
+                    SessionProc::passthrough(Streamer {
+                        count: 40,
+                        seen: vec![],
+                    })
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::seeded(9), procs);
+            sim.run();
+            sim.stats().kind("num")
+        };
+        assert_eq!(raw, wrapped);
+    }
+
+    #[test]
+    fn retry_exhaustion_gives_up() {
+        // A permanent partition: the sender must eventually abort rather
+        // than retransmit forever.
+        let mut cfg = SimConfig::seeded(3);
+        cfg.faults = FaultPlan::none().with_partition(crate::Partition {
+            start: SimTime(0),
+            end: SimTime(u64::MAX),
+            side_a: vec![ProcId(0)],
+            side_b: vec![ProcId(1)],
+        });
+        let mut sim = Simulation::new(
+            cfg,
+            (0..2)
+                .map(|_| {
+                    SessionProc::new(
+                        Streamer {
+                            count: 5,
+                            seen: vec![],
+                        },
+                        SessionConfig {
+                            enabled: true,
+                            base_rto: 10,
+                            max_rto: 40,
+                            max_retries: 6,
+                        },
+                    )
+                })
+                .collect(),
+        );
+        sim.run();
+        assert_eq!(sim.proc(ProcId(0)).session_stats().aborted, 5);
+        assert_eq!(sim.proc(ProcId(0)).unacked(), 0);
+        assert!(sim.proc(ProcId(1)).inner().seen.is_empty());
+    }
+}

@@ -3,10 +3,11 @@
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::context::{Context, Effect};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
 use crate::trace::TraceEntry;
 use crate::{LatencyModel, NetStats, Payload, ProcId, Process, SimTime, Trace};
 
@@ -29,6 +30,10 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Abort the run past this virtual time.
     pub max_time: SimTime,
+    /// Fault schedule. The default ([`FaultPlan::none`]) is the paper's
+    /// reliable network; an inactive plan adds no RNG draws and no events,
+    /// so fault-free runs are bit-identical to the pre-fault simulator.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -40,6 +45,7 @@ impl Default for SimConfig {
             service_time: 0,
             max_events: 100_000_000,
             max_time: SimTime(u64::MAX),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -101,6 +107,17 @@ pub struct Simulation<P: Process> {
     delivered: u64,
     max_events: u64,
     max_time: SimTime,
+    /// Fault schedule and its dedicated RNG stream. Drawing fault decisions
+    /// from a separate generator keeps the main RNG sequence — and therefore
+    /// every fault-free run — untouched by this machinery.
+    faults: FaultPlan,
+    fault_rng: SmallRng,
+    faults_active: bool,
+    /// Per-processor liveness (fault model); all `false` without faults.
+    down: Vec<bool>,
+    /// Incremented on each crash; events scheduled under an older epoch are
+    /// the crashed incarnation's volatile queue and are discarded.
+    crash_epoch: Vec<u32>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -108,6 +125,7 @@ impl<P: Process> Simulation<P> {
     /// process's `on_start` hook.
     pub fn new(config: SimConfig, procs: Vec<P>) -> Self {
         let n = procs.len();
+        let faults_active = config.faults.is_active();
         let mut sim = Simulation {
             procs: procs.into_iter().map(Some).collect(),
             queue: EventQueue::new(),
@@ -125,7 +143,24 @@ impl<P: Process> Simulation<P> {
             delivered: 0,
             max_events: config.max_events,
             max_time: config.max_time,
+            // Distinct stream per run seed; the constant only decorrelates it
+            // from the main RNG, which sees the identical seed.
+            fault_rng: SmallRng::seed_from_u64(config.seed ^ 0xFA017),
+            faults: config.faults,
+            faults_active,
+            down: vec![false; n],
+            crash_epoch: vec![0; n],
         };
+        // Schedule the crash/restart control events up front; an empty plan
+        // pushes nothing, keeping the event sequence of fault-free runs
+        // byte-identical.
+        for c in sim.faults.crashes.clone() {
+            assert!(c.proc.index() < n, "crash plan names unknown processor");
+            sim.queue.push(c.at, c.proc, EventKind::Crash);
+            if let Some(r) = c.restart_at {
+                sim.queue.push(r, c.proc, EventKind::Restart);
+            }
+        }
         for i in 0..n {
             sim.with_proc(ProcId(i as u32), |p, ctx| p.on_start(ctx));
         }
@@ -212,14 +247,34 @@ impl<P: Process> Simulation<P> {
             msg.size_hint(),
             false,
         );
-        self.queue.push(
+        self.queue.push_epoch(
             at,
             to,
+            self.crash_epoch[to.index()],
             EventKind::Deliver {
                 from: ProcId::EXTERNAL,
                 msg,
             },
         );
+    }
+
+    /// Is this processor currently crashed under the fault plan?
+    pub fn is_down(&self, id: ProcId) -> bool {
+        self.down[id.index()]
+    }
+
+    /// Has a run limit already been crossed? `None` means the simulation may
+    /// keep stepping. Callers that drive [`Simulation::step`] in their own
+    /// loop should consult this so `max_events` / `max_time` are not
+    /// silently ignored.
+    pub fn limit_exceeded(&self) -> Option<RunOutcome> {
+        if self.delivered >= self.max_events {
+            Some(RunOutcome::EventLimit)
+        } else if self.now > self.max_time {
+            Some(RunOutcome::TimeLimit)
+        } else {
+            None
+        }
     }
 
     /// Deliver a single event. Returns `false` if the queue was empty.
@@ -228,10 +283,29 @@ impl<P: Process> Simulation<P> {
             return false;
         };
         debug_assert!(event.at >= self.now, "time runs forward");
+        let is_control = matches!(event.kind, EventKind::Crash | EventKind::Restart);
+        // Fault model: deliveries and timers addressed to a crashed
+        // processor — or scheduled before its last crash (a stale epoch:
+        // the dead incarnation's volatile queue) — are lost.
+        if self.faults_active && !is_control {
+            let idx = event.to.index();
+            if self.down[idx] || event.epoch != self.crash_epoch[idx] {
+                self.now = event.at;
+                match event.kind {
+                    EventKind::Deliver { .. } => self.stats.faults_mut().crash_dropped += 1,
+                    EventKind::Timer { .. } => self.stats.faults_mut().timer_dropped += 1,
+                    _ => unreachable!(),
+                }
+                self.stats.observe_inflight(self.queue.len());
+                return true;
+            }
+        }
         // Service-time model: a processor executes one action at a time.
         // If the target is still busy, requeue the event at its free time
         // (requeue order follows pop order, so per-channel FIFO holds).
-        if self.service_time > 0 {
+        // Crash/restart are physical faults, not actions: they bypass the
+        // node manager's queue.
+        if self.service_time > 0 && !is_control {
             let busy = self.proc_busy[event.to.index()];
             if busy > event.at {
                 // Keep the original sequence number: a requeued event must
@@ -270,6 +344,36 @@ impl<P: Process> Simulation<P> {
                 }
                 self.with_proc(to, |p, ctx| p.on_timer(ctx, token));
             }
+            EventKind::Crash => {
+                self.down[to.index()] = true;
+                self.crash_epoch[to.index()] += 1;
+                self.stats.faults_mut().crashes += 1;
+                if self.trace_enabled() {
+                    self.trace.record(TraceEntry {
+                        at: self.now,
+                        from: to,
+                        to,
+                        kind: "fault.crash",
+                        detail: String::new(),
+                    });
+                }
+            }
+            EventKind::Restart => {
+                self.down[to.index()] = false;
+                // The new incarnation's node manager starts idle.
+                self.proc_busy[to.index()] = self.now;
+                self.stats.faults_mut().restarts += 1;
+                if self.trace_enabled() {
+                    self.trace.record(TraceEntry {
+                        at: self.now,
+                        from: to,
+                        to,
+                        kind: "fault.restart",
+                        detail: String::new(),
+                    });
+                }
+                self.with_proc(to, |p, ctx| p.on_restart(ctx));
+            }
         }
         self.stats.observe_inflight(self.queue.len());
         true
@@ -278,11 +382,8 @@ impl<P: Process> Simulation<P> {
     /// Run until quiescence or a limit is hit.
     pub fn run(&mut self) -> RunOutcome {
         loop {
-            if self.delivered >= self.max_events {
-                return RunOutcome::EventLimit;
-            }
-            if self.now > self.max_time {
-                return RunOutcome::TimeLimit;
+            if let Some(outcome) = self.limit_exceeded() {
+                return outcome;
             }
             if !self.step() {
                 return RunOutcome::Quiescent;
@@ -347,6 +448,21 @@ impl<P: Process> Simulation<P> {
                     msg.size_hint(),
                     local,
                 );
+                // Fault injection applies to remote internal traffic only: a
+                // processor's hand-offs to itself never cross the network.
+                // Dropped messages do NOT advance the FIFO watermark, so the
+                // survivors still arrive in send order.
+                if self.faults_active && !local {
+                    if self.faults.severed(src, to, self.now) {
+                        self.stats.faults_mut().partition_dropped += 1;
+                        return;
+                    }
+                    if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob)
+                    {
+                        self.stats.faults_mut().dropped += 1;
+                        return;
+                    }
+                }
                 let latency = self.latency.sample(src, to, &mut self.rng);
                 let mut at = self.now + latency;
                 // Enforce FIFO per channel: never schedule before an earlier
@@ -354,11 +470,40 @@ impl<P: Process> Simulation<P> {
                 let watermark = self.channel_clock.entry((src, to)).or_insert(SimTime::ZERO);
                 at = at.max(*watermark);
                 *watermark = at;
-                self.queue.push(at, to, EventKind::Deliver { from: src, msg });
+                let wm = *watermark;
+                let epoch = self.crash_epoch[to.index()];
+                if self.faults_active
+                    && !local
+                    && self.faults.dup_prob > 0.0
+                    && self.fault_rng.gen_bool(self.faults.dup_prob)
+                {
+                    // The duplicate takes its own latency draw (clamped to
+                    // arrive no earlier than the original) but does not
+                    // advance the watermark: it may be overtaken, exactly
+                    // like a retransmitted packet on a real network.
+                    self.stats.faults_mut().duplicated += 1;
+                    let dup_latency = self.latency.sample(src, to, &mut self.fault_rng);
+                    let dup_at = (self.now + dup_latency).max(wm);
+                    self.queue.push_epoch(
+                        dup_at,
+                        to,
+                        epoch,
+                        EventKind::Deliver {
+                            from: src,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.queue
+                    .push_epoch(at, to, epoch, EventKind::Deliver { from: src, msg });
             }
             Effect::Timer { delay, token } => {
-                self.queue
-                    .push(self.now + delay, src, EventKind::Timer { token });
+                self.queue.push_epoch(
+                    self.now + delay,
+                    src,
+                    self.crash_epoch[src.index()],
+                    EventKind::Timer { token },
+                );
             }
         }
     }
@@ -532,7 +677,10 @@ mod tests {
         let times = &sim.proc(ProcId(0)).times;
         assert_eq!(times.len(), 10, "all delivered");
         for w in times.windows(2) {
-            assert!(w[1] >= w[0] + 5, "actions spaced by service time: {times:?}");
+            assert!(
+                w[1] >= w[0] + 5,
+                "actions spaced by service time: {times:?}"
+            );
         }
         // FIFO preserved under requeueing.
         assert!(times.windows(2).all(|w| w[0] < w[1]));
@@ -594,7 +742,10 @@ mod tests {
             cfg,
             vec![
                 P::Obs(Obs { seen: vec![] }),
-                P::S(Sender { at: 0, msgs: vec![] }),
+                P::S(Sender {
+                    at: 0,
+                    msgs: vec![],
+                }),
             ],
         );
         // Interferer occupies P0 from t=9..12; A lands t=10, B lands t=12.
@@ -602,7 +753,9 @@ mod tests {
         sim.inject_at(SimTime(10), ProcId(0), Msg::Ping(1)); // A
         sim.inject_at(SimTime(12), ProcId(0), Msg::Ping(2)); // B
         sim.run();
-        let P::Obs(o) = sim.proc(ProcId(0)) else { panic!() };
+        let P::Obs(o) = sim.proc(ProcId(0)) else {
+            panic!()
+        };
         assert_eq!(o.seen, vec![99, 1, 2], "A not overtaken by B");
     }
 

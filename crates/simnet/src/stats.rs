@@ -6,6 +6,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::fault::FaultStats;
+
 /// Counters for one message kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KindStats {
@@ -31,6 +33,7 @@ pub struct NetStats {
     per_proc_sent: Vec<u64>,
     per_proc_received: Vec<u64>,
     max_inflight: usize,
+    faults: FaultStats,
 }
 
 impl NetStats {
@@ -40,7 +43,17 @@ impl NetStats {
             per_proc_sent: vec![0; n_procs],
             per_proc_received: vec![0; n_procs],
             max_inflight: 0,
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Counters for injected faults (all zero without a fault plan).
+    pub fn faults(&self) -> &FaultStats {
+        &self.faults
+    }
+
+    pub(crate) fn faults_mut(&mut self) -> &mut FaultStats {
+        &mut self.faults
     }
 
     pub(crate) fn record_send(
@@ -141,6 +154,7 @@ impl NetStats {
                 *r = r.saturating_sub(*prev);
             }
         }
+        out.faults = self.faults.saturating_sub(&earlier.faults);
         out
     }
 }
@@ -159,6 +173,20 @@ impl fmt::Display for NetStats {
                 f,
                 "  {:<24} remote {:>8}  local {:>8}",
                 kind, ks.remote, ks.local
+            )?;
+        }
+        if self.faults.any() {
+            writeln!(
+                f,
+                "faults: {} dropped, {} duplicated, {} partition-dropped, \
+                 {} crash-dropped, {} timers lost, {} crashes, {} restarts",
+                self.faults.dropped,
+                self.faults.duplicated,
+                self.faults.partition_dropped,
+                self.faults.crash_dropped,
+                self.faults.timer_dropped,
+                self.faults.crashes,
+                self.faults.restarts
             )?;
         }
         Ok(())

@@ -9,10 +9,12 @@
 //! parallelism. Tests and experiments should prefer the deterministic
 //! [`Simulation`](crate::Simulation).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::context::Effect;
 use crate::{Context, Payload, ProcId, Process, SimTime};
@@ -22,10 +24,69 @@ use rand::SeedableRng;
 
 enum Envelope<M> {
     Msg { from: ProcId, msg: M },
+    Timer { token: u64 },
+    Shutdown,
+}
+
+/// Commands for the cluster's dedicated timer thread.
+enum TimerCmd {
+    At {
+        deadline: Instant,
+        proc: ProcId,
+        token: u64,
+    },
     Shutdown,
 }
 
 type Channel<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
+
+/// Min-heap timer wheel: sleeps until the earliest deadline (or a new
+/// command), then delivers `Envelope::Timer` to the owning process. One
+/// tick of `Context::set_timer` is one microsecond, matching the `now()`
+/// clock the worker threads report.
+fn run_timers<M: Payload + Send + 'static>(
+    cmds: Receiver<TimerCmd>,
+    senders: Vec<Sender<Envelope<M>>>,
+) {
+    // (deadline, seq, proc, token); seq keeps same-deadline timers FIFO.
+    let mut heap: BinaryHeap<Reverse<(Instant, u64, u32, u64)>> = BinaryHeap::new();
+    let mut next_seq = 0u64;
+    loop {
+        let now = Instant::now();
+        while let Some(&Reverse((deadline, _, proc, token))) = heap.peek() {
+            if deadline > now {
+                break;
+            }
+            heap.pop();
+            let _ = senders[proc as usize].send(Envelope::Timer { token });
+        }
+        let cmd = match heap.peek() {
+            Some(&Reverse((deadline, ..))) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match cmds.recv_timeout(wait) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match cmds.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+        };
+        match cmd {
+            TimerCmd::At {
+                deadline,
+                proc,
+                token,
+            } => {
+                next_seq += 1;
+                heap.push(Reverse((deadline, next_seq, proc.0, token)));
+            }
+            TimerCmd::Shutdown => break,
+        }
+    }
+}
 
 /// A running cluster of processes on OS threads.
 ///
@@ -36,6 +97,8 @@ pub struct Cluster<M: Payload + Send + 'static> {
     senders: Vec<Sender<Envelope<M>>>,
     outputs: Receiver<(ProcId, M)>,
     handles: Vec<thread::JoinHandle<()>>,
+    timer_cmds: Sender<TimerCmd>,
+    timer_handle: thread::JoinHandle<()>,
 }
 
 impl<M: Payload + Send + 'static> Cluster<M> {
@@ -47,14 +110,21 @@ impl<M: Payload + Send + 'static> Cluster<M> {
         let n = procs.len();
         let (out_tx, out_rx) = unbounded::<(ProcId, M)>();
         let channels: Vec<Channel<M>> = (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Envelope<M>>> =
-            channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let (timer_tx, timer_rx) = unbounded::<TimerCmd>();
+        let timer_senders = senders.clone();
+        let timer_handle = thread::Builder::new()
+            .name("simnet-timers".into())
+            .spawn(move || run_timers(timer_rx, timer_senders))
+            .expect("spawn simnet timer thread");
 
         let mut handles = Vec::with_capacity(n);
         for (i, (mut proc, (_, rx))) in procs.into_iter().zip(channels).enumerate() {
             let me = ProcId(i as u32);
             let peer_senders = senders.clone();
             let out = out_tx.clone();
+            let timers = timer_tx.clone();
             let handle = thread::Builder::new()
                 .name(format!("simnet-p{i}"))
                 .spawn(move || {
@@ -73,7 +143,7 @@ impl<M: Payload + Send + 'static> Cluster<M> {
                         };
                         proc.on_start(&mut ctx);
                     }
-                    flush(&mut effects, me, &peer_senders, &out);
+                    flush(&mut effects, me, &peer_senders, &out, &timers);
 
                     while let Ok(env) = rx.recv() {
                         match env {
@@ -85,7 +155,17 @@ impl<M: Payload + Send + 'static> Cluster<M> {
                                     rng: &mut rng,
                                 };
                                 proc.on_message(&mut ctx, from, msg);
-                                flush(&mut effects, me, &peer_senders, &out);
+                                flush(&mut effects, me, &peer_senders, &out, &timers);
+                            }
+                            Envelope::Timer { token } => {
+                                let mut ctx = Context {
+                                    me,
+                                    now: now(epoch),
+                                    effects: &mut effects,
+                                    rng: &mut rng,
+                                };
+                                proc.on_timer(&mut ctx, token);
+                                flush(&mut effects, me, &peer_senders, &out, &timers);
                             }
                             Envelope::Shutdown => break,
                         }
@@ -99,6 +179,8 @@ impl<M: Payload + Send + 'static> Cluster<M> {
             senders,
             outputs: out_rx,
             handles,
+            timer_cmds: timer_tx,
+            timer_handle,
         }
     }
 
@@ -139,6 +221,8 @@ impl<M: Payload + Send + 'static> Cluster<M> {
         for h in self.handles {
             let _ = h.join();
         }
+        let _ = self.timer_cmds.send(TimerCmd::Shutdown);
+        let _ = self.timer_handle.join();
     }
 }
 
@@ -147,6 +231,7 @@ fn flush<M: Payload>(
     me: ProcId,
     peers: &[Sender<Envelope<M>>],
     out: &Sender<(ProcId, M)>,
+    timers: &Sender<TimerCmd>,
 ) {
     for effect in effects.drain(..) {
         match effect {
@@ -157,11 +242,16 @@ fn flush<M: Payload>(
                     let _ = peers[to.index()].send(Envelope::Msg { from: me, msg });
                 }
             }
-            // Timers are a discrete-event facility; the threaded runtime
-            // drops them (document: protocols used with Cluster must not
-            // rely on timers for correctness — ours use them only for
-            // piggyback flushing, which the threaded runtime disables).
-            Effect::Timer { .. } => {}
+            Effect::Timer { delay, token } => {
+                // One virtual tick = one microsecond, the granularity of the
+                // `now()` clock the worker reports to its process.
+                let deadline = Instant::now() + Duration::from_micros(delay);
+                let _ = timers.send(TimerCmd::At {
+                    deadline,
+                    proc: me,
+                    token,
+                });
+            }
         }
     }
 }
@@ -215,6 +305,38 @@ mod tests {
                 ctx.send(next, Num(msg.0 - 1));
             }
         }
+    }
+
+    struct TimerReporter;
+    impl Process for TimerReporter {
+        type Msg = Num;
+        fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+            // Deliberately armed out of deadline order (10ms before 200ms
+            // on the wall clock would be flaky; 20x apart is not).
+            ctx.set_timer(200_000, 2);
+            ctx.set_timer(10_000, 1);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Num>, _: ProcId, _: Num) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Num>, token: u64) {
+            ctx.send(ProcId::EXTERNAL, Num(token));
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        // Regression: the threaded runtime used to silently drop
+        // `Effect::Timer`, so timer-driven logic (piggyback flushing,
+        // session retransmission) never ran under `Cluster`.
+        let cluster = Cluster::spawn(vec![TimerReporter]);
+        let mut got = vec![];
+        for _ in 0..2 {
+            let (_, Num(n)) = cluster
+                .recv_output_timeout(Duration::from_secs(5))
+                .expect("timer fired");
+            got.push(n);
+        }
+        assert_eq!(got, vec![1, 2], "timers fire in deadline order");
+        cluster.shutdown();
     }
 
     #[test]

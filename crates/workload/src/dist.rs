@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn sequential_strides() {
-        let mut d = KeyDist::Sequential { next: 10, stride: 5 };
+        let mut d = KeyDist::Sequential {
+            next: 10,
+            stride: 5,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(d.next_key(&mut rng), 10);
         assert_eq!(d.next_key(&mut rng), 15);
@@ -178,9 +181,7 @@ mod tests {
             hot_prob: 0.9,
         };
         let mut rng = SmallRng::seed_from_u64(4);
-        let hot = (0..10_000)
-            .filter(|_| d.next_key(&mut rng) < 100)
-            .count();
+        let hot = (0..10_000).filter(|_| d.next_key(&mut rng) < 100).count();
         assert!(hot > 8_000, "hot draws: {hot}");
     }
 }

@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let mk = || WorkloadGen::new(KeyDist::Uniform { n: 50 }, Mix::INSERT_ONLY, 2, 77).batch(100);
+        let mk =
+            || WorkloadGen::new(KeyDist::Uniform { n: 50 }, Mix::INSERT_ONLY, 2, 77).batch(100);
         assert_eq!(mk(), mk());
     }
 

@@ -14,9 +14,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use dbtree::{
-    balance, checker, BuildSpec, ClientOp, DbCluster, GlobalView, Intent, TreeConfig,
-};
+use dbtree::{balance, checker, BuildSpec, ClientOp, DbCluster, GlobalView, Intent, TreeConfig};
 use simnet::{ProcId, SimConfig};
 
 const HELP: &str = "commands:
@@ -33,7 +31,11 @@ const HELP: &str = "commands:
 
 fn main() {
     let n_procs = 4u32;
-    let spec = BuildSpec::new((0..64).map(|k| k * 16).collect(), n_procs, TreeConfig::default());
+    let spec = BuildSpec::new(
+        (0..64).map(|k| k * 16).collect(),
+        n_procs,
+        TreeConfig::default(),
+    );
     let mut cluster = DbCluster::build(&spec, SimConfig::jittery(1, 2, 20));
     let mut origin = 0u32;
     let mut expected: std::collections::BTreeSet<u64> = (0..64).map(|k| k * 16).collect();

@@ -10,9 +10,7 @@
 //! cargo run -p dbtree --example protocol_race
 //! ```
 
-use dbtree::{
-    checker, BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, TreeConfig,
-};
+use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, TreeConfig};
 use simnet::{ProcId, SimConfig};
 use std::collections::BTreeSet;
 

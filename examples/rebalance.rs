@@ -63,7 +63,10 @@ fn main() {
     bars(&before);
 
     let plan = plan_rebalance(&cluster.sim, 2);
-    println!("\nbalancer plans {} leaf migrations; executing...", plan.len());
+    println!(
+        "\nbalancer plans {} leaf migrations; executing...",
+        plan.len()
+    );
     for m in &plan {
         cluster.migrate(m.leaf, m.from, m.to);
     }
@@ -86,9 +89,6 @@ fn main() {
     );
 
     let after = leaf_loads(&cluster.sim);
-    println!(
-        "\nafter balancing (imbalance {:.2}):",
-        imbalance(&after)
-    );
+    println!("\nafter balancing (imbalance {:.2}):", imbalance(&after));
     bars(&after);
 }

@@ -1,0 +1,299 @@
+//! Chaos suite: the §3 requirements must survive a hostile network.
+//!
+//! The paper's protocols assume exactly-once FIFO channels and reliable
+//! processors (§4). Here those assumptions are deliberately broken — random
+//! drops, duplicate deliveries, and processor crash/restart — and the
+//! reliable-delivery session layer plus the §4.3 crash-recovery joins must
+//! rebuild them: every acknowledged insert findable, all copies converged,
+//! and the history log clean, on every seed.
+
+use std::collections::BTreeSet;
+
+use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, TreeConfig};
+use proptest::prelude::*;
+use simnet::{CrashEvent, FaultPlan, ProcId, SimConfig, SimTime};
+
+const N_PROCS: u32 = 4;
+
+/// A jittery-latency config carrying the given fault plan.
+fn faulty_cfg(seed: u64, faults: FaultPlan) -> SimConfig {
+    SimConfig {
+        faults,
+        ..SimConfig::jittery(seed, 2, 20)
+    }
+}
+
+/// Drive an insert storm through a faulty network and run the full checker
+/// battery. With no crashes in the plan every operation must complete.
+fn storm(cfg: TreeConfig, sim_cfg: SimConfig, n_ops: u64) {
+    let preload: Vec<u64> = (0..60).map(|k| k * 50).collect();
+    let spec = BuildSpec::new(preload.clone(), N_PROCS, cfg);
+    let mut cluster = DbCluster::build(&spec, sim_cfg);
+
+    let keys: Vec<u64> = (0..n_ops).map(|i| 7 * i + 1).collect();
+    let ops: Vec<ClientOp> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &key)| ClientOp {
+            origin: ProcId(i as u32 % N_PROCS),
+            key,
+            intent: Intent::Insert(key + 1),
+        })
+        .collect();
+    let stats = cluster.run_closed_loop(&ops, 3);
+    assert_eq!(
+        stats.records.len(),
+        ops.len(),
+        "every insert must be acknowledged despite the faults"
+    );
+
+    let faults = *cluster.sim.stats().faults();
+    assert!(
+        faults.dropped + faults.duplicated > 0,
+        "the plan was supposed to actually inject faults: {faults:?}"
+    );
+
+    let mut expected: BTreeSet<u64> = preload.into_iter().collect();
+    expected.extend(keys);
+    let violations = checker::check_all(&mut cluster, &expected);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+fn chaos_matrix(cfg_of: impl Fn() -> TreeConfig) {
+    for drop_prob in [0.05, 0.15] {
+        for seed in 0..8u64 {
+            let plan = FaultPlan::lossy(drop_prob).with_dup(0.10);
+            storm(cfg_of(), faulty_cfg(seed, plan), 100);
+        }
+    }
+}
+
+#[test]
+fn chaos_semisync() {
+    chaos_matrix(TreeConfig::default);
+}
+
+#[test]
+fn chaos_sync() {
+    chaos_matrix(|| TreeConfig::with_protocol(ProtocolKind::Sync));
+}
+
+#[test]
+fn chaos_available_copies() {
+    chaos_matrix(|| TreeConfig::with_protocol(ProtocolKind::AvailableCopies));
+}
+
+#[test]
+fn chaos_variable_copies() {
+    chaos_matrix(|| TreeConfig {
+        variable_copies: true,
+        ..Default::default()
+    });
+}
+
+/// Crash an interior-node replica in the middle of an insert storm (splits
+/// included), restart it, and require it to rejoin every dropped copy via
+/// the §4.3 join protocol and end bit-identical to its peers.
+#[test]
+fn crash_and_rejoin_mid_storm_converges() {
+    for seed in 0..6u64 {
+        let crashed = ProcId(2);
+        let plan = FaultPlan::lossy(0.05)
+            .with_dup(0.05)
+            .with_crash(CrashEvent {
+                proc: crashed,
+                at: SimTime(800),
+                restart_at: Some(SimTime(2500)),
+            });
+        let preload: Vec<u64> = (0..60).map(|k| k * 40).collect();
+        let spec = BuildSpec::new(preload.clone(), N_PROCS, TreeConfig::default());
+        let mut cluster = DbCluster::build(&spec, faulty_cfg(seed, plan));
+
+        // Clients avoid the crashing processor (an injection into a down
+        // processor is lost with the rest of its volatile queue); its leaves
+        // still serve traffic routed to them, which is the interesting part.
+        let origins = [ProcId(0), ProcId(1), ProcId(3)];
+        let keys: Vec<u64> = (0..150u64).map(|i| 13 * i + 3).collect();
+        let ops: Vec<ClientOp> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| ClientOp {
+                origin: origins[i % origins.len()],
+                key,
+                intent: Intent::Insert(key + 1),
+            })
+            .collect();
+        let stats = cluster.run_closed_loop(&ops, 3);
+        assert_eq!(stats.records.len(), ops.len(), "seed {seed}");
+
+        let faults = *cluster.sim.stats().faults();
+        assert_eq!(faults.crashes, 1, "seed {seed}");
+        assert_eq!(faults.restarts, 1, "seed {seed}");
+
+        // The restarted processor went through recovery and re-acquired at
+        // least one interior copy through the join protocol.
+        let recovered = cluster
+            .sim
+            .procs()
+            .find(|(pid, _)| *pid == crashed)
+            .map(|(_, p)| p.metrics)
+            .unwrap();
+        assert_eq!(recovered.recoveries, 1, "seed {seed}");
+        assert!(
+            recovered.recovery_rejoins >= 1,
+            "seed {seed}: the crashed processor held no interior replica?"
+        );
+
+        let mut expected: BTreeSet<u64> = preload.into_iter().collect();
+        expected.extend(keys);
+        let violations = checker::check_all(&mut cluster, &expected);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
+
+/// The same crash/rejoin story under §4.3 variable copies, where the
+/// recovered processor's joins race ordinary churn-driven joins.
+#[test]
+fn crash_recovery_under_variable_copies() {
+    for seed in 0..4u64 {
+        let plan = FaultPlan::lossy(0.05).with_crash(CrashEvent {
+            proc: ProcId(1),
+            at: SimTime(600),
+            restart_at: Some(SimTime(2000)),
+        });
+        let cfg = TreeConfig {
+            variable_copies: true,
+            ..Default::default()
+        };
+        let preload: Vec<u64> = (0..80).map(|k| k * 30).collect();
+        let spec = BuildSpec::new(preload.clone(), N_PROCS, cfg);
+        let mut cluster = DbCluster::build(&spec, faulty_cfg(seed, plan));
+
+        let origins = [ProcId(0), ProcId(2), ProcId(3)];
+        let keys: Vec<u64> = (0..120u64).map(|i| 11 * i + 5).collect();
+        let ops: Vec<ClientOp> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| ClientOp {
+                origin: origins[i % origins.len()],
+                key,
+                intent: Intent::Insert(key + 1),
+            })
+            .collect();
+        let stats = cluster.run_closed_loop(&ops, 3);
+        assert_eq!(stats.records.len(), ops.len(), "seed {seed}");
+
+        let mut expected: BTreeSet<u64> = preload.into_iter().collect();
+        expected.extend(keys);
+        let violations = checker::check_all(&mut cluster, &expected);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
+
+/// Determinism regression: an identical `SimConfig` — fault plan included —
+/// must replay the identical execution: same delivery trace, same op
+/// timings, same final tree, for multiple protocols.
+#[test]
+fn fault_plans_replay_deterministically() {
+    for protocol in [ProtocolKind::SemiSync, ProtocolKind::Sync] {
+        let fingerprint = || {
+            let plan = FaultPlan::lossy(0.10)
+                .with_dup(0.05)
+                .with_crash(CrashEvent {
+                    proc: ProcId(3),
+                    at: SimTime(500),
+                    restart_at: Some(SimTime(1500)),
+                });
+            let mut sim_cfg = faulty_cfg(99, plan);
+            sim_cfg.trace_capacity = 4096;
+            let spec = BuildSpec::new(
+                (0..50).map(|k| k * 20).collect(),
+                N_PROCS,
+                TreeConfig::with_protocol(protocol),
+            );
+            let mut cluster = DbCluster::build(&spec, sim_cfg);
+            let ops: Vec<ClientOp> = (0..80u64)
+                .map(|i| ClientOp {
+                    origin: ProcId((i % 3) as u32), // not the crashing proc
+                    key: 9 * i + 2,
+                    intent: Intent::Insert(i),
+                })
+                .collect();
+            let stats = cluster.run_closed_loop(&ops, 2);
+            let timings: Vec<(u64, u64, u64)> = stats
+                .records
+                .iter()
+                .map(|r| (r.op.key, r.submitted.ticks(), r.completed.ticks()))
+                .collect();
+            let mut digests: Vec<(u64, u32, u64)> = cluster
+                .sim
+                .procs()
+                .flat_map(|(pid, p)| {
+                    p.store
+                        .iter()
+                        .map(move |c| (c.id.raw(), pid.0, c.digest()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            digests.sort_unstable();
+            (
+                cluster.sim.events_delivered(),
+                cluster.sim.stats().total_messages(),
+                *cluster.sim.stats().faults(),
+                format!("{:?}", cluster.sim.trace()),
+                timings,
+                digests,
+            )
+        };
+        assert_eq!(fingerprint(), fingerprint(), "{protocol:?}");
+    }
+}
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::SemiSync),
+        Just(ProtocolKind::Sync),
+        Just(ProtocolKind::AvailableCopies),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 100,
+    })]
+
+    /// Any protocol, any seed, any drop/duplication rate: the session layer
+    /// restores exactly-once FIFO and every §3 requirement holds.
+    #[test]
+    fn lossy_runs_satisfy_the_requirements(
+        protocol in protocol_strategy(),
+        seed in 0u64..1_000_000,
+        drop_bp in 100u64..2500,   // basis points: 1%..25%
+        dup_bp in 0u64..2000,      // basis points: 0%..20%
+    ) {
+        let cfg = TreeConfig::with_protocol(protocol);
+        let plan = FaultPlan::lossy(drop_bp as f64 / 10_000.0).with_dup(dup_bp as f64 / 10_000.0);
+        let preload: Vec<u64> = (0..40).map(|k| k * 50).collect();
+        let spec = BuildSpec::new(preload.clone(), N_PROCS, cfg);
+        let mut cluster = DbCluster::build(&spec, faulty_cfg(seed, plan));
+
+        let keys: Vec<u64> = (0..50u64).map(|i| 17 * i + 4).collect();
+        let ops: Vec<ClientOp> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| ClientOp {
+                origin: ProcId(i as u32 % N_PROCS),
+                key,
+                intent: Intent::Insert(key),
+            })
+            .collect();
+        let stats = cluster.run_closed_loop(&ops, 3);
+        prop_assert_eq!(stats.records.len(), ops.len(), "every op completes");
+
+        let mut expected: BTreeSet<u64> = preload.into_iter().collect();
+        expected.extend(keys);
+        let violations = checker::check_all(&mut cluster, &expected);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+}

@@ -106,7 +106,11 @@ fn dbtree_agrees_with_sequential_oracle() {
                 }));
             }
         }
-        let oracle_keys: Vec<u64> = blink_oracle.range_scan(0, None).iter().map(|e| e.0).collect();
+        let oracle_keys: Vec<u64> = blink_oracle
+            .range_scan(0, None)
+            .iter()
+            .map(|e| e.0)
+            .collect();
         assert_eq!(
             chain_keys, oracle_keys,
             "config {ci}: leaf chain disagrees with sequential B-link scan"
@@ -155,7 +159,14 @@ fn searches_linearize_with_completed_inserts() {
 fn workload_trace_replay_is_reproducible() {
     // The workload crate's trace + the simulator's determinism compose:
     // replaying the same trace yields the identical execution.
-    let mut gen = WorkloadGen::new(KeyDist::Uniform { n: 500 }, Mix { search_fraction: 0.4 }, 3, 8);
+    let mut gen = WorkloadGen::new(
+        KeyDist::Uniform { n: 500 },
+        Mix {
+            search_fraction: 0.4,
+        },
+        3,
+        8,
+    );
     let trace = workload::Trace::new("replay-test", gen.batch(300));
 
     let run = |trace: &workload::Trace| {

@@ -29,7 +29,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     /// Whatever the protocol, placement, fanout, schedule, and operation

@@ -1,0 +1,226 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Benchmarks compile and run against this facade without crates.io access.
+//! It is a real (if minimal) harness: each benchmark is warmed up, then
+//! sampled `sample_size` times, and mean/min wall-clock per iteration is
+//! printed. There are no plots, baselines, or statistical regressions.
+//!
+//! Under `cargo test` the bench binaries are executed too (criterion's
+//! "test mode"); we detect the libtest `--test` flag — or any libtest-style
+//! argument — and then run every closure exactly once, keeping `cargo test`
+//! fast while still exercising the bench code path.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.group_name, id);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.group_name, id);
+        self.run(&label, f);
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher<'_>)>(&mut self, label: &str, f: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("test-mode: {label} ran once, ok");
+            return;
+        }
+        report(label, &samples);
+    }
+
+    /// End the group (report boundary; all output is already printed).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench targets with `harness = false` are run
+        // with libtest-style flags; `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            group_name: "bench".into(),
+            sample_size: 10,
+        };
+        g.bench_function(name, f);
+        self
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<44} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<44} mean {:>12?}   min {:>12?}   ({} samples)",
+        mean,
+        min,
+        samples.len()
+    );
+}
+
+/// Bundle bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("insert", 100).to_string(), "insert/100");
+        assert_eq!(
+            BenchmarkId::from_parameter("semisync").to_string(),
+            "semisync"
+        );
+    }
+
+    #[test]
+    fn groups_run_closures() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,510 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of proptest its test suites use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, ranges and tuples as strategies,
+//! [`strategy::Just`], [`prop_oneof!`], [`collection::vec`],
+//! [`arbitrary::any`], and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics: cases are generated from a deterministic per-test seed (the
+//! FNV-1a hash of the test name), so failures reproduce run-to-run. There is
+//! **no shrinking** — a failing case reports the assertion message and the
+//! case number; `max_shrink_iters` is accepted and ignored.
+
+pub mod test_runner {
+    //! Config, error type, and RNG for generated test cases.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's run configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Seed deterministically from the test's name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase for heterogeneous composition (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Build from at least one alternative.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! Everything the test files import with `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declare property tests. Matches proptest's surface syntax; runs
+/// `config.cases` deterministic cases per test, no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut case: u32 = 0;
+            let mut rejects: u32 = 0;
+            while case < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => case += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < config.cases.saturating_mul(16).max(1024),
+                            "proptest {}: too many prop_assume! rejections",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), case, msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b,
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a,
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($a), stringify!($b), a, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            pairs in crate::collection::vec((0u64..100, 0u32..10), 1..50),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 50);
+            for &(a, b) in &pairs {
+                prop_assert!(a < 100 && b < 10);
+            }
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![Just(1u64), (10u64..20).prop_map(|x| x * 2)],
+        ) {
+            prop_assert!(v == 1 || (20..40).contains(&v), "got {}", v);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let mut r1 = crate::test_runner::TestRng::deterministic("probe");
+        let mut r2 = crate::test_runner::TestRng::deterministic("probe");
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline serde facade.
+//!
+//! Re-exports the no-op derive macros and declares empty marker traits so
+//! `#[derive(serde::Serialize, serde::Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` compile without the real crate.
+//! Nothing in this workspace performs serialization (the environment is
+//! offline and serde_json is deliberately absent), so the traits carry no
+//! methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace annotates value types with serde derives for downstream
+//! consumers, but nothing in-tree serializes (no serde_json etc. in the
+//! dependency set — the build environment is offline). These derives accept
+//! the attribute position and emit nothing, which keeps the annotations
+//! compiling without pulling in the real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
