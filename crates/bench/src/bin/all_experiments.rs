@@ -19,6 +19,7 @@ fn main() {
         "e11_hash_table",
         "e12_slow_replica",
         "e13_fault_tolerance",
+        "e14_threaded_throughput",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

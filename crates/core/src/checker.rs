@@ -91,10 +91,16 @@ pub struct GlobalView<'a> {
 impl<'a> GlobalView<'a> {
     /// Snapshot the cluster.
     pub fn new(sim: &'a DbSim) -> Self {
+        Self::from_procs(sim.procs().map(|(pid, p)| (pid, &**p)))
+    }
+
+    /// Snapshot from bare processor states — the form that works after a
+    /// threaded cluster's shutdown handed its processes back.
+    pub fn from_procs(procs: impl IntoIterator<Item = (ProcId, &'a DbProc)>) -> Self {
         let mut copies: HashMap<NodeId, Vec<(ProcId, &'a NodeCopy)>> = HashMap::new();
         let mut root = None;
         let mut root_level = 0;
-        for (pid, proc) in sim.procs() {
+        for (pid, proc) in procs {
             for copy in proc.store.iter() {
                 copies.entry(copy.id).or_default().push((pid, copy));
             }

@@ -66,8 +66,12 @@ pub use metrics::ProcMetrics;
 pub use msg::{InstallReason, LinkDir, Msg, SplitInfo};
 pub use node::{NodeCopy, NodeSnapshot};
 pub use proc::DbProc;
+pub use simnet::{OpenLoopCfg, QuiesceError, Runtime};
 pub use store::NodeStore;
-pub use tree::{ClientOp, DbCluster, DbSim, DriverStats, OpRecord, QuiesceError, ScanRecord};
+pub use tree::{
+    record_final_digests_from, ClientOp, DbCluster, DbProtocol, DbSim, DriverStats, OpRecord,
+    ScanRecord, ScanSpec, ThreadedDbCluster, ThreadedDbRuntime,
+};
 pub use types::{
     ChildRef, Entry, Intent, Key, KeyRange, Link, NodeId, OpId, Outcome, Stamp, Value,
 };

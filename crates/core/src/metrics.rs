@@ -19,6 +19,9 @@ pub struct ProcMetrics {
     pub forwards_followed: u64,
     /// Relayed updates applied.
     pub relays_applied: u64,
+    /// Piggyback buffers flushed because the flush-interval timer fired
+    /// (as opposed to the batch filling up).
+    pub piggyback_timer_flushes: u64,
     /// Relayed updates discarded as out-of-range.
     pub relays_discarded: u64,
     /// Out-of-range relayed updates the PC re-issued toward their proper
@@ -51,6 +54,7 @@ impl ProcMetrics {
         self.missing_node_recoveries += other.missing_node_recoveries;
         self.forwards_followed += other.forwards_followed;
         self.relays_applied += other.relays_applied;
+        self.piggyback_timer_flushes += other.piggyback_timer_flushes;
         self.relays_discarded += other.relays_discarded;
         self.relays_forwarded += other.relays_forwarded;
         self.splits_initiated += other.splits_initiated;

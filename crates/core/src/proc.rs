@@ -381,6 +381,7 @@ impl Process for DbProc {
         match token {
             TIMER_PIGGYBACK => {
                 self.relay_timer_armed = false;
+                self.metrics.piggyback_timer_flushes += 1;
                 self.flush_relays(ctx);
             }
             TIMER_FORWARD_GC => {

@@ -1,57 +1,42 @@
-//! `DbCluster` — the public facade: a simulated dB-tree deployment plus a
-//! client driver.
+//! `DbCluster` — the public facade: a dB-tree deployment plus a client
+//! driver, generic over the execution substrate.
+//!
+//! All driver mechanics (op ids, pending tracking, closed/open-loop
+//! windowing, statistics) live in the shared `simnet::driver::Driver`; this
+//! module only teaches it the dB-tree's wire protocol via [`DbProtocol`]
+//! and re-exposes the typed convenience surface. The same facade runs on
+//! the deterministic simulator ([`DbSim`]) and on real OS threads
+//! ([`ThreadedDbCluster`]).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use history::HistoryLog;
 use parking_lot::Mutex;
+use simnet::driver::{ClientProtocol, Completion, Driver, OpOutcome};
 use simnet::{
-    ProcId, RunOutcome, SessionConfig, SessionMsg, SessionProc, SimConfig, SimTime, Simulation,
+    threaded, OpenLoopCfg, ProcId, QuiesceError, Runtime, SessionConfig, SessionMsg, SessionProc,
+    SimConfig, SimTime, Simulation,
 };
 
 use crate::build::{build_procs, BuildSpec};
 use crate::msg::Msg;
 use crate::proc::DbProc;
-use crate::types::{Intent, Key, NodeId, OpId, Outcome};
+use crate::types::{Intent, Key, NodeId, OpId, Outcome, Value};
 
-/// The simulation type a [`DbCluster`] drives: every [`DbProc`] is wrapped
-/// in the reliable-delivery session layer. With the default (pass-through)
-/// session config the wrapper adds nothing — message statistics are
-/// identical to driving bare `DbProc`s — and `SessionProc` derefs to
-/// `DbProc`, so checkers and metrics readers inspect processors unchanged.
+/// The simulation type a [`DbCluster`] drives by default: every [`DbProc`]
+/// is wrapped in the reliable-delivery session layer. With the default
+/// (pass-through) session config the wrapper adds nothing — message
+/// statistics are identical to driving bare `DbProc`s — and `SessionProc`
+/// derefs to `DbProc`, so checkers and metrics readers inspect processors
+/// unchanged.
 pub type DbSim = Simulation<SessionProc<DbProc>>;
 
-/// Why a run aborted before the network went silent.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum QuiesceError {
-    /// `SimConfig::max_events` was hit — likely a protocol livelock (or a
-    /// fault plan that keeps a retransmission loop alive forever).
-    EventLimit {
-        /// Events delivered when the limit tripped.
-        delivered: u64,
-    },
-    /// `SimConfig::max_time` was passed.
-    TimeLimit {
-        /// Virtual time when the limit tripped.
-        now: SimTime,
-    },
-}
+/// The threaded runtime for the same processes: one OS thread per
+/// processor, ticks are wall-clock microseconds.
+pub type ThreadedDbRuntime = threaded::Cluster<SessionProc<DbProc>>;
 
-impl std::fmt::Display for QuiesceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            QuiesceError::EventLimit { delivered } => {
-                write!(f, "event limit hit after {delivered} deliveries")
-            }
-            QuiesceError::TimeLimit { now } => {
-                write!(f, "time limit hit at t={}", now.ticks())
-            }
-        }
-    }
-}
-
-impl std::error::Error for QuiesceError {}
+/// A dB-tree deployment on real threads (see [`DbCluster::build_threaded`]).
+pub type ThreadedDbCluster = DbCluster<ThreadedDbRuntime>;
 
 /// One client operation for the driver.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +49,90 @@ pub struct ClientOp {
     pub intent: Intent,
 }
 
+/// A range-scan request for the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanSpec {
+    /// The processor the scan starts from.
+    pub origin: ProcId,
+    /// Inclusive start key.
+    pub from: Key,
+    /// Maximum number of live entries to collect.
+    pub limit: u32,
+}
+
+/// The dB-tree's client wire protocol, as the generic driver sees it:
+/// requests are `Msg::Client`/`Msg::ClientScan` wrapped in the (possibly
+/// pass-through) session layer, completions are `Msg::Done` and
+/// `Msg::ScanResult`.
+pub enum DbProtocol {}
+
+impl ClientProtocol for DbProtocol {
+    type Msg = SessionMsg<Msg>;
+    type Op = ClientOp;
+    type Outcome = Outcome;
+    type Scan = ScanSpec;
+    type ScanResult = (Vec<(Key, Value)>, u32);
+
+    fn origin(op: &ClientOp) -> ProcId {
+        op.origin
+    }
+
+    fn request(id: u64, op: &ClientOp) -> Self::Msg {
+        SessionMsg::Raw(Msg::Client {
+            op: OpId(id),
+            key: op.key,
+            intent: op.intent,
+        })
+    }
+
+    fn scan_origin(scan: &ScanSpec) -> ProcId {
+        scan.origin
+    }
+
+    fn scan_request(id: u64, scan: &ScanSpec) -> Self::Msg {
+        SessionMsg::Raw(Msg::ClientScan {
+            op: OpId(id),
+            from: scan.from,
+            limit: scan.limit,
+        })
+    }
+
+    fn parse(msg: Self::Msg) -> Option<Completion<Outcome, Self::ScanResult>> {
+        // Client replies leave the system unsessioned.
+        let SessionMsg::Raw(msg) = msg else {
+            return None;
+        };
+        match msg {
+            Msg::Done(outcome) => Some(Completion::Op {
+                id: outcome.op.0,
+                outcome,
+            }),
+            Msg::ScanResult { op, items, hops } => Some(Completion::Scan {
+                id: op.0,
+                result: (items, hops),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl OpOutcome for Outcome {
+    fn hops(&self) -> u32 {
+        self.hops
+    }
+    fn chases(&self) -> u32 {
+        self.chases
+    }
+}
+
+/// A completed operation with its timing (shared driver record, typed for
+/// the dB-tree).
+pub type OpRecord = simnet::driver::OpRecord<ClientOp, Outcome>;
+
+/// Aggregate results of a driven workload (shared driver stats, typed for
+/// the dB-tree).
+pub type DriverStats = simnet::driver::DriverStats<ClientOp, Outcome>;
+
 /// A completed range scan.
 #[derive(Clone, Debug)]
 pub struct ScanRecord {
@@ -74,7 +143,7 @@ pub struct ScanRecord {
     /// Limit requested.
     pub limit: u32,
     /// The collected `(key, value)` pairs, in key order.
-    pub items: Vec<(Key, crate::types::Value)>,
+    pub items: Vec<(Key, Value)>,
     /// Nodes visited.
     pub hops: u32,
     /// Submission time.
@@ -83,95 +152,18 @@ pub struct ScanRecord {
     pub completed: SimTime,
 }
 
-/// A completed operation with its timing.
-#[derive(Clone, Copy, Debug)]
-pub struct OpRecord {
-    /// The submitted operation.
-    pub op: ClientOp,
-    /// Submission time.
-    pub submitted: SimTime,
-    /// Completion time (when the leaf replied).
-    pub completed: SimTime,
-    /// The protocol-reported outcome.
-    pub outcome: Outcome,
-}
-
-impl OpRecord {
-    /// Virtual latency in ticks.
-    pub fn latency(&self) -> u64 {
-        self.completed - self.submitted
-    }
-}
-
-/// Aggregate results of a driven workload.
-#[derive(Clone, Debug, Default)]
-pub struct DriverStats {
-    /// Completed operations in completion order.
-    pub records: Vec<OpRecord>,
-    /// Virtual time from first injection to last completion.
-    pub makespan: u64,
-}
-
-impl DriverStats {
-    /// Mean latency in ticks.
-    pub fn mean_latency(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
-        }
-        self.records.iter().map(|r| r.latency()).sum::<u64>() as f64 / self.records.len() as f64
-    }
-
-    /// The `q`-quantile (0..1) of latency.
-    pub fn latency_quantile(&self, q: f64) -> u64 {
-        if self.records.is_empty() {
-            return 0;
-        }
-        let mut l: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
-        l.sort_unstable();
-        let idx = ((l.len() - 1) as f64 * q).round() as usize;
-        l[idx]
-    }
-
-    /// Operations per 1000 ticks of virtual time.
-    pub fn throughput_per_kilotick(&self) -> f64 {
-        if self.makespan == 0 {
-            return 0.0;
-        }
-        self.records.len() as f64 * 1000.0 / self.makespan as f64
-    }
-
-    /// Mean hops per operation.
-    pub fn mean_hops(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
-        }
-        self.records
-            .iter()
-            .map(|r| r.outcome.hops as u64)
-            .sum::<u64>() as f64
-            / self.records.len() as f64
-    }
-
-    /// Total right-link chases.
-    pub fn total_chases(&self) -> u64 {
-        self.records.iter().map(|r| r.outcome.chases as u64).sum()
-    }
-}
-
-/// A simulated dB-tree deployment: N processors over a discrete-event
-/// network, plus client bookkeeping.
-pub struct DbCluster {
-    /// The underlying simulation (exposed for stats and inspection).
-    pub sim: DbSim,
+/// A dB-tree deployment: N processors over a message-passing runtime, plus
+/// client bookkeeping. `R` is the substrate — [`DbSim`] (the default) or
+/// [`ThreadedDbRuntime`].
+pub struct DbCluster<R = DbSim> {
+    /// The underlying runtime (exposed for stats and inspection).
+    pub sim: R,
+    driver: Driver<DbProtocol>,
     log: Arc<Mutex<HistoryLog>>,
-    next_op: u64,
-    pending: HashMap<OpId, (ClientOp, SimTime)>,
-    pending_scans: HashMap<OpId, (Key, u32, SimTime)>,
-    scans: Vec<ScanRecord>,
 }
 
-impl DbCluster {
-    /// Build a deployment from a spec and a simulation config.
+impl DbCluster<DbSim> {
+    /// Build a simulated deployment from a spec and a simulation config.
     ///
     /// The reliable-delivery session layer is enabled exactly when the
     /// config carries an active fault plan: a fault-free cluster pays no
@@ -200,66 +192,9 @@ impl DbCluster {
             .collect();
         DbCluster {
             sim: Simulation::new(sim_cfg, procs),
+            driver: Driver::new(),
             log,
-            next_op: 1,
-            pending: HashMap::new(),
-            pending_scans: HashMap::new(),
-            scans: Vec::new(),
         }
-    }
-
-    /// The shared history log.
-    pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
-        Arc::clone(&self.log)
-    }
-
-    /// Number of processors.
-    pub fn n_procs(&self) -> u32 {
-        self.sim.num_procs() as u32
-    }
-
-    /// Submit one client operation (delivered at now+1).
-    pub fn submit(&mut self, op: ClientOp) -> OpId {
-        let id = OpId(self.next_op);
-        self.next_op += 1;
-        self.pending.insert(id, (op, self.sim.now()));
-        self.sim.inject(
-            op.origin,
-            SessionMsg::Raw(Msg::Client {
-                op: id,
-                key: op.key,
-                intent: op.intent,
-            }),
-        );
-        id
-    }
-
-    /// Submit a range scan: up to `limit` live entries from `from` onward,
-    /// collected by walking the leaf chain across processors.
-    pub fn scan(&mut self, origin: ProcId, from: Key, limit: u32) -> OpId {
-        let id = OpId(self.next_op);
-        self.next_op += 1;
-        self.pending_scans.insert(id, (from, limit, self.sim.now()));
-        self.sim.inject(
-            origin,
-            SessionMsg::Raw(Msg::ClientScan {
-                op: id,
-                from,
-                limit,
-            }),
-        );
-        id
-    }
-
-    /// Completed scans (drained).
-    pub fn take_scans(&mut self) -> Vec<ScanRecord> {
-        std::mem::take(&mut self.scans)
-    }
-
-    /// Inject a migration command (data balancing, §4.2).
-    pub fn migrate(&mut self, node: NodeId, owner: ProcId, dest: ProcId) {
-        self.sim
-            .inject(owner, SessionMsg::Raw(Msg::Migrate { node, dest }));
     }
 
     /// Every resident leaf with its owning processor, sorted by node id
@@ -280,151 +215,163 @@ impl DbCluster {
         out
     }
 
+    /// Finalize history digests (call after quiescence, before
+    /// `HistoryLog::check`).
+    pub fn record_final_digests(&mut self) {
+        record_final_digests_from(&self.log, self.sim.procs().map(|(pid, p)| (pid, &**p)));
+    }
+}
+
+impl ThreadedDbCluster {
+    /// Build the same deployment on real OS threads (pass-through session
+    /// layer: thread channels are already reliable and FIFO).
+    pub fn build_threaded(spec: &BuildSpec) -> Self {
+        Self::build_threaded_with_session(spec, SessionConfig::default())
+    }
+
+    /// Threaded deployment with an explicit session configuration.
+    pub fn build_threaded_with_session(spec: &BuildSpec, session: SessionConfig) -> Self {
+        let (procs, log) = build_procs(spec);
+        let procs: Vec<SessionProc<DbProc>> = procs
+            .into_iter()
+            .map(|p| SessionProc::new(p, session))
+            .collect();
+        DbCluster {
+            sim: threaded::Cluster::spawn(procs),
+            driver: Driver::new(),
+            log,
+        }
+    }
+}
+
+impl<R> DbCluster<R>
+where
+    R: Runtime<Proc = SessionProc<DbProc>>,
+{
+    /// The shared history log.
+    pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> u32 {
+        self.sim.num_procs() as u32
+    }
+
+    /// Submit one client operation (delivered at now+1).
+    pub fn submit(&mut self, op: ClientOp) -> OpId {
+        OpId(self.driver.submit(&mut self.sim, op))
+    }
+
+    /// Submit a range scan: up to `limit` live entries from `from` onward,
+    /// collected by walking the leaf chain across processors.
+    pub fn scan(&mut self, origin: ProcId, from: Key, limit: u32) -> OpId {
+        OpId(self.driver.submit_scan(
+            &mut self.sim,
+            ScanSpec {
+                origin,
+                from,
+                limit,
+            },
+        ))
+    }
+
+    /// Completed scans (drained).
+    pub fn take_scans(&mut self) -> Vec<ScanRecord> {
+        self.driver
+            .take_scans()
+            .into_iter()
+            .map(|s| ScanRecord {
+                op: OpId(s.id),
+                from: s.scan.from,
+                limit: s.scan.limit,
+                items: s.result.0,
+                hops: s.result.1,
+                submitted: s.submitted,
+                completed: s.completed,
+            })
+            .collect()
+    }
+
+    /// Inject a migration command (data balancing, §4.2).
+    pub fn migrate(&mut self, node: NodeId, owner: ProcId, dest: ProcId) {
+        self.sim
+            .inject(owner, SessionMsg::Raw(Msg::Migrate { node, dest }));
+    }
+
     /// Run until the network is silent; returns completed-op records drained
     /// along the way.
     ///
-    /// Panics if a simulation limit (`max_events` / `max_time`) trips first
-    /// — a silent early return here used to masquerade as quiescence and let
-    /// livelocked runs "pass". Use [`DbCluster::try_run_to_quiescence`] to
-    /// handle limits as values.
+    /// Panics if a limit trips first — a silent early return here used to
+    /// masquerade as quiescence and let livelocked runs "pass". Use
+    /// [`DbCluster::try_run_to_quiescence`] to handle limits as values.
     pub fn run_to_quiescence(&mut self) -> Vec<OpRecord> {
-        match self.try_run_to_quiescence() {
-            Ok(records) => records,
-            Err(e) => panic!(
-                "run_to_quiescence: {e} before the network went silent \
-                 ({} ops still pending)",
-                self.pending_ops()
-            ),
-        }
+        self.driver.run_to_quiescence(&mut self.sim)
     }
 
     /// Run until the network is silent, or fail with the limit that tripped.
     pub fn try_run_to_quiescence(&mut self) -> Result<Vec<OpRecord>, QuiesceError> {
-        let mut records = Vec::new();
-        loop {
-            if let Some(outcome) = self.sim.limit_exceeded() {
-                self.drain_done(&mut records);
-                return Err(match outcome {
-                    RunOutcome::EventLimit => QuiesceError::EventLimit {
-                        delivered: self.sim.events_delivered(),
-                    },
-                    _ => QuiesceError::TimeLimit {
-                        now: self.sim.now(),
-                    },
-                });
-            }
-            let progressed = self.sim.step();
-            self.drain_done(&mut records);
-            if !progressed {
-                return Ok(records);
-            }
-        }
+        self.driver.try_run_to_quiescence(&mut self.sim)
     }
 
     /// Drive `ops` closed-loop with `concurrency` outstanding operations per
-    /// origin processor, then run to quiescence.
+    /// origin processor, then run to quiescence. Panics if a limit trips
+    /// (see [`DbCluster::try_run_closed_loop`]).
     pub fn run_closed_loop(&mut self, ops: &[ClientOp], concurrency: usize) -> DriverStats {
-        let concurrency = concurrency.max(1);
-        let mut queues: BTreeMap<ProcId, VecDeque<ClientOp>> = BTreeMap::new();
-        for op in ops {
-            queues.entry(op.origin).or_default().push_back(*op);
-        }
-        let start = self.sim.now();
-        // Prime each origin's window.
-        for (_, q) in queues.iter_mut() {
-            for _ in 0..concurrency {
-                if let Some(op) = q.pop_front() {
-                    let id = OpId(self.next_op);
-                    self.next_op += 1;
-                    self.pending.insert(id, (op, self.sim.now()));
-                    self.sim.inject(
-                        op.origin,
-                        SessionMsg::Raw(Msg::Client {
-                            op: id,
-                            key: op.key,
-                            intent: op.intent,
-                        }),
-                    );
-                }
-            }
-        }
-        let mut records = Vec::with_capacity(ops.len());
-        let mut last_completion = start;
-        loop {
-            if let Some(outcome) = self.sim.limit_exceeded() {
-                panic!(
-                    "run_closed_loop: {outcome:?} before the workload drained \
-                     ({} ops still pending)",
-                    self.pending_ops()
-                );
-            }
-            let progressed = self.sim.step();
-            let before = records.len();
-            self.drain_done(&mut records);
-            for r in &records[before..] {
-                last_completion = last_completion.max(r.completed);
-                if let Some(q) = queues.get_mut(&r.op.origin) {
-                    if let Some(next) = q.pop_front() {
-                        self.submit(next);
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-        DriverStats {
-            makespan: last_completion - start,
-            records,
-        }
+        self.driver.run_closed_loop(&mut self.sim, ops, concurrency)
     }
 
-    fn drain_done(&mut self, records: &mut Vec<OpRecord>) {
-        for (at, _from, msg) in self.sim.drain_outputs() {
-            // Client replies leave the system unsessioned.
-            let SessionMsg::Raw(msg) = msg else { continue };
-            match msg {
-                Msg::Done(outcome) => {
-                    if let Some((op, submitted)) = self.pending.remove(&outcome.op) {
-                        records.push(OpRecord {
-                            op,
-                            submitted,
-                            completed: at,
-                            outcome,
-                        });
-                    }
-                }
-                Msg::ScanResult { op, items, hops } => {
-                    if let Some((from, limit, submitted)) = self.pending_scans.remove(&op) {
-                        self.scans.push(ScanRecord {
-                            op,
-                            from,
-                            limit,
-                            items,
-                            hops,
-                            submitted,
-                            completed: at,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
+    /// Closed-loop driving with limits reported as values instead of
+    /// panics.
+    pub fn try_run_closed_loop(
+        &mut self,
+        ops: &[ClientOp],
+        concurrency: usize,
+    ) -> Result<DriverStats, QuiesceError> {
+        self.driver
+            .try_run_closed_loop(&mut self.sim, ops, concurrency)
+    }
+
+    /// Drive `ops` open-loop at the fixed arrival schedule of `cfg`
+    /// (arrivals do not wait for completions), then run to quiescence.
+    pub fn run_open_loop(&mut self, ops: &[ClientOp], cfg: &OpenLoopCfg) -> DriverStats {
+        self.driver.run_open_loop(&mut self.sim, ops, cfg)
+    }
+
+    /// Open-loop driving with limits reported as values instead of panics.
+    pub fn try_run_open_loop(
+        &mut self,
+        ops: &[ClientOp],
+        cfg: &OpenLoopCfg,
+    ) -> Result<DriverStats, QuiesceError> {
+        self.driver.try_run_open_loop(&mut self.sim, ops, cfg)
     }
 
     /// Operations submitted but not yet completed (scans included).
     pub fn pending_ops(&self) -> usize {
-        self.pending.len() + self.pending_scans.len()
+        self.driver.pending_ops()
     }
 
-    /// Finalize history digests (call after quiescence, before
-    /// `HistoryLog::check`).
-    pub fn record_final_digests(&mut self) {
-        let mut log = self.log.lock();
-        for (pid, proc) in self.sim.procs() {
-            for copy in proc.store.iter() {
-                log.set_final_digest(copy.id.raw(), pid.0, copy.digest());
-            }
+    /// Tear the runtime down and return the final processor states (joins
+    /// worker threads on the threaded runtime). The history log survives in
+    /// [`DbCluster::log`] clones; record digests with
+    /// [`record_final_digests_from`].
+    pub fn into_procs(self) -> Vec<SessionProc<DbProc>> {
+        self.sim.into_procs()
+    }
+}
+
+/// Record every copy's final digest into `log` — the post-run half of the
+/// §3 checker, usable on any source of processor states (a live simulation
+/// or the processes handed back by a threaded shutdown).
+pub fn record_final_digests_from<'a>(
+    log: &Arc<Mutex<HistoryLog>>,
+    procs: impl IntoIterator<Item = (ProcId, &'a DbProc)>,
+) {
+    let mut log = log.lock();
+    for (pid, proc) in procs {
+        for copy in proc.store.iter() {
+            log.set_final_digest(copy.id.raw(), pid.0, copy.digest());
         }
     }
 }

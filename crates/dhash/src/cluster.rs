@@ -1,12 +1,22 @@
 //! Cluster bootstrap, client driver, and end-of-run checkers for the
 //! distributed hash table.
+//!
+//! Driver mechanics are the shared `simnet::driver::Driver`; this module
+//! teaches it the hash table's wire protocol via [`HashProtocol`] and keeps
+//! the legacy typed statistics. Like the dB-tree facade, [`HashCluster`] is
+//! generic over the runtime: [`HashSim`] (the default, deterministic) or
+//! [`ThreadedHashRuntime`] (real threads).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use history::HistoryLog;
 use parking_lot::Mutex;
-use simnet::{ProcId, SessionConfig, SessionMsg, SessionProc, SimConfig, SimTime, Simulation};
+use simnet::driver::{ClientProtocol, Completion, Driver, NoScan, OpOutcome};
+use simnet::{
+    threaded, ProcId, QuiesceError, Runtime, SessionConfig, SessionMsg, SessionProc, SimConfig,
+    SimTime, Simulation,
+};
 
 use crate::bucket::{Bucket, BucketId, BucketRef};
 use crate::dir::Directory;
@@ -23,6 +33,73 @@ pub struct HashSpec {
     pub n_procs: u32,
     /// Configuration.
     pub cfg: HashConfig,
+}
+
+/// One client operation for the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct HashOp {
+    /// The processor the client submits to.
+    pub origin: ProcId,
+    /// The key.
+    pub key: u64,
+    /// Search / insert / delete.
+    pub kind: HKind,
+}
+
+/// The hash table's client wire protocol for the shared driver.
+pub enum HashProtocol {}
+
+impl ClientProtocol for HashProtocol {
+    type Msg = SessionMsg<HMsg>;
+    type Op = HashOp;
+    type Outcome = HOutcome;
+    type Scan = NoScan;
+    type ScanResult = ();
+
+    fn origin(op: &HashOp) -> ProcId {
+        op.origin
+    }
+
+    fn request(id: u64, op: &HashOp) -> Self::Msg {
+        SessionMsg::Raw(HMsg::Client {
+            op: id,
+            key: op.key,
+            kind: op.kind,
+        })
+    }
+
+    fn scan_origin(scan: &NoScan) -> ProcId {
+        match *scan {}
+    }
+
+    fn scan_request(_id: u64, scan: &NoScan) -> Self::Msg {
+        match *scan {}
+    }
+
+    fn parse(msg: Self::Msg) -> Option<Completion<HOutcome, ()>> {
+        let SessionMsg::Raw(msg) = msg else {
+            return None;
+        };
+        match msg {
+            HMsg::Done(outcome) => Some(Completion::Op {
+                id: outcome.op,
+                outcome,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl OpOutcome for HOutcome {
+    fn hops(&self) -> u32 {
+        self.hops
+    }
+    fn chases(&self) -> u32 {
+        self.recoveries
+    }
+    fn lost(&self) -> bool {
+        self.lost
+    }
 }
 
 /// A completed operation.
@@ -44,6 +121,19 @@ pub struct HashClusterStats {
 }
 
 impl HashClusterStats {
+    fn from_driver(records: Vec<simnet::driver::OpRecord<HashOp, HOutcome>>) -> Self {
+        HashClusterStats {
+            records: records
+                .into_iter()
+                .map(|r| HashOpRecord {
+                    outcome: r.outcome,
+                    submitted: r.submitted,
+                    completed: r.completed,
+                })
+                .collect(),
+        }
+    }
+
     /// Operations reported lost (NaiveNoLinks drops).
     pub fn lost(&self) -> usize {
         self.records.iter().filter(|r| r.outcome.lost).count()
@@ -75,104 +165,144 @@ impl HashClusterStats {
 /// pass-through unless the [`SimConfig`] carries an active fault plan.
 pub type HashSim = Simulation<SessionProc<HashProc>>;
 
-/// A simulated distributed hash table.
-pub struct HashCluster {
-    /// The underlying simulation.
-    pub sim: HashSim,
+/// The threaded runtime for the same processes.
+pub type ThreadedHashRuntime = threaded::Cluster<SessionProc<HashProc>>;
+
+/// A distributed hash table on real threads (see
+/// [`HashCluster::build_threaded`]).
+pub type ThreadedHashCluster = HashCluster<ThreadedHashRuntime>;
+
+/// A distributed hash table over a message-passing runtime. `R` is the
+/// substrate — [`HashSim`] (the default) or [`ThreadedHashRuntime`].
+pub struct HashCluster<R = HashSim> {
+    /// The underlying runtime.
+    pub sim: R,
+    driver: Driver<HashProtocol>,
     log: Arc<Mutex<HistoryLog>>,
-    next_op: u64,
-    pending: HashMap<u64, SimTime>,
 }
 
-impl HashCluster {
-    /// Bootstrap: an initial directory of depth `ceil(log2(n_procs))`,
-    /// bucket *i* on processor `i % n_procs`, preloaded keys hashed in.
+/// Build the initial processor states: a directory of depth
+/// `ceil(log2(n_procs))`, bucket *i* on processor `i % n_procs`, preloaded
+/// keys hashed in, everything wrapped in the session layer.
+fn bootstrap(
+    spec: &HashSpec,
+    session: SessionConfig,
+) -> (Vec<SessionProc<HashProc>>, Arc<Mutex<HistoryLog>>) {
+    let n = spec.n_procs;
+    assert!(n > 0);
+    let log = Arc::new(Mutex::new(if spec.cfg.record_history {
+        HistoryLog::new()
+    } else {
+        HistoryLog::disabled()
+    }));
+
+    // Initial depth: enough buckets that every processor owns one.
+    let mut depth = 0u8;
+    while (1usize << depth) < n as usize {
+        depth += 1;
+    }
+    let n_buckets = 1usize << depth;
+
+    // Mint bootstrap ids with *per-processor* counters so they can
+    // never collide with the ids processors mint for split images later
+    // (each processor's counter space is dense from 0).
+    let mut per_proc_counter = vec![0u64; n as usize];
+    let mut buckets: Vec<Bucket> = (0..n_buckets)
+        .map(|i| {
+            let home = ProcId((i % n as usize) as u32);
+            let counter = per_proc_counter[home.index()];
+            per_proc_counter[home.index()] += 1;
+            Bucket::new(BucketId::mint(home, counter), i as u64, depth)
+        })
+        .collect();
+    for &key in &spec.preload {
+        let h = hash_of(key);
+        let idx = (h & ((n_buckets as u64) - 1)) as usize;
+        buckets[idx].entries.insert(h, (key, key));
+    }
+    let slots: Vec<BucketRef> = buckets
+        .iter()
+        .enumerate()
+        .map(|(i, b)| BucketRef {
+            id: b.id,
+            home: ProcId((i % n as usize) as u32),
+            local_depth: depth,
+        })
+        .collect();
+
+    {
+        let mut l = log.lock();
+        for p in 0..n {
+            l.copy_created(DIR_NODE, p, []);
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            l.copy_created(b.id.raw(), (i % n as usize) as u32, []);
+        }
+    }
+
+    let procs: Vec<HashProc> = (0..n)
+        .map(|p| {
+            let dir = Directory::from_slots(depth, slots.clone());
+            let mine: BTreeMap<BucketId, Bucket> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i % n as usize) as u32 == p)
+                .map(|(_, b)| (b.id, b.clone()))
+                .collect();
+            HashProc::new(ProcId(p), n, spec.cfg.clone(), dir, mine, Arc::clone(&log))
+        })
+        .collect();
+
+    let procs = procs
+        .into_iter()
+        .map(|p| SessionProc::new(p, session))
+        .collect();
+    (procs, log)
+}
+
+impl HashCluster<HashSim> {
+    /// Bootstrap a simulated deployment (see [`bootstrap`]'s shape rules).
+    ///
+    /// A lossy network ⇒ every processor is wrapped in the reliable-delivery
+    /// session layer; on a perfect network the wrapper passes messages
+    /// through untouched.
     pub fn build(spec: &HashSpec, sim_cfg: SimConfig) -> Self {
-        let n = spec.n_procs;
-        assert!(n > 0);
-        let log = Arc::new(Mutex::new(if spec.cfg.record_history {
-            HistoryLog::new()
-        } else {
-            HistoryLog::disabled()
-        }));
-
-        // Initial depth: enough buckets that every processor owns one.
-        let mut depth = 0u8;
-        while (1usize << depth) < n as usize {
-            depth += 1;
-        }
-        let n_buckets = 1usize << depth;
-
-        // Mint bootstrap ids with *per-processor* counters so they can
-        // never collide with the ids processors mint for split images later
-        // (each processor's counter space is dense from 0).
-        let mut per_proc_counter = vec![0u64; n as usize];
-        let mut buckets: Vec<Bucket> = (0..n_buckets)
-            .map(|i| {
-                let home = ProcId((i % n as usize) as u32);
-                let counter = per_proc_counter[home.index()];
-                per_proc_counter[home.index()] += 1;
-                Bucket::new(BucketId::mint(home, counter), i as u64, depth)
-            })
-            .collect();
-        for &key in &spec.preload {
-            let h = hash_of(key);
-            let idx = (h & ((n_buckets as u64) - 1)) as usize;
-            buckets[idx].entries.insert(h, (key, key));
-        }
-        let slots: Vec<BucketRef> = buckets
-            .iter()
-            .enumerate()
-            .map(|(i, b)| BucketRef {
-                id: b.id,
-                home: ProcId((i % n as usize) as u32),
-                local_depth: depth,
-            })
-            .collect();
-
-        {
-            let mut l = log.lock();
-            for p in 0..n {
-                l.copy_created(DIR_NODE, p, []);
-            }
-            for (i, b) in buckets.iter().enumerate() {
-                l.copy_created(b.id.raw(), (i % n as usize) as u32, []);
-            }
-        }
-
-        let procs: Vec<HashProc> = (0..n)
-            .map(|p| {
-                let dir = Directory::from_slots(depth, slots.clone());
-                let mine: BTreeMap<BucketId, Bucket> = buckets
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| (*i % n as usize) as u32 == p)
-                    .map(|(_, b)| (b.id, b.clone()))
-                    .collect();
-                HashProc::new(ProcId(p), n, spec.cfg.clone(), dir, mine, Arc::clone(&log))
-            })
-            .collect();
-
-        // Lossy network ⇒ wrap every processor in the reliable-delivery
-        // session layer; on a perfect network the wrapper passes messages
-        // through untouched.
         let session = if sim_cfg.faults.is_active() {
             SessionConfig::reliable()
         } else {
             SessionConfig::default()
         };
-        let procs: Vec<SessionProc<HashProc>> = procs
-            .into_iter()
-            .map(|p| SessionProc::new(p, session))
-            .collect();
+        let (procs, log) = bootstrap(spec, session);
         HashCluster {
             sim: Simulation::new(sim_cfg, procs),
+            driver: Driver::new(),
             log,
-            next_op: 1,
-            pending: HashMap::new(),
         }
     }
 
+    /// Record final digests into the history log (call before `check`).
+    pub fn record_final_digests(&mut self) {
+        record_final_digests_from(&self.log, self.sim.procs().map(|(pid, p)| (pid, &**p)));
+    }
+}
+
+impl ThreadedHashCluster {
+    /// Bootstrap the same deployment on real OS threads (pass-through
+    /// session layer: thread channels are already reliable and FIFO).
+    pub fn build_threaded(spec: &HashSpec) -> Self {
+        let (procs, log) = bootstrap(spec, SessionConfig::default());
+        HashCluster {
+            sim: threaded::Cluster::spawn(procs),
+            driver: Driver::new(),
+            log,
+        }
+    }
+}
+
+impl<R> HashCluster<R>
+where
+    R: Runtime<Proc = SessionProc<HashProc>>,
+{
     /// The shared history log.
     pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
         Arc::clone(&self.log)
@@ -180,45 +310,68 @@ impl HashCluster {
 
     /// Submit one operation at `origin`.
     pub fn submit(&mut self, origin: ProcId, key: u64, kind: HKind) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        self.pending.insert(op, self.sim.now());
-        self.sim
-            .inject(origin, SessionMsg::Raw(HMsg::Client { op, key, kind }));
-        op
+        self.driver
+            .submit(&mut self.sim, HashOp { origin, key, kind })
     }
 
-    /// Run to quiescence, collecting completions.
+    /// Run to quiescence, collecting completions. Panics if a run limit
+    /// trips first (see [`HashCluster::try_run_to_quiescence`]).
     pub fn run_to_quiescence(&mut self) -> HashClusterStats {
-        let mut stats = HashClusterStats::default();
-        loop {
-            let progressed = self.sim.step();
-            for (at, _from, msg) in self.sim.drain_outputs() {
-                let SessionMsg::Raw(msg) = msg else { continue };
-                if let HMsg::Done(outcome) = msg {
-                    if let Some(submitted) = self.pending.remove(&outcome.op) {
-                        stats.records.push(HashOpRecord {
-                            outcome,
-                            submitted,
-                            completed: at,
-                        });
-                    }
-                }
-            }
-            if !progressed {
-                return stats;
-            }
-        }
+        HashClusterStats::from_driver(self.driver.run_to_quiescence(&mut self.sim))
     }
 
-    /// Record final digests into the history log (call before `check`).
-    pub fn record_final_digests(&mut self) {
-        let mut log = self.log.lock();
-        for (pid, proc) in self.sim.procs() {
-            log.set_final_digest(DIR_NODE, pid.0, proc.dir.digest());
-            for (id, b) in &proc.buckets {
-                log.set_final_digest(id.raw(), pid.0, b.digest());
-            }
+    /// Run to quiescence, or fail with the limit that tripped.
+    pub fn try_run_to_quiescence(&mut self) -> Result<HashClusterStats, QuiesceError> {
+        self.driver
+            .try_run_to_quiescence(&mut self.sim)
+            .map(HashClusterStats::from_driver)
+    }
+
+    /// Drive `ops` closed-loop with `concurrency` outstanding operations
+    /// per origin, then run to quiescence. Panics on a limit (see
+    /// [`HashCluster::try_run_closed_loop`]).
+    pub fn run_closed_loop(&mut self, ops: &[HashOp], concurrency: usize) -> HashClusterStats {
+        HashClusterStats::from_driver(
+            self.driver
+                .run_closed_loop(&mut self.sim, ops, concurrency)
+                .records,
+        )
+    }
+
+    /// Closed-loop driving with limits reported as values.
+    pub fn try_run_closed_loop(
+        &mut self,
+        ops: &[HashOp],
+        concurrency: usize,
+    ) -> Result<HashClusterStats, QuiesceError> {
+        self.driver
+            .try_run_closed_loop(&mut self.sim, ops, concurrency)
+            .map(|s| HashClusterStats::from_driver(s.records))
+    }
+
+    /// Operations submitted but not yet completed.
+    pub fn pending_ops(&self) -> usize {
+        self.driver.pending_ops()
+    }
+
+    /// Tear the runtime down and return the final processor states (joins
+    /// worker threads on the threaded runtime).
+    pub fn into_procs(self) -> Vec<SessionProc<HashProc>> {
+        self.sim.into_procs()
+    }
+}
+
+/// Record every directory and bucket digest into `log` — usable on a live
+/// simulation or on the processes a threaded shutdown handed back.
+pub fn record_final_digests_from<'a>(
+    log: &Arc<Mutex<HistoryLog>>,
+    procs: impl IntoIterator<Item = (ProcId, &'a HashProc)>,
+) {
+    let mut log = log.lock();
+    for (pid, proc) in procs {
+        log.set_final_digest(DIR_NODE, pid.0, proc.dir.digest());
+        for (id, b) in &proc.buckets {
+            log.set_final_digest(id.raw(), pid.0, b.digest());
         }
     }
 }
@@ -257,21 +410,32 @@ pub enum HashViolation {
     },
 }
 
-/// Run the full end-of-run checker: directory convergence, bucket
-/// invariants, key findability from *every* processor's directory (chasing
-/// split-image links exactly like the protocol does), stash drainage, and
-/// the §3 history requirements.
+/// Run the full end-of-run checker on a simulated cluster: directory
+/// convergence, bucket invariants, key findability from *every* processor's
+/// directory (chasing split-image links exactly like the protocol does),
+/// stash drainage, and the §3 history requirements.
 pub fn check_hash_cluster(
     cluster: &mut HashCluster,
     expected: &BTreeMap<u64, u64>,
 ) -> Vec<HashViolation> {
     cluster.record_final_digests();
+    let procs: Vec<(ProcId, &HashProc)> = cluster.sim.procs().map(|(pid, p)| (pid, &**p)).collect();
+    check_hash_procs(&procs, &cluster.log, expected)
+}
+
+/// The same checker over bare processor states — the form that works after
+/// a threaded cluster's shutdown. Digests must already be recorded (see
+/// [`record_final_digests_from`]).
+pub fn check_hash_procs(
+    procs: &[(ProcId, &HashProc)],
+    log: &Arc<Mutex<HistoryLog>>,
+    expected: &BTreeMap<u64, u64>,
+) -> Vec<HashViolation> {
     let mut out = Vec::new();
 
     // Directory convergence.
-    let digests: Vec<(u32, u64)> = cluster
-        .sim
-        .procs()
+    let digests: Vec<(u32, u64)> = procs
+        .iter()
         .map(|(p, proc)| (p.0, proc.dir.digest()))
         .collect();
     if digests.windows(2).any(|w| w[0].1 != w[1].1) {
@@ -280,7 +444,7 @@ pub fn check_hash_cluster(
 
     // Bucket invariants + global bucket map.
     let mut all_buckets: HashMap<BucketId, &Bucket> = HashMap::new();
-    for (_, proc) in cluster.sim.procs() {
+    for (_, proc) in procs {
         for (id, b) in &proc.buckets {
             if !b.invariant_ok() {
                 out.push(HashViolation::BadBucket { bucket: *id });
@@ -290,7 +454,7 @@ pub fn check_hash_cluster(
     }
 
     // Findability from every processor.
-    for (pid, proc) in cluster.sim.procs() {
+    for (pid, proc) in procs {
         for (&key, &value) in expected {
             let h = hash_of(key);
             let mut cur = proc.dir.route(h).id;
@@ -309,21 +473,21 @@ pub fn check_hash_cluster(
                 }
             }
             if found != Some(value) {
-                out.push(HashViolation::KeyLost { key, from: pid });
+                out.push(HashViolation::KeyLost { key, from: *pid });
             }
         }
     }
 
     // Stashes and pending patches drained.
-    for (pid, proc) in cluster.sim.procs() {
+    for (pid, proc) in procs {
         let count: usize = proc.stash_sizes().values().sum::<usize>() + proc.pending_patch_count();
         if count > 0 {
-            out.push(HashViolation::DanglingStash { proc: pid, count });
+            out.push(HashViolation::DanglingStash { proc: *pid, count });
         }
     }
 
     // §3 requirements.
-    for v in cluster.log().lock().check() {
+    for v in log.lock().check() {
         out.push(HashViolation::History {
             detail: v.to_string(),
         });

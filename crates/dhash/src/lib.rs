@@ -39,8 +39,9 @@ mod proc;
 
 pub use bucket::{Bucket, BucketId, BucketRef};
 pub use cluster::{
-    check_hash_cluster, HashCluster, HashClusterStats, HashOpRecord, HashSim, HashSpec,
-    HashViolation,
+    check_hash_cluster, check_hash_procs, record_final_digests_from, HashCluster, HashClusterStats,
+    HashOp, HashOpRecord, HashProtocol, HashSim, HashSpec, HashViolation, ThreadedHashCluster,
+    ThreadedHashRuntime,
 };
 pub use dir::{DirPatch, Directory, PatchOutcome};
 pub use hashfn::{hash_of, matches_pattern, HashBits};

@@ -1,0 +1,95 @@
+//! Runtime equivalence for the hash table: the lazy directory protocol,
+//! driven through the same `HashCluster` facade, must reach the same final
+//! contents on the deterministic simulator and on real OS threads.
+//!
+//! As with the dB-tree equivalence suite, every insert targets a distinct
+//! fresh key with a value derived from the key, so the final key→value map
+//! is schedule-independent even though thread interleavings are not.
+
+use std::collections::BTreeMap;
+
+use dhash::{
+    check_hash_cluster, check_hash_procs, record_final_digests_from, HKind, HashCluster, HashOp,
+    HashSpec, ThreadedHashCluster,
+};
+use simnet::{ProcId, SimConfig};
+
+const N_PROCS: u32 = 4;
+const SEEDS: u64 = 8;
+
+fn workload(seed: u64, n_inserts: u64) -> (HashSpec, Vec<HashOp>, BTreeMap<u64, u64>) {
+    let spec = HashSpec {
+        preload: (0..60).map(|k| k * 3).collect(),
+        n_procs: N_PROCS,
+        cfg: Default::default(),
+    };
+    let mut expected: BTreeMap<u64, u64> = spec.preload.iter().map(|&k| (k, k)).collect();
+    let mut ops = Vec::new();
+    for i in 0..n_inserts {
+        let r = (i ^ seed).wrapping_mul(0x9E3779B97F4A7C15);
+        let origin = ProcId((r % N_PROCS as u64) as u32);
+        // Distinct fresh keys (stride 7, seed offset) — inserts never
+        // conflict, so the final contents don't depend on completion order.
+        let key = 10_000 + i * 7 + seed;
+        expected.insert(key, key + 1);
+        ops.push(HashOp {
+            origin,
+            key,
+            kind: HKind::Insert(key + 1),
+        });
+        if i % 3 == 0 {
+            ops.push(HashOp {
+                origin,
+                key: (i * 9) % 180, // preloaded territory
+                kind: HKind::Search,
+            });
+        }
+    }
+    (spec, ops, expected)
+}
+
+#[test]
+fn lazy_equivalent_across_runtimes() {
+    for seed in 0..SEEDS {
+        let (spec, ops, expected) = workload(seed, 80);
+
+        // Simulator run under jittery service times.
+        let mut sim = HashCluster::build(&spec, SimConfig::jittery(seed, 2, 20));
+        let stats = sim.run_closed_loop(&ops, 4);
+        assert_eq!(stats.records.len(), ops.len(), "sim seed {seed}: ops lost");
+        assert_eq!(
+            stats.lost(),
+            0,
+            "sim seed {seed}: lazy protocol dropped ops"
+        );
+        let violations = check_hash_cluster(&mut sim, &expected);
+        assert!(violations.is_empty(), "sim seed {seed}: {violations:?}");
+
+        // Threaded run: same processes, same driver, real interleavings.
+        let mut thr = ThreadedHashCluster::build_threaded(&spec);
+        let stats = thr.run_closed_loop(&ops, 4);
+        assert_eq!(
+            stats.records.len(),
+            ops.len(),
+            "threaded seed {seed}: ops lost"
+        );
+        assert_eq!(
+            stats.lost(),
+            0,
+            "threaded seed {seed}: lazy protocol dropped ops"
+        );
+        let log = thr.log();
+        let final_procs = thr.into_procs();
+        let procs: Vec<_> = final_procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId(i as u32), &**p))
+            .collect();
+        record_final_digests_from(&log, procs.iter().copied());
+        let violations = check_hash_procs(&procs, &log, &expected);
+        assert!(
+            violations.is_empty(),
+            "threaded seed {seed}: {violations:?}"
+        );
+    }
+}

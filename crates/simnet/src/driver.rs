@@ -1,0 +1,799 @@
+//! The generic workload driver: one implementation of op-id allocation,
+//! pending-op tracking, closed- and open-loop driving, and latency
+//! statistics, shared by every search structure and both runtimes.
+//!
+//! A structure plugs in by implementing [`ClientProtocol`] — how to turn an
+//! operation into a request message and recognize its completion — and gets
+//! the whole driver surface (`submit`, `run_closed_loop`, `run_open_loop`,
+//! quiescence draining, [`DriverStats`]) on any [`Runtime`]. The dB-tree's
+//! `DbCluster` and the hash table's `HashCluster` are thin typed wrappers
+//! over [`Driver`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runtime::{Poll, QuiesceError, Runtime};
+use crate::{Payload, ProcId, Process, SimTime};
+
+/// How a search structure talks to clients: request construction and
+/// completion parsing. Implementors are zero-sized marker types; all
+/// methods are static.
+pub trait ClientProtocol {
+    /// The wire message type (must match the runtime's process message).
+    type Msg: Payload;
+    /// A client operation as the workload sees it.
+    type Op: Clone;
+    /// The structure-reported result of one operation.
+    type Outcome;
+    /// A range-scan request (use [`NoScan`] if the structure has none).
+    type Scan: Clone;
+    /// The result of a completed scan.
+    type ScanResult;
+
+    /// The processor an operation is submitted to.
+    fn origin(op: &Self::Op) -> ProcId;
+
+    /// Build the request message carrying driver-assigned id `id`.
+    fn request(id: u64, op: &Self::Op) -> Self::Msg;
+
+    /// The processor a scan is submitted to.
+    fn scan_origin(scan: &Self::Scan) -> ProcId;
+
+    /// Build the scan request message carrying driver-assigned id `id`.
+    fn scan_request(id: u64, scan: &Self::Scan) -> Self::Msg;
+
+    /// Parse an external output: `Some` if it completes a driver-submitted
+    /// operation or scan, `None` for anything else.
+    fn parse(msg: Self::Msg) -> Option<Completion<Self::Outcome, Self::ScanResult>>;
+}
+
+/// A parsed completion message.
+pub enum Completion<O, S> {
+    /// A point operation finished.
+    Op {
+        /// The driver-assigned operation id.
+        id: u64,
+        /// The reported outcome.
+        outcome: O,
+    },
+    /// A range scan finished.
+    Scan {
+        /// The driver-assigned operation id.
+        id: u64,
+        /// The collected result.
+        result: S,
+    },
+}
+
+/// Scan type for structures without range scans; uninhabited, so
+/// [`ClientProtocol::scan_request`] is trivially unreachable.
+#[derive(Clone, Copy, Debug)]
+pub enum NoScan {}
+
+/// Uniform accessors over protocol-specific outcomes, so [`DriverStats`]
+/// can aggregate hops/chases/losses without knowing the structure.
+pub trait OpOutcome {
+    /// Nodes visited while navigating to the operation's home.
+    fn hops(&self) -> u32 {
+        0
+    }
+    /// Misnavigation recoveries (right-link chases, split-image chases).
+    fn chases(&self) -> u32 {
+        0
+    }
+    /// The structure admitted losing the operation (broken strawmen only).
+    fn lost(&self) -> bool {
+        false
+    }
+}
+
+/// A completed operation with its timing.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord<Op, O> {
+    /// The submitted operation.
+    pub op: Op,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time (when the reply left the structure).
+    pub completed: SimTime,
+    /// The protocol-reported outcome.
+    pub outcome: O,
+}
+
+impl<Op, O> OpRecord<Op, O> {
+    /// Latency in ticks.
+    pub fn latency(&self) -> u64 {
+        self.completed - self.submitted
+    }
+}
+
+/// A completed range scan with its timing.
+#[derive(Clone, Debug)]
+pub struct ScanRecord<S, R> {
+    /// The driver-assigned operation id.
+    pub id: u64,
+    /// The request as submitted.
+    pub scan: S,
+    /// The collected result.
+    pub result: R,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+}
+
+/// Aggregate results of a driven workload.
+#[derive(Clone, Debug)]
+pub struct DriverStats<Op, O> {
+    /// Completed operations in completion order.
+    pub records: Vec<OpRecord<Op, O>>,
+    /// Ticks from first injection to last completion.
+    pub makespan: u64,
+}
+
+/// Completed records of a quiescence run, or the limit that tripped.
+pub type QuiesceResult<Op, O> = Result<Vec<OpRecord<Op, O>>, QuiesceError>;
+
+impl<Op, O> Default for DriverStats<Op, O> {
+    fn default() -> Self {
+        DriverStats {
+            records: Vec::new(),
+            makespan: 0,
+        }
+    }
+}
+
+impl<Op, O> DriverStats<Op, O> {
+    /// Mean latency in ticks.
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency()).sum::<u64>() as f64 / self.records.len() as f64
+    }
+
+    /// The `q`-quantile (clamped to `0..=1`) of latency by nearest-rank;
+    /// `q = 0` is the minimum, `q = 1` the maximum, `0` with no records.
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut l: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        l.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let idx = (((l.len() - 1) as f64 * q).round() as usize).min(l.len() - 1);
+        l[idx]
+    }
+
+    /// Operations per 1000 ticks of driven time.
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 * 1000.0 / self.makespan as f64
+    }
+}
+
+impl<Op, O: OpOutcome> DriverStats<Op, O> {
+    /// Mean hops per operation.
+    pub fn mean_hops(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.outcome.hops() as u64)
+            .sum::<u64>() as f64
+            / self.records.len() as f64
+    }
+
+    /// Total misnavigation recoveries.
+    pub fn total_chases(&self) -> u64 {
+        self.records.iter().map(|r| r.outcome.chases() as u64).sum()
+    }
+
+    /// Operations the structure reported losing.
+    pub fn lost_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.lost()).count()
+    }
+}
+
+/// Arrival schedule for open-loop (fixed-rate) driving.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopCfg {
+    /// Target inter-arrival gap in ticks (clamped to ≥ 1).
+    pub period: u64,
+    /// Draw each gap uniformly from `[1, 2·period)` instead of using the
+    /// constant period (mean stays `period`).
+    pub jitter: bool,
+    /// Seed for the jitter stream; the schedule is a pure function of
+    /// `(n, period, jitter, seed)`.
+    pub seed: u64,
+}
+
+impl OpenLoopCfg {
+    /// A constant-rate schedule: one arrival every `period` ticks.
+    pub fn fixed(period: u64) -> Self {
+        OpenLoopCfg {
+            period,
+            jitter: false,
+            seed: 0,
+        }
+    }
+
+    /// A jittered schedule with mean gap `period`.
+    pub fn jittered(period: u64, seed: u64) -> Self {
+        OpenLoopCfg {
+            period,
+            jitter: true,
+            seed,
+        }
+    }
+}
+
+/// The deterministic arrival offsets (ticks after the run starts) for `n`
+/// operations under `cfg`. Exposed so tests and experiments can predict —
+/// and assert — the schedule.
+pub fn arrival_offsets(n: usize, cfg: &OpenLoopCfg) -> Vec<u64> {
+    let period = cfg.period.max(1);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0A11_5EED);
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += if cfg.jitter {
+            rng.gen_range(1..2 * period)
+        } else {
+            period
+        };
+        out.push(t);
+    }
+    out
+}
+
+/// Number of consecutive idle polls a threaded run tolerates before a
+/// quiescence probe; each idle poll is one grace period long.
+const IDLE_PROBE_AFTER: u32 = 1;
+
+/// The generic workload driver. See the module docs; construct with
+/// [`Driver::new`] and pass the runtime to each call (the driver does not
+/// own the runtime, so wrappers can keep theirs public).
+pub struct Driver<C: ClientProtocol> {
+    next_op: u64,
+    pending: HashMap<u64, (C::Op, SimTime)>,
+    pending_scans: HashMap<u64, (C::Scan, SimTime)>,
+    scans: Vec<ScanRecord<C::Scan, C::ScanResult>>,
+}
+
+impl<C: ClientProtocol> Default for Driver<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: ClientProtocol> Driver<C> {
+    /// A fresh driver; ids start at 1.
+    pub fn new() -> Self {
+        Driver {
+            next_op: 1,
+            pending: HashMap::new(),
+            pending_scans: HashMap::new(),
+            scans: Vec::new(),
+        }
+    }
+
+    /// Operations submitted but not yet completed (scans included).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len() + self.pending_scans.len()
+    }
+
+    /// Completed scans (drained).
+    pub fn take_scans(&mut self) -> Vec<ScanRecord<C::Scan, C::ScanResult>> {
+        std::mem::take(&mut self.scans)
+    }
+
+    /// Submit one operation; returns the driver-assigned id.
+    pub fn submit<R>(&mut self, rt: &mut R, op: C::Op) -> u64
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(id, (op.clone(), rt.now()));
+        rt.inject(C::origin(&op), C::request(id, &op));
+        id
+    }
+
+    /// Submit one scan; returns the driver-assigned id.
+    pub fn submit_scan<R>(&mut self, rt: &mut R, scan: C::Scan) -> u64
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.pending_scans.insert(id, (scan.clone(), rt.now()));
+        rt.inject(C::scan_origin(&scan), C::scan_request(id, &scan));
+        id
+    }
+
+    /// Parse everything the runtime has emitted, matching completions to
+    /// pending operations. Returns how many point ops completed.
+    fn drain_into<R>(&mut self, rt: &mut R, records: &mut Vec<OpRecord<C::Op, C::Outcome>>) -> usize
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let before = records.len();
+        for (at, _from, msg) in rt.drain_outputs() {
+            match C::parse(msg) {
+                Some(Completion::Op { id, outcome }) => {
+                    if let Some((op, submitted)) = self.pending.remove(&id) {
+                        records.push(OpRecord {
+                            op,
+                            submitted,
+                            completed: at,
+                            outcome,
+                        });
+                    }
+                }
+                Some(Completion::Scan { id, result }) => {
+                    if let Some((scan, submitted)) = self.pending_scans.remove(&id) {
+                        self.scans.push(ScanRecord {
+                            id,
+                            scan,
+                            result,
+                            submitted,
+                            completed: at,
+                        });
+                    }
+                }
+                None => {}
+            }
+        }
+        records.len() - before
+    }
+
+    /// Closed-loop windowing: for every record completed since `from`,
+    /// submit the next queued op from the same origin (one in, one out).
+    fn refill<R>(
+        &mut self,
+        rt: &mut R,
+        queues: &mut BTreeMap<ProcId, VecDeque<C::Op>>,
+        records: &[OpRecord<C::Op, C::Outcome>],
+        from: usize,
+    ) where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let origins: Vec<ProcId> = records[from..].iter().map(|r| C::origin(&r.op)).collect();
+        for origin in origins {
+            if let Some(op) = queues.get_mut(&origin).and_then(|q| q.pop_front()) {
+                self.submit(rt, op);
+            }
+        }
+    }
+
+    /// Replace a stall's placeholder pending count with the real one.
+    fn stamp(&self, e: QuiesceError) -> QuiesceError {
+        match e {
+            QuiesceError::Stalled { .. } => QuiesceError::Stalled {
+                pending: self.pending_ops(),
+            },
+            other => other,
+        }
+    }
+
+    /// Run until the network is silent, or fail with the limit that
+    /// tripped. Completions drained on the way are returned either way
+    /// (on error, through the records accumulated so far being dropped —
+    /// matching the panicking wrapper's contract that partial results are
+    /// unusable).
+    pub fn try_run_to_quiescence<R>(&mut self, rt: &mut R) -> QuiesceResult<C::Op, C::Outcome>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let mut records = Vec::new();
+        let settled = rt.settle();
+        self.drain_into(rt, &mut records);
+        match settled {
+            Ok(()) => Ok(records),
+            Err(e) => Err(self.stamp(e)),
+        }
+    }
+
+    /// Run until the network is silent; panics if a limit trips first (see
+    /// [`Driver::try_run_to_quiescence`] for the non-panicking form).
+    pub fn run_to_quiescence<R>(&mut self, rt: &mut R) -> Vec<OpRecord<C::Op, C::Outcome>>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        match self.try_run_to_quiescence(rt) {
+            Ok(records) => records,
+            Err(e) => panic!(
+                "run_to_quiescence: {e} before the network went silent \
+                 ({} ops still pending)",
+                self.pending_ops()
+            ),
+        }
+    }
+
+    /// Drive `ops` closed-loop with `concurrency` outstanding operations
+    /// per origin processor, then run to quiescence.
+    ///
+    /// If the structure loses operations (the naive strawmen do, by
+    /// design), the run still terminates — at quiescence the lost ops'
+    /// windows simply never refilled — and the partial records are
+    /// returned, so loss shows up as `records.len() < ops.len()`.
+    pub fn try_run_closed_loop<R>(
+        &mut self,
+        rt: &mut R,
+        ops: &[C::Op],
+        concurrency: usize,
+    ) -> Result<DriverStats<C::Op, C::Outcome>, QuiesceError>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let concurrency = concurrency.max(1);
+        let mut queues: BTreeMap<ProcId, VecDeque<C::Op>> = BTreeMap::new();
+        for op in ops {
+            queues
+                .entry(C::origin(op))
+                .or_default()
+                .push_back(op.clone());
+        }
+        let start = rt.now();
+        // Prime each origin's window.
+        for q in queues.values_mut() {
+            for _ in 0..concurrency {
+                if let Some(op) = q.pop_front() {
+                    self.submit(rt, op);
+                }
+            }
+        }
+        let mut records: Vec<OpRecord<C::Op, C::Outcome>> = Vec::with_capacity(ops.len());
+        let mut idle = 0u32;
+        loop {
+            if self.pending.is_empty() && queues.values().all(|q| q.is_empty()) {
+                // Workload drained; let stragglers (relays, acks) finish.
+                rt.settle().map_err(|e| self.stamp(e))?;
+                self.drain_into(rt, &mut records);
+                break;
+            }
+            match rt.poll(None) {
+                Poll::Outputs => {
+                    idle = 0;
+                    let before = records.len();
+                    self.drain_into(rt, &mut records);
+                    self.refill(rt, &mut queues, &records, before);
+                }
+                Poll::Quiescent => {
+                    // Simulator: queue empty with ops still pending — they
+                    // were lost. Return what completed.
+                    self.drain_into(rt, &mut records);
+                    break;
+                }
+                Poll::Idle => {
+                    // Threads: no outputs for a grace period. Probe: if the
+                    // cluster is genuinely quiescent and nothing new
+                    // completed, the pending ops are lost.
+                    idle += 1;
+                    if idle <= IDLE_PROBE_AFTER {
+                        continue;
+                    }
+                    rt.settle().map_err(|e| self.stamp(e))?;
+                    let before = records.len();
+                    let completed = self.drain_into(rt, &mut records);
+                    self.refill(rt, &mut queues, &records, before);
+                    if completed == 0 {
+                        break;
+                    }
+                    idle = 0;
+                }
+                Poll::Limit(e) => {
+                    self.drain_into(rt, &mut records);
+                    return Err(self.stamp(e));
+                }
+                Poll::Deadline => unreachable!("no deadline requested"),
+            }
+        }
+        let mut last = start;
+        for r in &records {
+            last = last.max(r.completed);
+        }
+        Ok(DriverStats {
+            makespan: last - start,
+            records,
+        })
+    }
+
+    /// Closed-loop driving; panics if a limit trips (see
+    /// [`Driver::try_run_closed_loop`]).
+    pub fn run_closed_loop<R>(
+        &mut self,
+        rt: &mut R,
+        ops: &[C::Op],
+        concurrency: usize,
+    ) -> DriverStats<C::Op, C::Outcome>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        match self.try_run_closed_loop(rt, ops, concurrency) {
+            Ok(stats) => stats,
+            Err(e) => panic!(
+                "run_closed_loop: {e} before the workload drained \
+                 ({} ops still pending)",
+                self.pending_ops()
+            ),
+        }
+    }
+
+    /// Drive `ops` open-loop: arrivals follow the deterministic schedule of
+    /// [`arrival_offsets`] regardless of completions (the paper's fixed
+    /// λ regime), then run to quiescence.
+    pub fn try_run_open_loop<R>(
+        &mut self,
+        rt: &mut R,
+        ops: &[C::Op],
+        cfg: &OpenLoopCfg,
+    ) -> Result<DriverStats<C::Op, C::Outcome>, QuiesceError>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let offsets = arrival_offsets(ops.len(), cfg);
+        let start = rt.now();
+        let mut next = 0usize;
+        let mut records: Vec<OpRecord<C::Op, C::Outcome>> = Vec::with_capacity(ops.len());
+        let mut idle = 0u32;
+        loop {
+            while next < ops.len() && rt.now() >= start + offsets[next] {
+                self.submit(rt, ops[next].clone());
+                next += 1;
+            }
+            if next >= ops.len() {
+                if self.pending.is_empty() {
+                    rt.settle().map_err(|e| self.stamp(e))?;
+                    self.drain_into(rt, &mut records);
+                    break;
+                }
+                match rt.poll(None) {
+                    Poll::Outputs => {
+                        idle = 0;
+                        self.drain_into(rt, &mut records);
+                    }
+                    Poll::Quiescent => {
+                        self.drain_into(rt, &mut records);
+                        break;
+                    }
+                    Poll::Idle => {
+                        idle += 1;
+                        if idle <= IDLE_PROBE_AFTER {
+                            continue;
+                        }
+                        rt.settle().map_err(|e| self.stamp(e))?;
+                        if self.drain_into(rt, &mut records) == 0 {
+                            break;
+                        }
+                        idle = 0;
+                    }
+                    Poll::Limit(e) => {
+                        self.drain_into(rt, &mut records);
+                        return Err(self.stamp(e));
+                    }
+                    Poll::Deadline => {}
+                }
+            } else {
+                match rt.poll(Some(start + offsets[next])) {
+                    Poll::Outputs => {
+                        self.drain_into(rt, &mut records);
+                    }
+                    Poll::Deadline | Poll::Quiescent | Poll::Idle => {}
+                    Poll::Limit(e) => {
+                        self.drain_into(rt, &mut records);
+                        return Err(self.stamp(e));
+                    }
+                }
+            }
+        }
+        let mut last = start;
+        for r in &records {
+            last = last.max(r.completed);
+        }
+        Ok(DriverStats {
+            makespan: last - start,
+            records,
+        })
+    }
+
+    /// Open-loop driving; panics if a limit trips (see
+    /// [`Driver::try_run_open_loop`]).
+    pub fn run_open_loop<R>(
+        &mut self,
+        rt: &mut R,
+        ops: &[C::Op],
+        cfg: &OpenLoopCfg,
+    ) -> DriverStats<C::Op, C::Outcome>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        match self.try_run_open_loop(rt, ops, cfg) {
+            Ok(stats) => stats,
+            Err(e) => panic!(
+                "run_open_loop: {e} before the workload drained \
+                 ({} ops still pending)",
+                self.pending_ops()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, SimConfig, Simulation};
+
+    #[derive(Clone, Debug)]
+    enum TMsg {
+        Req { id: u64 },
+        Done { id: u64 },
+    }
+    impl Payload for TMsg {}
+
+    /// Replies to every request after bouncing it off a peer once.
+    struct Echo {
+        n: u32,
+    }
+    impl Process for Echo {
+        type Msg = TMsg;
+        fn on_message(&mut self, ctx: &mut Context<'_, TMsg>, from: ProcId, msg: TMsg) {
+            match msg {
+                TMsg::Req { id } if from.is_external() => {
+                    let peer = ProcId((ctx.me().0 + 1) % self.n);
+                    ctx.send(peer, TMsg::Req { id });
+                }
+                TMsg::Req { id } => ctx.send(from, TMsg::Done { id }),
+                TMsg::Done { id } => ctx.send(ProcId::EXTERNAL, TMsg::Done { id }),
+            }
+        }
+    }
+
+    /// Op = origin processor; outcome = ().
+    enum EchoProtocol {}
+    impl ClientProtocol for EchoProtocol {
+        type Msg = TMsg;
+        type Op = ProcId;
+        type Outcome = ();
+        type Scan = NoScan;
+        type ScanResult = ();
+        fn origin(op: &ProcId) -> ProcId {
+            *op
+        }
+        fn request(id: u64, _op: &ProcId) -> TMsg {
+            TMsg::Req { id }
+        }
+        fn scan_origin(scan: &NoScan) -> ProcId {
+            match *scan {}
+        }
+        fn scan_request(_id: u64, scan: &NoScan) -> TMsg {
+            match *scan {}
+        }
+        fn parse(msg: TMsg) -> Option<Completion<(), ()>> {
+            match msg {
+                TMsg::Done { id } => Some(Completion::Op { id, outcome: () }),
+                _ => None,
+            }
+        }
+    }
+
+    fn sim(n: u32, seed: u64) -> Simulation<Echo> {
+        Simulation::new(
+            SimConfig::jittery(seed, 1, 20),
+            (0..n).map(|_| Echo { n }).collect(),
+        )
+    }
+
+    fn ops(n: u32, count: usize) -> Vec<ProcId> {
+        (0..count).map(|i| ProcId(i as u32 % n)).collect()
+    }
+
+    #[test]
+    fn closed_loop_completes_all() {
+        let mut rt = sim(3, 7);
+        let mut driver: Driver<EchoProtocol> = Driver::new();
+        let work = ops(3, 50);
+        let stats = driver.run_closed_loop(&mut rt, &work, 4);
+        assert_eq!(stats.records.len(), 50);
+        assert_eq!(driver.pending_ops(), 0);
+        assert!(stats.makespan > 0);
+        assert!(stats.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty: DriverStats<ProcId, ()> = DriverStats::default();
+        assert_eq!(empty.latency_quantile(0.5), 0, "no records -> 0");
+        assert_eq!(empty.mean_latency(), 0.0);
+        assert_eq!(empty.throughput_per_kilotick(), 0.0);
+
+        let rec = |lat: u64| OpRecord {
+            op: ProcId(0),
+            submitted: SimTime(0),
+            completed: SimTime(lat),
+            outcome: (),
+        };
+        let single = DriverStats {
+            records: vec![rec(42)],
+            makespan: 42,
+        };
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(single.latency_quantile(q), 42, "single record at q={q}");
+        }
+
+        let many = DriverStats {
+            records: (1..=100).map(rec).collect(),
+            makespan: 100,
+        };
+        assert_eq!(many.latency_quantile(0.0), 1, "q=0 is the minimum");
+        assert_eq!(many.latency_quantile(1.0), 100, "q=1 is the maximum");
+        assert_eq!(many.latency_quantile(2.0), 100, "q>1 clamps to max");
+        assert_eq!(many.latency_quantile(-0.5), 1, "q<0 clamps to min");
+        // Nearest-rank: index round(99 * 0.5) = 50, i.e. the 51st latency.
+        assert_eq!(many.latency_quantile(0.5), 51);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic() {
+        let cfg = OpenLoopCfg::jittered(10, 99);
+        let a = arrival_offsets(200, &cfg);
+        let b = arrival_offsets(200, &cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = arrival_offsets(200, &OpenLoopCfg::jittered(10, 100));
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "offsets strictly increase"
+        );
+
+        let fixed = arrival_offsets(5, &OpenLoopCfg::fixed(7));
+        assert_eq!(fixed, vec![7, 14, 21, 28, 35]);
+        // Degenerate period clamps to 1 tick, never 0.
+        let tight = arrival_offsets(3, &OpenLoopCfg::fixed(0));
+        assert_eq!(tight, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn open_loop_run_is_deterministic_on_sim() {
+        let run = || {
+            let mut rt = sim(3, 5);
+            let mut driver: Driver<EchoProtocol> = Driver::new();
+            let work = ops(3, 80);
+            let stats = driver.run_open_loop(&mut rt, &work, &OpenLoopCfg::jittered(8, 21));
+            assert_eq!(stats.records.len(), 80);
+            let lat: Vec<u64> = stats.records.iter().map(|r| r.latency()).collect();
+            (lat, stats.makespan)
+        };
+        assert_eq!(run(), run(), "open-loop sim runs replay exactly");
+    }
+
+    #[test]
+    fn open_loop_arrivals_follow_schedule() {
+        let mut rt = sim(2, 3);
+        let mut driver: Driver<EchoProtocol> = Driver::new();
+        let work = ops(2, 20);
+        let cfg = OpenLoopCfg::fixed(50);
+        let stats = driver.run_open_loop(&mut rt, &work, &cfg);
+        let offsets = arrival_offsets(20, &cfg);
+        // Records are in completion order; compare submission times sorted.
+        let mut submitted: Vec<u64> = stats.records.iter().map(|r| r.submitted.ticks()).collect();
+        submitted.sort_unstable();
+        assert_eq!(submitted, offsets, "paced by the schedule");
+    }
+}

@@ -96,6 +96,11 @@ impl<M> EventQueue<M> {
         self.heap.pop()
     }
 
+    /// Time of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }

@@ -9,7 +9,12 @@
 //!   are configurable, and every run is a pure function of its inputs and RNG
 //!   seed, so protocol races are reproducible and property-testable.
 //! * [`threaded::Cluster`] — the same processes driven by real OS threads and
-//!   crossbeam channels, for wall-clock-parallel example programs.
+//!   crossbeam channels, for wall-clock parallelism.
+//!
+//! Both implement the [`Runtime`] trait, and the generic workload driver in
+//! [`driver`] (op-id allocation, pending-op tracking, closed- and open-loop
+//! driving, latency statistics) is written against that trait alone — one
+//! driver implementation serves every search structure on either substrate.
 //!
 //! The simulator counts messages by kind and by locality (see [`NetStats`]),
 //! which is what the paper's message-complexity claims (e.g. `3·|copies|` vs
@@ -43,9 +48,11 @@
 #![warn(missing_docs)]
 
 mod context;
+pub mod driver;
 mod event;
 mod fault;
 mod latency;
+mod runtime;
 pub mod session;
 mod sim;
 mod stats;
@@ -54,8 +61,10 @@ mod time;
 mod trace;
 
 pub use context::Context;
+pub use driver::{Driver, OpenLoopCfg};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
+pub use runtime::{Poll, QuiesceError, Runtime};
 pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};

@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use crate::context::{Context, Effect};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultPlan;
+use crate::runtime::{Poll, QuiesceError, Runtime};
 use crate::trace::TraceEntry;
 use crate::{LatencyModel, NetStats, Payload, ProcId, Process, SimTime, Trace};
 
@@ -391,6 +392,29 @@ impl<P: Process> Simulation<P> {
         }
     }
 
+    /// Time of the earliest pending event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.next_at()
+    }
+
+    /// Move the clock forward to `t` without delivering anything — but never
+    /// past a pending event (time must not skip over scheduled work). Used
+    /// by deadline-bounded polling to pace open-loop arrivals.
+    pub fn advance_to(&mut self, t: SimTime) {
+        let bound = self.queue.next_at().map_or(t, |at| at.min(t));
+        if bound > self.now {
+            self.now = bound;
+        }
+    }
+
+    /// Tear the simulation down and return the final process states.
+    pub fn into_procs(self) -> Vec<P> {
+        self.procs
+            .into_iter()
+            .map(|p| p.expect("process is resident between events"))
+            .collect()
+    }
+
     /// Run until virtual time reaches `until` or the simulation quiesces.
     pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
         loop {
@@ -506,6 +530,80 @@ impl<P: Process> Simulation<P> {
                 );
             }
         }
+    }
+}
+
+impl<P: Process> Simulation<P> {
+    /// The [`QuiesceError`] equivalent of a tripped limit, with counters.
+    fn limit_error(&self, outcome: RunOutcome) -> QuiesceError {
+        match outcome {
+            RunOutcome::EventLimit => QuiesceError::EventLimit {
+                delivered: self.delivered,
+            },
+            _ => QuiesceError::TimeLimit { now: self.now },
+        }
+    }
+}
+
+impl<P: Process> Runtime for Simulation<P> {
+    type Proc = P;
+
+    fn num_procs(&self) -> usize {
+        Simulation::num_procs(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
+
+    fn inject(&mut self, to: ProcId, msg: P::Msg) {
+        Simulation::inject(self, to, msg);
+    }
+
+    fn poll(&mut self, deadline: Option<SimTime>) -> Poll {
+        loop {
+            if !self.outputs.is_empty() {
+                return Poll::Outputs;
+            }
+            if let Some(outcome) = self.limit_exceeded() {
+                return Poll::Limit(self.limit_error(outcome));
+            }
+            match deadline {
+                Some(d) => match self.next_event_at() {
+                    Some(at) if at < d => {
+                        self.step();
+                    }
+                    _ => {
+                        self.advance_to(d);
+                        return Poll::Deadline;
+                    }
+                },
+                None => {
+                    if !self.step() {
+                        return Poll::Quiescent;
+                    }
+                }
+            }
+        }
+    }
+
+    fn settle(&mut self) -> Result<(), QuiesceError> {
+        loop {
+            if let Some(outcome) = self.limit_exceeded() {
+                return Err(self.limit_error(outcome));
+            }
+            if !self.step() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(SimTime, ProcId, P::Msg)> {
+        Simulation::drain_outputs(self)
+    }
+
+    fn into_procs(self) -> Vec<P> {
+        Simulation::into_procs(self)
     }
 }
 

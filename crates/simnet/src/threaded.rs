@@ -5,27 +5,59 @@
 //! matching the §4 network model; cross-channel interleaving comes from real
 //! scheduler nondeterminism instead of a latency model.
 //!
-//! The cluster is intended for example programs that want genuine wall-clock
-//! parallelism. Tests and experiments should prefer the deterministic
-//! [`Simulation`](crate::Simulation).
+//! The cluster implements [`Runtime`], so the generic workload driver
+//! (`simnet::driver`) and every facade built on it run here unchanged.
+//! Quiescence — which the simulator proves by an empty event heap — is
+//! established with a probe barrier: the cluster counts actions globally,
+//! flushes every queue with probe envelopes, and declares the network silent
+//! when a full probe round completes with the action count unchanged and no
+//! armed timers outstanding. [`Cluster::shutdown`] joins the threads and
+//! hands back the final process states for end-of-run inspection.
+//!
+//! Tests and experiments that need determinism should prefer the
+//! [`Simulation`](crate::Simulation); this runtime is for wall-clock
+//! parallelism and for validating that protocol correctness survives real
+//! scheduler interleavings.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::context::Effect;
+use crate::runtime::{Poll, QuiesceError, Runtime};
 use crate::{Context, Payload, ProcId, Process, SimTime};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 enum Envelope<M> {
-    Msg { from: ProcId, msg: M },
-    Timer { token: u64 },
+    Msg {
+        from: ProcId,
+        msg: M,
+    },
+    Timer {
+        token: u64,
+    },
+    /// Quiescence probe: echoed straight back on the output channel without
+    /// touching the process or the action counter.
+    Probe {
+        token: u64,
+    },
     Shutdown,
+}
+
+/// What worker threads emit on the shared output channel.
+enum Output<M> {
+    /// A message a process sent to [`ProcId::EXTERNAL`], stamped with the
+    /// emitting processor's clock.
+    At(SimTime, ProcId, M),
+    /// A probe echo (see [`Envelope::Probe`]).
+    Probe(u64),
 }
 
 /// Commands for the cluster's dedicated timer thread.
@@ -40,13 +72,27 @@ enum TimerCmd {
 
 type Channel<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
 
+/// How long a deadline-free [`Runtime::poll`] waits before reporting
+/// [`Poll::Idle`].
+const IDLE_GRACE: Duration = Duration::from_millis(50);
+
+/// How long [`Runtime::settle`] waits for one probe echo before giving up.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Probe-round backstop: with one-shot timers and finite workloads the
+/// action count must stabilize long before this.
+const MAX_SETTLE_ROUNDS: u64 = 1_000_000;
+
 /// Min-heap timer wheel: sleeps until the earliest deadline (or a new
 /// command), then delivers `Envelope::Timer` to the owning process. One
 /// tick of `Context::set_timer` is one microsecond, matching the `now()`
-/// clock the worker threads report.
+/// clock the worker threads report. `pending` counts timers armed but not
+/// yet delivered, so the quiescence probe knows the network is not silent
+/// while a timer is in flight.
 fn run_timers<M: Payload + Send + 'static>(
     cmds: Receiver<TimerCmd>,
     senders: Vec<Sender<Envelope<M>>>,
+    pending: Arc<AtomicU64>,
 ) {
     // (deadline, seq, proc, token); seq keeps same-deadline timers FIFO.
     let mut heap: BinaryHeap<Reverse<(Instant, u64, u32, u64)>> = BinaryHeap::new();
@@ -59,6 +105,9 @@ fn run_timers<M: Payload + Send + 'static>(
             }
             heap.pop();
             let _ = senders[proc as usize].send(Envelope::Timer { token });
+            // Decrement only after the timer event is in the worker's queue:
+            // between arming and this point the probe must not see silence.
+            pending.fetch_sub(1, Ordering::SeqCst);
         }
         let cmd = match heap.peek() {
             Some(&Reverse((deadline, ..))) => {
@@ -90,33 +139,50 @@ fn run_timers<M: Payload + Send + 'static>(
 
 /// A running cluster of processes on OS threads.
 ///
-/// Inject messages with [`Cluster::inject`], collect replies addressed to
-/// [`ProcId::EXTERNAL`] with [`Cluster::recv_output`], then call
-/// [`Cluster::shutdown`].
-pub struct Cluster<M: Payload + Send + 'static> {
-    senders: Vec<Sender<Envelope<M>>>,
-    outputs: Receiver<(ProcId, M)>,
-    handles: Vec<thread::JoinHandle<()>>,
+/// Inject messages with [`Cluster::inject`], drive workloads through the
+/// [`Runtime`] interface (or [`Cluster::recv_output`] by hand), then call
+/// [`Cluster::shutdown`] to join the threads and recover the final process
+/// states.
+pub struct Cluster<P: Process> {
+    senders: Vec<Sender<Envelope<P::Msg>>>,
+    outputs: Receiver<Output<P::Msg>>,
+    /// Outputs received but not yet drained (poll/settle buffer here).
+    out_buf: Vec<(SimTime, ProcId, P::Msg)>,
+    handles: Vec<thread::JoinHandle<P>>,
     timer_cmds: Sender<TimerCmd>,
-    timer_handle: thread::JoinHandle<()>,
+    timer_handle: Option<thread::JoinHandle<()>>,
+    /// Shared time origin: all workers and [`Cluster::now`] measure
+    /// microseconds from this instant, so timestamps are comparable.
+    epoch: Instant,
+    /// Total actions (message + timer deliveries) processed cluster-wide.
+    actions: Arc<AtomicU64>,
+    /// Timers armed but not yet delivered to a worker queue.
+    pending_timers: Arc<AtomicU64>,
+    next_probe: u64,
 }
 
-impl<M: Payload + Send + 'static> Cluster<M> {
+impl<P> Cluster<P>
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+{
     /// Spawn one thread per process.
-    pub fn spawn<P>(procs: Vec<P>) -> Self
-    where
-        P: Process<Msg = M> + Send + 'static,
-    {
+    pub fn spawn(procs: Vec<P>) -> Self {
         let n = procs.len();
-        let (out_tx, out_rx) = unbounded::<(ProcId, M)>();
-        let channels: Vec<Channel<M>> = (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let epoch = Instant::now();
+        let (out_tx, out_rx) = unbounded::<Output<P::Msg>>();
+        let channels: Vec<Channel<P::Msg>> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<P::Msg>>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let actions = Arc::new(AtomicU64::new(0));
+        let pending_timers = Arc::new(AtomicU64::new(0));
 
         let (timer_tx, timer_rx) = unbounded::<TimerCmd>();
         let timer_senders = senders.clone();
+        let timer_pending = Arc::clone(&pending_timers);
         let timer_handle = thread::Builder::new()
             .name("simnet-timers".into())
-            .spawn(move || run_timers(timer_rx, timer_senders))
+            .spawn(move || run_timers(timer_rx, timer_senders, timer_pending))
             .expect("spawn simnet timer thread");
 
         let mut handles = Vec::with_capacity(n);
@@ -125,12 +191,13 @@ impl<M: Payload + Send + 'static> Cluster<M> {
             let peer_senders = senders.clone();
             let out = out_tx.clone();
             let timers = timer_tx.clone();
+            let actions = Arc::clone(&actions);
+            let pending_timers = Arc::clone(&pending_timers);
             let handle = thread::Builder::new()
                 .name(format!("simnet-p{i}"))
                 .spawn(move || {
-                    let epoch = Instant::now();
                     let mut rng = SmallRng::seed_from_u64(0x5EED ^ i as u64);
-                    let mut effects: Vec<Effect<M>> = Vec::new();
+                    let mut effects: Vec<Effect<P::Msg>> = Vec::new();
                     let now = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
 
                     // Run on_start.
@@ -143,33 +210,68 @@ impl<M: Payload + Send + 'static> Cluster<M> {
                         };
                         proc.on_start(&mut ctx);
                     }
-                    flush(&mut effects, me, &peer_senders, &out, &timers);
+                    flush(
+                        &mut effects,
+                        me,
+                        now(epoch),
+                        &peer_senders,
+                        &out,
+                        &timers,
+                        &pending_timers,
+                    );
 
                     while let Ok(env) = rx.recv() {
                         match env {
                             Envelope::Msg { from, msg } => {
+                                let at = now(epoch);
                                 let mut ctx = Context {
                                     me,
-                                    now: now(epoch),
+                                    now: at,
                                     effects: &mut effects,
                                     rng: &mut rng,
                                 };
                                 proc.on_message(&mut ctx, from, msg);
-                                flush(&mut effects, me, &peer_senders, &out, &timers);
+                                flush(
+                                    &mut effects,
+                                    me,
+                                    at,
+                                    &peer_senders,
+                                    &out,
+                                    &timers,
+                                    &pending_timers,
+                                );
+                                // Count the action only after its sends are
+                                // enqueued: the probe barrier relies on
+                                // "counted implies visible".
+                                actions.fetch_add(1, Ordering::SeqCst);
                             }
                             Envelope::Timer { token } => {
+                                let at = now(epoch);
                                 let mut ctx = Context {
                                     me,
-                                    now: now(epoch),
+                                    now: at,
                                     effects: &mut effects,
                                     rng: &mut rng,
                                 };
                                 proc.on_timer(&mut ctx, token);
-                                flush(&mut effects, me, &peer_senders, &out, &timers);
+                                flush(
+                                    &mut effects,
+                                    me,
+                                    at,
+                                    &peer_senders,
+                                    &out,
+                                    &timers,
+                                    &pending_timers,
+                                );
+                                actions.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Envelope::Probe { token } => {
+                                let _ = out.send(Output::Probe(token));
                             }
                             Envelope::Shutdown => break,
                         }
                     }
+                    proc
                 })
                 .expect("spawn simnet thread");
             handles.push(handle);
@@ -178,9 +280,14 @@ impl<M: Payload + Send + 'static> Cluster<M> {
         Cluster {
             senders,
             outputs: out_rx,
+            out_buf: Vec::new(),
             handles,
             timer_cmds: timer_tx,
-            timer_handle,
+            timer_handle: Some(timer_handle),
+            epoch,
+            actions,
+            pending_timers,
+            next_probe: 0,
         }
     }
 
@@ -194,57 +301,210 @@ impl<M: Payload + Send + 'static> Cluster<M> {
         self.senders.is_empty()
     }
 
+    /// Microseconds since the cluster was spawned — the same clock the
+    /// worker threads stamp their contexts and outputs with.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
     /// Send `msg` to `to` from the external endpoint.
-    pub fn inject(&self, to: ProcId, msg: M) {
+    pub fn inject(&self, to: ProcId, msg: P::Msg) {
         let _ = self.senders[to.index()].send(Envelope::Msg {
             from: ProcId::EXTERNAL,
             msg,
         });
     }
 
-    /// Blocking-receive the next message addressed to `ProcId::EXTERNAL`.
-    pub fn recv_output(&self) -> Option<(ProcId, M)> {
-        self.outputs.recv().ok()
+    /// Pull one output from the channel into the buffer; `false` on timeout
+    /// or disconnection. Probe echoes (from an abandoned settle) are
+    /// skipped without consuming the timeout budget meaningfully.
+    fn pump_one(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match self.outputs.recv_timeout(wait) {
+                Ok(Output::At(at, from, msg)) => {
+                    self.out_buf.push((at, from, msg));
+                    return true;
+                }
+                Ok(Output::Probe(_)) => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Move everything already sitting in the output channel into the
+    /// buffer without blocking.
+    fn pump_ready(&mut self) {
+        while let Ok(out) = self.outputs.try_recv() {
+            if let Output::At(at, from, msg) = out {
+                self.out_buf.push((at, from, msg));
+            }
+        }
+    }
+
+    /// Blocking-receive the next message addressed to `ProcId::EXTERNAL`
+    /// (bounded by an hour, which is "forever" for a test program).
+    pub fn recv_output(&mut self) -> Option<(ProcId, P::Msg)> {
+        self.recv_output_timeout(Duration::from_secs(3600))
     }
 
     /// Receive with a timeout; `None` on timeout or disconnection.
-    pub fn recv_output_timeout(&self, timeout: std::time::Duration) -> Option<(ProcId, M)> {
-        self.outputs.recv_timeout(timeout).ok()
+    pub fn recv_output_timeout(&mut self, timeout: Duration) -> Option<(ProcId, P::Msg)> {
+        if self.out_buf.is_empty() && !self.pump_one(timeout) {
+            return None;
+        }
+        let (_, from, msg) = self.out_buf.remove(0);
+        Some((from, msg))
     }
 
-    /// Stop all threads (after their queues drain to the shutdown marker) and
-    /// join them.
-    pub fn shutdown(self) {
+    /// Run one probe barrier: send a probe to every worker and wait for all
+    /// echoes, buffering any real outputs that arrive in between. Returns
+    /// `false` if a worker failed to echo within [`PROBE_TIMEOUT`].
+    fn probe_barrier(&mut self) -> bool {
+        let token = self.next_probe;
+        self.next_probe += 1;
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Probe { token });
+        }
+        let mut echoes = 0;
+        let deadline = Instant::now() + PROBE_TIMEOUT;
+        while echoes < self.senders.len() {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match self.outputs.recv_timeout(wait) {
+                Ok(Output::At(at, from, msg)) => self.out_buf.push((at, from, msg)),
+                Ok(Output::Probe(t)) if t == token => echoes += 1,
+                Ok(Output::Probe(_)) => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Stop all threads (after their queues drain to the shutdown marker),
+    /// join them, and return the final process states in `ProcId` order.
+    pub fn shutdown(mut self) -> Vec<P> {
         for tx in &self.senders {
             let _ = tx.send(Envelope::Shutdown);
         }
-        for h in self.handles {
-            let _ = h.join();
+        let mut procs = Vec::with_capacity(self.handles.len());
+        for h in self.handles.drain(..) {
+            procs.push(h.join().expect("worker thread panicked"));
         }
         let _ = self.timer_cmds.send(TimerCmd::Shutdown);
-        let _ = self.timer_handle.join();
+        if let Some(h) = self.timer_handle.take() {
+            let _ = h.join();
+        }
+        procs
     }
 }
 
+impl<P> Runtime for Cluster<P>
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    type Proc = P;
+
+    fn num_procs(&self) -> usize {
+        self.len()
+    }
+
+    fn now(&self) -> SimTime {
+        Cluster::now(self)
+    }
+
+    fn inject(&mut self, to: ProcId, msg: P::Msg) {
+        Cluster::inject(self, to, msg);
+    }
+
+    fn poll(&mut self, deadline: Option<SimTime>) -> Poll {
+        self.pump_ready();
+        if !self.out_buf.is_empty() {
+            return Poll::Outputs;
+        }
+        let wait = match deadline {
+            Some(d) => {
+                let now = Cluster::now(self);
+                if d <= now {
+                    return Poll::Deadline;
+                }
+                Duration::from_micros(d - now)
+            }
+            None => IDLE_GRACE,
+        };
+        if self.pump_one(wait) {
+            self.pump_ready();
+            Poll::Outputs
+        } else if deadline.is_some() {
+            Poll::Deadline
+        } else {
+            Poll::Idle
+        }
+    }
+
+    /// Probe until the global action count stabilizes across a full probe
+    /// round with no armed timers outstanding. Sound because a worker
+    /// enqueues all of an action's sends *before* counting it, and FIFO
+    /// queues deliver those sends before a later probe: an unchanged count
+    /// across a completed barrier means every queue was empty when probed.
+    fn settle(&mut self) -> Result<(), QuiesceError> {
+        for _ in 0..MAX_SETTLE_ROUNDS {
+            // A timer in flight (armed, not yet delivered) is pending work
+            // the probe cannot see; wait for the timer thread.
+            if self.pending_timers.load(Ordering::SeqCst) > 0 {
+                thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            let before = self.actions.load(Ordering::SeqCst);
+            if !self.probe_barrier() {
+                return Err(QuiesceError::Stalled { pending: 0 });
+            }
+            if self.actions.load(Ordering::SeqCst) == before
+                && self.pending_timers.load(Ordering::SeqCst) == 0
+            {
+                self.pump_ready();
+                return Ok(());
+            }
+        }
+        Err(QuiesceError::Stalled { pending: 0 })
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(SimTime, ProcId, P::Msg)> {
+        self.pump_ready();
+        std::mem::take(&mut self.out_buf)
+    }
+
+    fn into_procs(self) -> Vec<P> {
+        self.shutdown()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn flush<M: Payload>(
     effects: &mut Vec<Effect<M>>,
     me: ProcId,
+    at: SimTime,
     peers: &[Sender<Envelope<M>>],
-    out: &Sender<(ProcId, M)>,
+    out: &Sender<Output<M>>,
     timers: &Sender<TimerCmd>,
+    pending_timers: &AtomicU64,
 ) {
     for effect in effects.drain(..) {
         match effect {
             Effect::Send { to, msg } => {
                 if to.is_external() {
-                    let _ = out.send((me, msg));
+                    let _ = out.send(Output::At(at, me, msg));
                 } else {
                     let _ = peers[to.index()].send(Envelope::Msg { from: me, msg });
                 }
             }
             Effect::Timer { delay, token } => {
                 // One virtual tick = one microsecond, the granularity of the
-                // `now()` clock the worker reports to its process.
+                // `now()` clock the worker reports to its process. Count the
+                // timer as pending before the command is visible to the
+                // timer thread, so quiescence probes never miss it.
+                pending_timers.fetch_add(1, Ordering::SeqCst);
                 let deadline = Instant::now() + Duration::from_micros(delay);
                 let _ = timers.send(TimerCmd::At {
                     deadline,
@@ -277,7 +537,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let cluster = Cluster::spawn(vec![Doubler, Doubler]);
+        let mut cluster = Cluster::spawn(vec![Doubler, Doubler]);
         cluster.inject(ProcId(0), Num(21));
         cluster.inject(ProcId(1), Num(4));
         let mut got = vec![];
@@ -327,7 +587,7 @@ mod tests {
         // Regression: the threaded runtime used to silently drop
         // `Effect::Timer`, so timer-driven logic (piggyback flushing,
         // session retransmission) never ran under `Cluster`.
-        let cluster = Cluster::spawn(vec![TimerReporter]);
+        let mut cluster = Cluster::spawn(vec![TimerReporter]);
         let mut got = vec![];
         for _ in 0..2 {
             let (_, Num(n)) = cluster
@@ -342,13 +602,64 @@ mod tests {
     #[test]
     fn ring_of_threads() {
         let n = 4;
-        let cluster = Cluster::spawn((0..n).map(|_| Forwarder { n }).collect());
+        let mut cluster = Cluster::spawn((0..n).map(|_| Forwarder { n }).collect());
         cluster.inject(ProcId(0), Num(9));
         let (who, _) = cluster
             .recv_output_timeout(Duration::from_secs(5))
             .expect("ring completes");
         // P0 consumes 9, P1 consumes 8, ...: value 0 is consumed by P1.
         assert_eq!(who, ProcId(1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_final_states() {
+        struct Counter {
+            seen: u64,
+        }
+        impl Process for Counter {
+            type Msg = Num;
+            fn on_message(&mut self, _: &mut Context<'_, Num>, _: ProcId, msg: Num) {
+                self.seen += msg.0;
+            }
+        }
+        let mut cluster = Cluster::spawn(vec![Counter { seen: 0 }, Counter { seen: 0 }]);
+        cluster.inject(ProcId(0), Num(5));
+        cluster.inject(ProcId(0), Num(7));
+        cluster.inject(ProcId(1), Num(1));
+        cluster.settle().expect("settles");
+        let procs = cluster.shutdown();
+        assert_eq!(procs[0].seen, 12);
+        assert_eq!(procs[1].seen, 1);
+    }
+
+    #[test]
+    fn settle_waits_for_cascades_and_timers() {
+        // A chain: external -> P0 arms a timer; the timer forwards through
+        // the ring; settle must not report quiescence until the final hop.
+        struct Delayed {
+            n: u32,
+        }
+        impl Process for Delayed {
+            type Msg = Num;
+            fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: ProcId, msg: Num) {
+                if from.is_external() {
+                    ctx.set_timer(5_000, msg.0);
+                } else if msg.0 > 0 {
+                    ctx.send(ProcId((ctx.me().0 + 1) % self.n), Num(msg.0 - 1));
+                } else {
+                    ctx.send(ProcId::EXTERNAL, Num(0));
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, Num>, token: u64) {
+                ctx.send(ProcId((ctx.me().0 + 1) % self.n), Num(token));
+            }
+        }
+        let mut cluster = Cluster::spawn((0..3).map(|_| Delayed { n: 3 }).collect());
+        cluster.inject(ProcId(0), Num(7));
+        cluster.settle().expect("settles");
+        let outs = Runtime::drain_outputs(&mut cluster);
+        assert_eq!(outs.len(), 1, "the cascade finished before settle returned");
         cluster.shutdown();
     }
 }

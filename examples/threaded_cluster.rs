@@ -3,86 +3,115 @@
 //! The protocol code is runtime-agnostic: `DbProc` implements
 //! `simnet::Process`, so the exact same state machines that run under the
 //! deterministic simulator also run on `simnet::threaded::Cluster`, where
-//! each processor is a thread and channels are crossbeam queues. This
-//! example bulk-builds a tree, spawns the cluster, and drives concurrent
-//! inserts and searches from the outside.
+//! each processor is a thread and channels are crossbeam queues. Both
+//! runtimes implement `simnet::Runtime`, so the same `DbCluster` facade and
+//! workload driver run here too — this example bulk-builds a tree, spawns
+//! the threaded cluster, and drives a closed-loop mixed workload through
+//! exactly the code path the simulator experiments use.
+//!
+//! Timers work on threads as well (a dedicated timer thread delivers them
+//! at wall-clock deadlines), so relay piggybacking — which relies on a
+//! flush-interval timer to bound staleness — is exercised here with a batch
+//! size the workload never fills, forcing every flush through the timer.
 //!
 //! ```sh
 //! cargo run -p dbtree --example threaded_cluster
 //! ```
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use dbtree::{build_procs, BuildSpec, Intent, Msg, OpId, Outcome, TreeConfig};
-use simnet::threaded::Cluster;
+use dbtree::{
+    record_final_digests_from, BuildSpec, ClientOp, Intent, PiggybackCfg, ProcMetrics,
+    ThreadedDbCluster, TreeConfig,
+};
 use simnet::ProcId;
 
 fn main() {
     let n_procs = 4u32;
     let cfg = TreeConfig {
-        // The threaded runtime drops timers, so piggybacking stays off; the
-        // shared history log works fine across threads (it is mutex-guarded).
-        piggyback: None,
+        // Unfillable batch: every flush must come from the timer. On the
+        // threaded runtime a tick is a microsecond, so this flushes relay
+        // buffers at most 200µs after the first buffered relay.
+        piggyback: Some(PiggybackCfg {
+            max_batch: 100_000,
+            flush_interval: 200,
+        }),
         ..Default::default()
     };
     let spec = BuildSpec::new((0..2_000u64).map(|k| k * 3).collect(), n_procs, cfg);
-    let (procs, log) = build_procs(&spec);
 
     println!("spawning {n_procs} dB-tree processors as OS threads...");
-    let cluster = Cluster::spawn(procs);
+    let mut cluster = ThreadedDbCluster::build_threaded(&spec);
 
-    let t0 = Instant::now();
     let total_ops = 4_000u64;
-    for i in 0..total_ops {
-        let origin = ProcId((i % n_procs as u64) as u32);
-        let msg = if i % 4 == 0 {
-            Msg::Client {
-                op: OpId(i),
-                key: 6001 + i, // fresh keys: grows the right edge
-                intent: Intent::Insert(i),
-            }
-        } else {
-            Msg::Client {
-                op: OpId(i),
-                key: (i * 3) % 6000,
-                intent: Intent::Search,
-            }
-        };
-        cluster.inject(origin, msg);
-    }
-
-    let mut done = 0u64;
-    let mut found = 0u64;
-    while done < total_ops {
-        match cluster.recv_output_timeout(Duration::from_secs(10)) {
-            Some((_, Msg::Done(Outcome { found: f, .. }))) => {
-                done += 1;
-                if f.is_some() {
-                    found += 1;
+    let ops: Vec<ClientOp> = (0..total_ops)
+        .map(|i| {
+            let origin = ProcId((i % n_procs as u64) as u32);
+            if i % 4 == 0 {
+                ClientOp {
+                    origin,
+                    key: 6001 + i, // fresh keys: grows the right edge
+                    intent: Intent::Insert(i),
+                }
+            } else {
+                ClientOp {
+                    origin,
+                    key: (i * 3) % 6000,
+                    intent: Intent::Search,
                 }
             }
-            Some(_) => {}
-            None => panic!("cluster stalled"),
-        }
-    }
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let stats = cluster.run_closed_loop(&ops, 8);
     let elapsed = t0.elapsed();
+
+    let done = stats.records.len();
+    let found = stats
+        .records
+        .iter()
+        .filter(|r| r.outcome.found.is_some())
+        .count();
+    assert_eq!(done as u64, total_ops, "closed loop lost operations");
     println!(
-        "{done} operations completed in {elapsed:?} ({:.0} ops/s); {found} lookups hit",
-        done as f64 / elapsed.as_secs_f64()
+        "{done} operations completed in {elapsed:?} ({:.0} ops/s); {found} lookups hit; \
+         mean latency {:.0}µs, p99 {}µs",
+        done as f64 / elapsed.as_secs_f64(),
+        stats.mean_latency(),
+        stats.latency_quantile(0.99),
     );
 
-    // Client replies arrive before background restructuring (split
-    // completions, relays) finishes — give the queues a moment to drain
-    // before tearing the threads down. (The deterministic simulator detects
-    // quiescence exactly; real threads need a grace period.)
-    std::thread::sleep(Duration::from_millis(500));
-    cluster.shutdown();
+    // Tear down: join every worker thread and take back the final processor
+    // states. The driver already settled the cluster (probe barrier), so no
+    // grace-period sleep is needed — quiescence is detected, not guessed.
+    let log = cluster.log();
+    let procs = cluster.into_procs();
+
+    let mut metrics = ProcMetrics::default();
+    for p in &procs {
+        metrics.merge(&p.metrics);
+    }
+    println!(
+        "relays applied: {}, flushed by timer: {} times",
+        metrics.relays_applied, metrics.piggyback_timer_flushes
+    );
+    assert!(
+        metrics.piggyback_timer_flushes > 0,
+        "the flush-interval timer never fired on the threaded runtime"
+    );
 
     // Even across real threads, the execution satisfies the paper's §3
-    // requirements (the shared log recorded every action).
+    // requirements — including replica convergence, now that the final
+    // states are inspectable after shutdown.
+    record_final_digests_from(
+        &log,
+        procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId(i as u32), &**p)),
+    );
     let violations = log.lock().check();
-    // Final digests aren't recorded in this mode (no global snapshot), so
-    // the check covers the complete/ordered requirements and coverage.
     println!(
         "history check across threads: {} violations",
         violations.len()
