@@ -20,6 +20,7 @@ fn main() {
         "e12_slow_replica",
         "e13_fault_tolerance",
         "e14_threaded_throughput",
+        "e15_trace_anatomy",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -45,6 +45,31 @@ pub struct ProcMetrics {
 }
 
 impl ProcMetrics {
+    /// Every counter as a `(name, value)` pair, in declaration order. This
+    /// is what the trace layer diffs to attribute counter movement to a
+    /// single action ([`simnet::Process::metrics`]).
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("blocked_initial", self.blocked_initial),
+            ("blocked_ticks", self.blocked_ticks),
+            ("lock_queued", self.lock_queued),
+            ("link_chases", self.link_chases),
+            ("missing_node_recoveries", self.missing_node_recoveries),
+            ("forwards_followed", self.forwards_followed),
+            ("relays_applied", self.relays_applied),
+            ("piggyback_timer_flushes", self.piggyback_timer_flushes),
+            ("relays_discarded", self.relays_discarded),
+            ("relays_forwarded", self.relays_forwarded),
+            ("splits_initiated", self.splits_initiated),
+            ("migrations_out", self.migrations_out),
+            ("migrations_in", self.migrations_in),
+            ("joins", self.joins),
+            ("unjoins", self.unjoins),
+            ("recoveries", self.recoveries),
+            ("recovery_rejoins", self.recovery_rejoins),
+        ]
+    }
+
     /// Element-wise sum, for cluster-level aggregation.
     pub fn merge(&mut self, other: &ProcMetrics) {
         self.blocked_initial += other.blocked_initial;

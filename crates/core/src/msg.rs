@@ -145,6 +145,10 @@ pub enum Msg {
         /// Node version at the initial copy when it applied the insert
         /// (§4.3: lets the PC forward to later joiners).
         version: u64,
+        /// Span of the client operation that produced the insert, carried
+        /// so the relay stays attributable after it leaves the initial
+        /// action's context (piggyback buffers outlive their action).
+        span: Option<u64>,
     },
     /// A batch of relayed inserts (piggybacking, §1.1).
     RelayBatch(Vec<RelayedItem>),
@@ -330,6 +334,9 @@ pub struct RelayedItem {
     pub tag: u64,
     /// Version at the initial copy.
     pub version: u64,
+    /// Span of the originating client operation (see
+    /// [`Msg::RelayedInsert::span`]).
+    pub span: Option<u64>,
 }
 
 /// Why a copy is being installed.
@@ -403,6 +410,24 @@ impl Payload for Msg {
         }
     }
 
+    fn span(&self) -> Option<u64> {
+        match self {
+            // Client-plane and navigation messages name their operation
+            // explicitly; everything else inherits the sending action's
+            // span at the runtime layer.
+            Msg::Client { op, .. }
+            | Msg::Descend { op, .. }
+            | Msg::ClientScan { op, .. }
+            | Msg::Scan { op, .. }
+            | Msg::ScanResult { op, .. } => Some(op.0),
+            Msg::Done(outcome) => Some(outcome.op.0),
+            // Relays carry the originating operation across the piggyback
+            // buffer, which outlives the action that filled it.
+            Msg::RelayedInsert { span, .. } => *span,
+            _ => None,
+        }
+    }
+
     fn size_hint(&self) -> usize {
         match self {
             // Rough logical wire sizes, for byte accounting.
@@ -429,9 +454,30 @@ mod tests {
             entry: crate::types::Entry::Tomb { stamp: 0 },
             tag: 0,
             version: 0,
+            span: None,
         }
         .kind()
         .starts_with("insert."));
+    }
+
+    #[test]
+    fn spans_name_the_operation() {
+        let m = Msg::Client {
+            op: OpId(7),
+            key: 1,
+            intent: Intent::Search,
+        };
+        assert_eq!(m.span(), Some(7));
+        let r = Msg::RelayedInsert {
+            node: NodeId(1),
+            key: 0,
+            entry: crate::types::Entry::Tomb { stamp: 0 },
+            tag: 0,
+            version: 0,
+            span: Some(9),
+        };
+        assert_eq!(r.span(), Some(9));
+        assert_eq!(Msg::SplitStart { node: NodeId(1) }.span(), None);
     }
 
     #[test]

@@ -231,6 +231,7 @@ impl DbProc {
                 entry,
                 tag,
                 version,
+                span,
             } => self.apply_relayed_insert(
                 ctx,
                 RelayedItem {
@@ -239,6 +240,7 @@ impl DbProc {
                     entry,
                     tag,
                     version,
+                    span,
                 },
             ),
             Msg::RelayedSplit { node, info, tag } => {
@@ -297,6 +299,7 @@ impl Process for DbProc {
                 entry,
                 tag,
                 version,
+                span,
             } => self.handle_relayed_insert(
                 ctx,
                 RelayedItem {
@@ -305,6 +308,7 @@ impl Process for DbProc {
                     entry,
                     tag,
                     version,
+                    span,
                 },
             ),
             Msg::RelayBatch(items) => {
@@ -424,6 +428,10 @@ impl Process for DbProc {
                 ctx.send(pc, Msg::Join { node, joiner: me });
             }
         }
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        self.metrics.named()
     }
 }
 

@@ -33,12 +33,17 @@ impl DbProc {
         if peers.is_empty() {
             return;
         }
+        // Stamp the relay with the current action's span: piggybacked items
+        // sit in the buffer past the end of this action, so the payload must
+        // carry the attribution itself.
+        let span = ctx.span();
         let item = RelayedItem {
             node,
             key,
             entry,
             tag,
             version,
+            span,
         };
         match self.cfg.piggyback {
             None => {
@@ -51,6 +56,7 @@ impl DbProc {
                             entry,
                             tag,
                             version,
+                            span,
                         },
                     );
                 }
@@ -103,6 +109,7 @@ impl DbProc {
                     entry,
                     tag,
                     version,
+                    span,
                 } = item;
                 self.stash
                     .entry(node)
@@ -113,6 +120,7 @@ impl DbProc {
                         entry,
                         tag,
                         version,
+                        span,
                     });
             }
             return;
@@ -128,6 +136,7 @@ impl DbProc {
             entry,
             tag,
             version,
+            span,
         } = item;
         let copy = self.store.get_mut(node).expect("caller ensured resident");
         let is_pc = copy.pc == self.me;
@@ -158,6 +167,7 @@ impl DbProc {
                             entry,
                             tag,
                             version: my_version,
+                            span,
                         },
                     );
                 }

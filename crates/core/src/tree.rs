@@ -14,8 +14,8 @@ use history::HistoryLog;
 use parking_lot::Mutex;
 use simnet::driver::{ClientProtocol, Completion, Driver, OpOutcome};
 use simnet::{
-    threaded, OpenLoopCfg, ProcId, QuiesceError, Runtime, SessionConfig, SessionMsg, SessionProc,
-    SimConfig, SimTime, Simulation,
+    threaded, Obs, ObsConfig, OpenLoopCfg, ProcId, QuiesceError, Runtime, SessionConfig,
+    SessionMsg, SessionProc, SimConfig, SimTime, Simulation,
 };
 
 use crate::build::{build_procs, BuildSpec};
@@ -231,13 +231,23 @@ impl ThreadedDbCluster {
 
     /// Threaded deployment with an explicit session configuration.
     pub fn build_threaded_with_session(spec: &BuildSpec, session: SessionConfig) -> Self {
+        Self::build_threaded_with_obs(spec, session, ObsConfig::default())
+    }
+
+    /// Threaded deployment with observability (causal traces and metric
+    /// samples, same schema as the simulator's).
+    pub fn build_threaded_with_obs(
+        spec: &BuildSpec,
+        session: SessionConfig,
+        obs: ObsConfig,
+    ) -> Self {
         let (procs, log) = build_procs(spec);
         let procs: Vec<SessionProc<DbProc>> = procs
             .into_iter()
             .map(|p| SessionProc::new(p, session))
             .collect();
         DbCluster {
-            sim: threaded::Cluster::spawn(procs),
+            sim: threaded::Cluster::spawn_with(procs, obs),
             driver: Driver::new(),
             log,
         }
@@ -350,6 +360,12 @@ where
     /// Operations submitted but not yet completed (scans included).
     pub fn pending_ops(&self) -> usize {
         self.driver.pending_ops()
+    }
+
+    /// Drain the runtime's observability capture (causal trace + metric
+    /// time-series); works identically on both substrates.
+    pub fn take_obs(&mut self) -> Obs {
+        self.sim.take_obs()
     }
 
     /// Tear the runtime down and return the final processor states (joins

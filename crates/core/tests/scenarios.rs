@@ -47,8 +47,7 @@ fn sync_split_runs_the_full_aas_round() {
     let kinds: Vec<&str> = cluster
         .sim
         .trace()
-        .entries()
-        .iter()
+        .of_event(simnet::TraceEvent::Deliver)
         .map(|e| e.kind)
         .filter(|k| k.starts_with("split."))
         .collect();

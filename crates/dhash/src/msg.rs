@@ -115,6 +115,16 @@ impl Payload for HMsg {
         }
     }
 
+    fn span(&self) -> Option<u64> {
+        match self {
+            HMsg::Client { op, .. } | HMsg::AtBucket { op, .. } => Some(*op),
+            HMsg::Done(outcome) => Some(outcome.op),
+            // Directory patches and bucket installs inherit the span of the
+            // action that emitted them at the runtime layer.
+            _ => None,
+        }
+    }
+
     fn size_hint(&self) -> usize {
         match self {
             HMsg::InstallBucket { snapshot, .. } => 32 + snapshot.entries.len() * 24,

@@ -22,6 +22,10 @@ pub struct Context<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
     pub(crate) rng: &'a mut SmallRng,
+    /// Span of the action being executed (the delivered message's span, or
+    /// the sending action's span it inherited). Everything this action sends
+    /// inherits it unless the payload carries its own.
+    pub(crate) span: Option<u64>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -55,5 +59,14 @@ impl<'a, M> Context<'a, M> {
     #[inline]
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// The operation span this action runs on behalf of, if any. Sends from
+    /// this action inherit it automatically; protocol code only needs it to
+    /// stamp state that *outlives* the action (e.g. buffered relay items
+    /// flushed later by a timer).
+    #[inline]
+    pub fn span(&self) -> Option<u64> {
+        self.span
     }
 }

@@ -15,7 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::runtime::{Poll, QuiesceError, Runtime};
-use crate::{Payload, ProcId, Process, SimTime};
+use crate::{Histogram, Payload, ProcId, Process, SimTime};
 
 /// How a search structure talks to clients: request construction and
 /// completion parsing. Implementors are zero-sized marker types; all
@@ -173,6 +173,17 @@ impl<Op, O> DriverStats<Op, O> {
             return 0.0;
         }
         self.records.len() as f64 * 1000.0 / self.makespan as f64
+    }
+
+    /// The full latency distribution as a log₂-bucketed [`Histogram`] —
+    /// the registry-friendly aggregate (mergeable across runs), replacing
+    /// ad-hoc percentile arithmetic in experiment binaries.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for r in &self.records {
+            h.record(r.latency());
+        }
+        h
     }
 }
 

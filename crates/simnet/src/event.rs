@@ -8,8 +8,14 @@ use crate::{ProcId, SimTime};
 /// What happens when an event fires.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
-    /// Deliver `msg` from `from` to the owning processor.
-    Deliver { from: ProcId, msg: M },
+    /// Deliver `msg` from `from` to the owning processor. `span` is the
+    /// operation the delivery is causally attributable to, resolved at send
+    /// time (the payload's own span, else the sending action's).
+    Deliver {
+        from: ProcId,
+        msg: M,
+        span: Option<u64>,
+    },
     /// Fire a timer with the given token.
     Timer { token: u64 },
     /// Fault-plan control: crash the owning processor.
@@ -28,6 +34,9 @@ pub(crate) struct Event<M> {
     /// bumps the target's epoch, invalidating deliveries and timers that
     /// were already in flight (the crashed processor's volatile state).
     pub epoch: u32,
+    /// Ticks this event has spent requeued behind a busy node manager
+    /// (accumulated by the service-time model; traced as queueing delay).
+    pub wait: u64,
     pub kind: EventKind<M>,
 }
 
@@ -81,6 +90,7 @@ impl<M> EventQueue<M> {
             seq,
             to,
             epoch,
+            wait: 0,
             kind,
         });
     }

@@ -52,6 +52,7 @@ pub mod driver;
 mod event;
 mod fault;
 mod latency;
+mod obs;
 mod runtime;
 pub mod session;
 mod sim;
@@ -64,12 +65,13 @@ pub use context::Context;
 pub use driver::{Driver, OpenLoopCfg};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
+pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
 pub use runtime::{Poll, QuiesceError, Runtime};
 pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};
 pub use time::SimTime;
-pub use trace::{Trace, TraceEntry};
+pub use trace::{Trace, TraceEntry, TraceEvent};
 
 use std::fmt;
 
@@ -131,6 +133,21 @@ pub trait Payload: Clone + fmt::Debug {
     fn size_hint(&self) -> usize {
         std::mem::size_of::<Self>()
     }
+
+    /// The operation id this message is explicitly tagged with, for causal
+    /// tracing. Most payloads return `None` and inherit the span of the
+    /// action that sent them (the runtime propagates it); only messages
+    /// that *name* an operation — client requests, replies, buffered relay
+    /// items — override this.
+    fn span(&self) -> Option<u64> {
+        None
+    }
+
+    /// `true` if this delivery is a repeat of an earlier transmission
+    /// (session-layer retransmission). Traced as `redelivery`.
+    fn redelivery(&self) -> bool {
+        false
+    }
 }
 
 /// A state machine that runs on one simulated processor.
@@ -161,4 +178,12 @@ pub trait Process {
     ///
     /// Never called without an active fault plan.
     fn on_restart(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Named monotone counters describing this process's internal work,
+    /// snapshotted by the observability layer: the trace records the
+    /// per-action *delta* of each counter, and the sampler emits periodic
+    /// per-processor time series. The default (no counters) disables both.
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }

@@ -1,0 +1,393 @@
+//! The observability layer shared by both runtimes: a metrics registry
+//! (counters + log₂ histograms), periodic per-processor time-series
+//! sampling, and the [`Obs`] bundle a [`Runtime`](crate::Runtime) hands
+//! back for export.
+//!
+//! Both substrates emit the same schema: the discrete-event simulator
+//! samples on its virtual clock, the threaded cluster on wall-clock
+//! microseconds, and every record is exportable as JSON Lines via the
+//! hand-rolled writers here (the vendored `serde` is a no-op stub, so the
+//! serialization is explicit and pinned by a golden-file test).
+
+use std::collections::BTreeMap;
+
+use crate::trace::{json_escape_into, Trace};
+use crate::{ProcId, SimTime};
+
+/// Observability knobs, identical for both runtimes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObsConfig {
+    /// Retain at most this many trace entries (ring buffer; 0 = no tracing).
+    pub trace_capacity: usize,
+    /// Snapshot each processor's [`Process::metrics`](crate::Process::metrics)
+    /// at most every this many ticks (0 = no sampling). Samples are taken
+    /// when an action executes on the processor, so an idle processor emits
+    /// no redundant points.
+    pub sample_interval: u64,
+}
+
+impl ObsConfig {
+    /// Tracing with the given capacity, no sampling.
+    pub fn traced(trace_capacity: usize) -> Self {
+        ObsConfig {
+            trace_capacity,
+            sample_interval: 0,
+        }
+    }
+}
+
+/// One periodic snapshot of a processor's named counters.
+#[derive(Clone, Debug)]
+pub struct ProcSample {
+    /// Sample time (virtual or wall-clock ticks).
+    pub at: SimTime,
+    /// The processor sampled.
+    pub proc: ProcId,
+    /// The counters, as reported by
+    /// [`Process::metrics`](crate::Process::metrics).
+    pub pairs: Vec<(&'static str, u64)>,
+}
+
+impl ProcSample {
+    /// One line of the series JSONL schema (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"at\":{},\"proc\":{},\"counters\":{{",
+            self.at.ticks(),
+            self.proc.0
+        );
+        for (i, (name, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape_into(&mut s, name);
+            s.push_str(&format!("\":{v}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Everything a run observed: the causal trace plus the per-processor
+/// metrics time series. Extract with
+/// [`Runtime::take_obs`](crate::Runtime::take_obs).
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// The causal event trace.
+    pub trace: Trace,
+    /// Per-processor counter snapshots, in sample order.
+    pub series: Vec<ProcSample>,
+}
+
+impl Obs {
+    /// The trace as JSON Lines.
+    pub fn trace_jsonl(&self) -> String {
+        self.trace.to_jsonl()
+    }
+
+    /// The time series as JSON Lines.
+    pub fn series_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared sampling cadence: remembers, per processor, when the last sample
+/// was taken, and decides when the next is due. Used internally by both
+/// runtimes so their series have identical semantics.
+#[derive(Debug, Default)]
+pub(crate) struct Sampler {
+    interval: u64,
+    last: Vec<Option<SimTime>>,
+}
+
+impl Sampler {
+    pub(crate) fn new(interval: u64, n_procs: usize) -> Self {
+        Sampler {
+            interval,
+            last: vec![None; n_procs],
+        }
+    }
+
+    /// `true` if a sample of `proc` is due at `now` (and marks it taken).
+    pub(crate) fn due(&mut self, proc: ProcId, now: SimTime) -> bool {
+        if self.interval == 0 {
+            return false;
+        }
+        let slot = &mut self.last[proc.index()];
+        match *slot {
+            Some(prev) if now < prev + self.interval => false,
+            _ => {
+                *slot = Some(now);
+                true
+            }
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` holds values whose bit length is `i` (i.e. `v == 0` in bucket
+/// 0, otherwise `2^(i-1) <= v < 2^i`), giving ~2× resolution over the whole
+/// range at fixed size — the standard shape for latency recording.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (clamped to `0..=1`), resolved to its bucket's upper
+    /// bound — an estimate within 2× of the true value, which is what log₂
+    /// buckets buy. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return if i == 0 {
+                    0
+                } else {
+                    // Upper bound of the bucket, clamped to the observed max.
+                    (1u64 << i).saturating_sub(1).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A named bag of counters and histograms — the aggregation point
+/// experiments use instead of ad-hoc per-bin arithmetic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter (created at 0).
+    pub fn inc(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an observation into the named histogram (created empty).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// The named histogram, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate `(name, value)` over counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterate `(name, histogram)` in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+/// Compute `(name, increase)` pairs between two `Process::metrics`
+/// snapshots taken around one action. Names present only in `after` are
+/// treated as rising from 0; decreases are skipped (counters are expected
+/// to be monotone within an action).
+pub(crate) fn metric_deltas(
+    before: &[(&'static str, u64)],
+    after: &[(&'static str, u64)],
+) -> Vec<(&'static str, u64)> {
+    let mut out = Vec::new();
+    for &(name, now) in after {
+        let prev = before
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        if now > prev {
+            out.push((name, now - prev));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!(h.mean() > 0.0);
+        assert_eq!(h.quantile(0.0), 0);
+        // The top quantile lands in 1000's bucket, clamped to the max.
+        assert_eq!(h.quantile(1.0), 1000);
+        // Median of [0,1,2,3,100,1000]: rank 3 (value 3) → bucket [2,4).
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_sums() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 50);
+    }
+
+    #[test]
+    fn registry_counts_and_observes() {
+        let mut r = MetricsRegistry::new();
+        r.inc("ops", 2);
+        r.inc("ops", 3);
+        r.observe("latency", 10);
+        r.observe("latency", 20);
+        assert_eq!(r.counter("ops"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.histogram("latency").unwrap().count(), 2);
+        assert_eq!(r.counters().count(), 1);
+        assert_eq!(r.histograms().count(), 1);
+    }
+
+    #[test]
+    fn sampler_respects_interval() {
+        let mut s = Sampler::new(10, 2);
+        assert!(s.due(ProcId(0), SimTime(0)), "first sample is always due");
+        assert!(!s.due(ProcId(0), SimTime(5)));
+        assert!(s.due(ProcId(0), SimTime(10)));
+        assert!(s.due(ProcId(1), SimTime(3)), "per-processor cadence");
+        let mut off = Sampler::new(0, 1);
+        assert!(!off.due(ProcId(0), SimTime(0)), "interval 0 disables");
+    }
+
+    #[test]
+    fn metric_deltas_reports_increases_only() {
+        let before = vec![("a", 1u64), ("b", 5)];
+        let after = vec![("a", 3u64), ("b", 5), ("c", 2)];
+        assert_eq!(metric_deltas(&before, &after), vec![("a", 2), ("c", 2)]);
+    }
+
+    #[test]
+    fn sample_json_shape() {
+        let s = ProcSample {
+            at: SimTime(42),
+            proc: ProcId(3),
+            pairs: vec![("x", 1), ("y", 2)],
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"at\":42,\"proc\":3,\"counters\":{\"x\":1,\"y\":2}}"
+        );
+    }
+}

@@ -14,7 +14,7 @@
 //! trait only, which is what lets every protocol run — and be measured —
 //! identically on both runtimes.
 
-use crate::{ProcId, Process, SimTime};
+use crate::{Obs, ProcId, Process, SimTime};
 
 /// Why a run aborted before the network went silent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +114,15 @@ pub trait Runtime {
     /// Remove and return all collected external outputs, stamped with their
     /// emission time and emitting processor.
     fn drain_outputs(&mut self) -> Vec<(SimTime, ProcId, <Self::Proc as Process>::Msg)>;
+
+    /// Take the observability data accumulated so far — the causal trace
+    /// and the per-processor metrics time series — leaving the runtime with
+    /// fresh, empty buffers. Both substrates emit the same schema, so
+    /// exports and equivalence checks are substrate-agnostic. The default
+    /// (for runtimes without observability) returns an empty [`Obs`].
+    fn take_obs(&mut self) -> Obs {
+        Obs::default()
+    }
 
     /// Tear the runtime down and hand back the final process states (the
     /// threaded runtime joins its worker threads first). Post-run

@@ -93,6 +93,10 @@ pub enum SessionMsg<M> {
     Data {
         /// Position in the per-`(src, dst)` sequence, starting at 0.
         seq: u64,
+        /// `true` on retransmissions (timeouts and post-restart replays);
+        /// surfaces in traces as `redelivery` so repaired deliveries are
+        /// distinguishable from first transmissions.
+        retx: bool,
         /// The inner payload.
         msg: M,
     },
@@ -119,6 +123,21 @@ impl<M: Payload> Payload for SessionMsg<M> {
             SessionMsg::Raw(m) => m.size_hint(),
             SessionMsg::Data { msg, .. } => msg.size_hint() + 8,
             SessionMsg::Ack { .. } => 8,
+        }
+    }
+
+    fn span(&self) -> Option<u64> {
+        match self {
+            SessionMsg::Raw(m) => m.span(),
+            SessionMsg::Data { msg, .. } => msg.span(),
+            SessionMsg::Ack { .. } => None,
+        }
+    }
+
+    fn redelivery(&self) -> bool {
+        match self {
+            SessionMsg::Raw(_) | SessionMsg::Ack { .. } => false,
+            SessionMsg::Data { retx, .. } => *retx,
         }
     }
 }
@@ -251,6 +270,8 @@ impl<P: Process> SessionProc<P> {
                 now: ctx.now,
                 effects: &mut inner_effects,
                 rng: &mut *ctx.rng,
+                // The inner action runs on behalf of the same operation.
+                span: ctx.span,
             };
             f(&mut self.inner, &mut inner_ctx);
         }
@@ -284,7 +305,14 @@ impl<P: Process> SessionProc<P> {
         st.next_seq += 1;
         st.outbox.push_back((seq, msg.clone()));
         self.stats.data_sent += 1;
-        ctx.send(to, SessionMsg::Data { seq, msg });
+        ctx.send(
+            to,
+            SessionMsg::Data {
+                seq,
+                retx: false,
+                msg,
+            },
+        );
         if !st.timer_armed {
             st.timer_armed = true;
             ctx.set_timer(st.rto, session_token(to));
@@ -350,6 +378,7 @@ impl<P: Process> SessionProc<P> {
                 dst,
                 SessionMsg::Data {
                     seq: *seq,
+                    retx: true,
                     msg: msg.clone(),
                 },
             );
@@ -381,7 +410,7 @@ impl<P: Process> Process for SessionProc<P> {
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcId, msg: Self::Msg) {
         match msg {
             SessionMsg::Raw(m) => self.with_inner(ctx, |p, c| p.on_message(c, from, m)),
-            SessionMsg::Data { seq, msg } => self.on_data(ctx, from, seq, msg),
+            SessionMsg::Data { seq, msg, .. } => self.on_data(ctx, from, seq, msg),
             SessionMsg::Ack { upto } => self.on_ack(from, upto),
         }
     }
@@ -441,6 +470,18 @@ impl<P: Process> Process for SessionProc<P> {
             }
         }
         self.with_inner(ctx, |p, c| p.on_restart(c));
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        let mut m = self.inner.metrics();
+        if self.cfg.enabled {
+            m.push(("session.data_sent", self.stats.data_sent));
+            m.push(("session.retransmissions", self.stats.retransmissions));
+            m.push(("session.acks_sent", self.stats.acks_sent));
+            m.push(("session.dup_suppressed", self.stats.dup_suppressed));
+            m.push(("session.out_of_order", self.stats.out_of_order));
+        }
+        m
     }
 }
 

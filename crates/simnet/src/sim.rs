@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 use crate::context::{Context, Effect};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultPlan;
+use crate::obs::{metric_deltas, Sampler};
 use crate::runtime::{Poll, QuiesceError, Runtime};
-use crate::trace::TraceEntry;
-use crate::{LatencyModel, NetStats, Payload, ProcId, Process, SimTime, Trace};
+use crate::trace::{TraceEntry, TraceEvent};
+use crate::{LatencyModel, NetStats, Obs, Payload, ProcId, ProcSample, Process, SimTime, Trace};
 
 /// Configuration of a [`Simulation`] run.
 #[derive(Clone, Debug)]
@@ -20,8 +21,13 @@ pub struct SimConfig {
     /// RNG seed; two runs with equal config, processes, and injections are
     /// identical event-for-event.
     pub seed: u64,
-    /// Capture a trace of at most this many deliveries (0 = no tracing).
+    /// Retain a causal trace of at most this many runtime events — a ring
+    /// buffer keeping the most recent (0 = no tracing).
     pub trace_capacity: usize,
+    /// Snapshot each processor's [`Process::metrics`] counters at most every
+    /// this many virtual ticks, building the per-proc time series exported
+    /// via [`Simulation::take_obs`] (0 = no sampling).
+    pub sample_interval: u64,
     /// Per-action service time: each processor is a single node manager
     /// (the paper's model), so actions on one processor execute at most
     /// every `service_time` ticks; deliveries to a busy processor wait.
@@ -43,6 +49,7 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             seed: 0xDB7EE,
             trace_capacity: 0,
+            sample_interval: 0,
             service_time: 0,
             max_events: 100_000_000,
             max_time: SimTime(u64::MAX),
@@ -103,6 +110,8 @@ pub struct Simulation<P: Process> {
     stats: NetStats,
     trace: Trace,
     trace_cap: usize,
+    sampler: Sampler,
+    series: Vec<ProcSample>,
     outputs: Vec<(SimTime, ProcId, P::Msg)>,
     effects_buf: Vec<Effect<P::Msg>>,
     delivered: u64,
@@ -139,6 +148,8 @@ impl<P: Process> Simulation<P> {
             stats: NetStats::new(n),
             trace: Trace::with_capacity(config.trace_capacity),
             trace_cap: config.trace_capacity,
+            sampler: Sampler::new(config.sample_interval, n),
+            series: Vec::new(),
             outputs: Vec::new(),
             effects_buf: Vec::new(),
             delivered: 0,
@@ -183,9 +194,24 @@ impl<P: Process> Simulation<P> {
         &self.stats
     }
 
-    /// The delivery trace (empty unless `trace_capacity > 0`).
+    /// The causal trace (empty unless `trace_capacity > 0`).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The metrics time series sampled so far (empty unless
+    /// `sample_interval > 0`).
+    pub fn series(&self) -> &[ProcSample] {
+        &self.series
+    }
+
+    /// Take the observability data (trace + series), leaving fresh buffers
+    /// with the same configuration.
+    pub fn take_obs(&mut self) -> Obs {
+        Obs {
+            trace: std::mem::replace(&mut self.trace, Trace::with_capacity(self.trace_cap)),
+            series: std::mem::take(&mut self.series),
+        }
     }
 
     /// Messages sent to [`ProcId::EXTERNAL`], with their send times.
@@ -248,6 +274,7 @@ impl<P: Process> Simulation<P> {
             msg.size_hint(),
             false,
         );
+        let span = msg.span();
         self.queue.push_epoch(
             at,
             to,
@@ -255,6 +282,7 @@ impl<P: Process> Simulation<P> {
             EventKind::Deliver {
                 from: ProcId::EXTERNAL,
                 msg,
+                span,
             },
         );
     }
@@ -292,8 +320,25 @@ impl<P: Process> Simulation<P> {
             let idx = event.to.index();
             if self.down[idx] || event.epoch != self.crash_epoch[idx] {
                 self.now = event.at;
-                match event.kind {
-                    EventKind::Deliver { .. } => self.stats.faults_mut().crash_dropped += 1,
+                match &event.kind {
+                    EventKind::Deliver { from, msg, span } => {
+                        self.stats.faults_mut().crash_dropped += 1;
+                        if self.trace.enabled() {
+                            self.trace.record(TraceEntry {
+                                seq: 0,
+                                at: self.now,
+                                from: *from,
+                                to: event.to,
+                                event: TraceEvent::Drop,
+                                kind: msg.kind(),
+                                span: *span,
+                                redelivery: msg.redelivery(),
+                                wait: event.wait,
+                                detail: "crash".into(),
+                                deltas: Vec::new(),
+                            });
+                        }
+                    }
                     EventKind::Timer { .. } => self.stats.faults_mut().timer_dropped += 1,
                     _ => unreachable!(),
                 }
@@ -312,6 +357,8 @@ impl<P: Process> Simulation<P> {
                 // Keep the original sequence number: a requeued event must
                 // not be overtaken by same-channel events sent after it.
                 self.now = event.at;
+                let mut event = event;
+                event.wait += busy.ticks() - event.at.ticks();
                 self.queue.requeue(busy, event);
                 return true;
             }
@@ -321,41 +368,45 @@ impl<P: Process> Simulation<P> {
         self.delivered += 1;
         let to = event.to;
         match event.kind {
-            EventKind::Deliver { from, msg } => {
-                if self.trace_enabled() {
-                    self.trace.record(TraceEntry {
-                        at: self.now,
-                        from,
-                        to,
-                        kind: msg.kind(),
-                        detail: format!("{msg:?}"),
-                    });
-                }
-                self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
+            EventKind::Deliver { from, msg, span } => {
+                let pending = self.trace.enabled().then(|| PendingTrace {
+                    event: TraceEvent::Deliver,
+                    from,
+                    kind: msg.kind(),
+                    redelivery: msg.redelivery(),
+                    wait: event.wait,
+                    detail: format!("{msg:?}"),
+                });
+                self.run_action(to, span, pending, |p, ctx| p.on_message(ctx, from, msg));
             }
             EventKind::Timer { token } => {
-                if self.trace_enabled() {
-                    self.trace.record(TraceEntry {
-                        at: self.now,
-                        from: to,
-                        to,
-                        kind: "timer",
-                        detail: format!("token={token}"),
-                    });
-                }
-                self.with_proc(to, |p, ctx| p.on_timer(ctx, token));
+                let pending = self.trace.enabled().then(|| PendingTrace {
+                    event: TraceEvent::Timer,
+                    from: to,
+                    kind: "timer",
+                    redelivery: false,
+                    wait: event.wait,
+                    detail: format!("token={token}"),
+                });
+                self.run_action(to, None, pending, |p, ctx| p.on_timer(ctx, token));
             }
             EventKind::Crash => {
                 self.down[to.index()] = true;
                 self.crash_epoch[to.index()] += 1;
                 self.stats.faults_mut().crashes += 1;
-                if self.trace_enabled() {
+                if self.trace.enabled() {
                     self.trace.record(TraceEntry {
+                        seq: 0,
                         at: self.now,
                         from: to,
                         to,
+                        event: TraceEvent::Crash,
                         kind: "fault.crash",
+                        span: None,
+                        redelivery: false,
+                        wait: 0,
                         detail: String::new(),
+                        deltas: Vec::new(),
                     });
                 }
             }
@@ -364,16 +415,15 @@ impl<P: Process> Simulation<P> {
                 // The new incarnation's node manager starts idle.
                 self.proc_busy[to.index()] = self.now;
                 self.stats.faults_mut().restarts += 1;
-                if self.trace_enabled() {
-                    self.trace.record(TraceEntry {
-                        at: self.now,
-                        from: to,
-                        to,
-                        kind: "fault.restart",
-                        detail: String::new(),
-                    });
-                }
-                self.with_proc(to, |p, ctx| p.on_restart(ctx));
+                let pending = self.trace.enabled().then(|| PendingTrace {
+                    event: TraceEvent::Restart,
+                    from: to,
+                    kind: "fault.restart",
+                    redelivery: false,
+                    wait: 0,
+                    detail: String::new(),
+                });
+                self.run_action(to, None, pending, |p, ctx| p.on_restart(ctx));
             }
         }
         self.stats.observe_inflight(self.queue.len());
@@ -427,16 +477,31 @@ impl<P: Process> Simulation<P> {
         }
     }
 
-    /// Tracing is on and capacity remains (skips the Debug-format cost once
-    /// the trace is full).
-    fn trace_enabled(&self) -> bool {
-        self.trace.entries().len() < self.trace_cap
+    fn with_proc(&mut self, id: ProcId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>)) {
+        self.run_action(id, None, None, f);
     }
 
-    fn with_proc(&mut self, id: ProcId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>)) {
+    /// Execute one atomic action on `id`: run `f` with a [`Context`] whose
+    /// span is `span`, record the trace entry described by `pending` (with
+    /// the action's `Process::metrics` deltas), emit a time-series sample if
+    /// one is due, then apply the buffered effects — so the action's entry
+    /// lands in the trace *before* the entries its sends generate, keeping
+    /// the trace causally ordered.
+    fn run_action(
+        &mut self,
+        id: ProcId,
+        span: Option<u64>,
+        pending: Option<PendingTrace>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) {
         let mut p = self.procs[id.index()]
             .take()
             .expect("process is resident between events");
+        let before = if pending.is_some() {
+            p.metrics()
+        } else {
+            Vec::new()
+        };
         debug_assert!(self.effects_buf.is_empty());
         let mut effects = std::mem::take(&mut self.effects_buf);
         {
@@ -445,22 +510,64 @@ impl<P: Process> Simulation<P> {
                 now: self.now,
                 effects: &mut effects,
                 rng: &mut self.rng,
+                span,
             };
             f(&mut p, &mut ctx);
         }
+        if let Some(pt) = pending {
+            self.trace.record(TraceEntry {
+                seq: 0,
+                at: self.now,
+                from: pt.from,
+                to: id,
+                event: pt.event,
+                kind: pt.kind,
+                span,
+                redelivery: pt.redelivery,
+                wait: pt.wait,
+                detail: pt.detail,
+                deltas: metric_deltas(&before, &p.metrics()),
+            });
+        }
+        if self.sampler.due(id, self.now) {
+            self.series.push(ProcSample {
+                at: self.now,
+                proc: id,
+                pairs: p.metrics(),
+            });
+        }
         self.procs[id.index()] = Some(p);
         for effect in effects.drain(..) {
-            self.apply_effect(id, effect);
+            self.apply_effect(id, span, effect);
         }
         self.effects_buf = effects;
     }
 
-    fn apply_effect(&mut self, src: ProcId, effect: Effect<P::Msg>) {
+    fn apply_effect(&mut self, src: ProcId, action_span: Option<u64>, effect: Effect<P::Msg>) {
         match effect {
             Effect::Send { to, msg } => {
+                // Causal span inheritance: a payload that names its operation
+                // wins; everything else is attributed to the action that sent
+                // it (split rounds, copy installs, relays, replies).
+                let span = msg.span().or(action_span);
                 if to.is_external() {
                     self.stats
                         .record_send(msg.kind(), src.index(), None, msg.size_hint(), false);
+                    if self.trace.enabled() {
+                        self.trace.record(TraceEntry {
+                            seq: 0,
+                            at: self.now,
+                            from: src,
+                            to: ProcId::EXTERNAL,
+                            event: TraceEvent::Output,
+                            kind: msg.kind(),
+                            span,
+                            redelivery: false,
+                            wait: 0,
+                            detail: format!("{msg:?}"),
+                            deltas: Vec::new(),
+                        });
+                    }
                     self.outputs.push((self.now, src, msg));
                     return;
                 }
@@ -479,11 +586,13 @@ impl<P: Process> Simulation<P> {
                 if self.faults_active && !local {
                     if self.faults.severed(src, to, self.now) {
                         self.stats.faults_mut().partition_dropped += 1;
+                        self.record_fault(src, to, &msg, span, TraceEvent::Drop, "partition");
                         return;
                     }
                     if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob)
                     {
                         self.stats.faults_mut().dropped += 1;
+                        self.record_fault(src, to, &msg, span, TraceEvent::Drop, "loss");
                         return;
                     }
                 }
@@ -506,20 +615,32 @@ impl<P: Process> Simulation<P> {
                     // advance the watermark: it may be overtaken, exactly
                     // like a retransmitted packet on a real network.
                     self.stats.faults_mut().duplicated += 1;
-                    let dup_latency = self.latency.sample(src, to, &mut self.fault_rng);
-                    let dup_at = (self.now + dup_latency).max(wm);
+                    self.record_fault(src, to, &msg, span, TraceEvent::Duplicate, "dup");
                     self.queue.push_epoch(
-                        dup_at,
+                        dup_at(
+                            self.now,
+                            self.latency.sample(src, to, &mut self.fault_rng),
+                            wm,
+                        ),
                         to,
                         epoch,
                         EventKind::Deliver {
                             from: src,
                             msg: msg.clone(),
+                            span,
                         },
                     );
                 }
-                self.queue
-                    .push_epoch(at, to, epoch, EventKind::Deliver { from: src, msg });
+                self.queue.push_epoch(
+                    at,
+                    to,
+                    epoch,
+                    EventKind::Deliver {
+                        from: src,
+                        msg,
+                        span,
+                    },
+                );
             }
             Effect::Timer { delay, token } => {
                 self.queue.push_epoch(
@@ -531,6 +652,50 @@ impl<P: Process> Simulation<P> {
             }
         }
     }
+
+    /// Record a fault-injection trace entry (drop, duplicate) at send time.
+    fn record_fault(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        msg: &P::Msg,
+        span: Option<u64>,
+        event: TraceEvent,
+        flavor: &str,
+    ) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEntry {
+                seq: 0,
+                at: self.now,
+                from,
+                to,
+                event,
+                kind: msg.kind(),
+                span,
+                redelivery: msg.redelivery(),
+                wait: 0,
+                detail: flavor.to_string(),
+                deltas: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Trace-entry ingredients captured before an action runs (the entry itself
+/// is completed with the action's metric deltas afterwards).
+struct PendingTrace {
+    event: TraceEvent,
+    from: ProcId,
+    kind: &'static str,
+    redelivery: bool,
+    wait: u64,
+    detail: String,
+}
+
+/// Arrival time of a duplicated delivery: its own latency draw, clamped so
+/// it cannot arrive before the original's channel watermark.
+fn dup_at(now: SimTime, latency: u64, watermark: SimTime) -> SimTime {
+    (now + latency).max(watermark)
 }
 
 impl<P: Process> Simulation<P> {
@@ -600,6 +765,10 @@ impl<P: Process> Runtime for Simulation<P> {
 
     fn drain_outputs(&mut self) -> Vec<(SimTime, ProcId, P::Msg)> {
         Simulation::drain_outputs(self)
+    }
+
+    fn take_obs(&mut self) -> Obs {
+        Simulation::take_obs(self)
     }
 
     fn into_procs(self) -> Vec<P> {

@@ -34,6 +34,10 @@ pub struct NetStats {
     per_proc_received: Vec<u64>,
     max_inflight: usize,
     faults: FaultStats,
+    /// Counters that went *backwards* between the snapshots of a
+    /// [`NetStats::delta_since`] — see [`NetStats::underflowed`]. Always
+    /// empty on live stats.
+    underflow: Vec<String>,
 }
 
 impl NetStats {
@@ -44,6 +48,7 @@ impl NetStats {
             per_proc_received: vec![0; n_procs],
             max_inflight: 0,
             faults: FaultStats::default(),
+            underflow: Vec::new(),
         }
     }
 
@@ -136,26 +141,92 @@ impl NetStats {
     ///
     /// Used to attribute message costs to a single phase of a run (e.g. "one
     /// split"), since stats only accumulate.
+    ///
+    /// Live counters are monotone, so a counter that reads *lower* than in
+    /// `earlier` means the snapshots are mismatched (different runs, or
+    /// snapshots taken in the wrong order). The subtraction still clamps to
+    /// zero — a phase cost can't be negative — but every offending counter
+    /// is named in [`NetStats::underflowed`] instead of being silently
+    /// masked.
     pub fn delta_since(&self, earlier: &NetStats) -> NetStats {
         let mut out = self.clone();
+        let mut underflow = Vec::new();
+        let mut sub = |now: u64, prev: u64, name: &dyn Fn() -> String| -> u64 {
+            if now < prev {
+                underflow.push(name());
+            }
+            now.saturating_sub(prev)
+        };
         for (kind, prev) in &earlier.by_kind {
             let e = out.by_kind.entry(kind).or_default();
-            e.remote = e.remote.saturating_sub(prev.remote);
-            e.local = e.local.saturating_sub(prev.local);
-            e.remote_bytes = e.remote_bytes.saturating_sub(prev.remote_bytes);
+            e.remote = sub(e.remote, prev.remote, &|| format!("kind:{kind}.remote"));
+            e.local = sub(e.local, prev.local, &|| format!("kind:{kind}.local"));
+            e.remote_bytes = sub(e.remote_bytes, prev.remote_bytes, &|| {
+                format!("kind:{kind}.remote_bytes")
+            });
         }
         for (i, prev) in earlier.per_proc_sent.iter().enumerate() {
             if let Some(s) = out.per_proc_sent.get_mut(i) {
-                *s = s.saturating_sub(*prev);
+                *s = sub(*s, *prev, &|| format!("proc{i}.sent"));
             }
         }
         for (i, prev) in earlier.per_proc_received.iter().enumerate() {
             if let Some(r) = out.per_proc_received.get_mut(i) {
-                *r = r.saturating_sub(*prev);
+                *r = sub(*r, *prev, &|| format!("proc{i}.received"));
+            }
+        }
+        for (now, prev, name) in [
+            (
+                self.faults.dropped,
+                earlier.faults.dropped,
+                "faults.dropped",
+            ),
+            (
+                self.faults.duplicated,
+                earlier.faults.duplicated,
+                "faults.duplicated",
+            ),
+            (
+                self.faults.partition_dropped,
+                earlier.faults.partition_dropped,
+                "faults.partition_dropped",
+            ),
+            (
+                self.faults.crash_dropped,
+                earlier.faults.crash_dropped,
+                "faults.crash_dropped",
+            ),
+            (
+                self.faults.timer_dropped,
+                earlier.faults.timer_dropped,
+                "faults.timer_dropped",
+            ),
+            (
+                self.faults.crashes,
+                earlier.faults.crashes,
+                "faults.crashes",
+            ),
+            (
+                self.faults.restarts,
+                earlier.faults.restarts,
+                "faults.restarts",
+            ),
+        ] {
+            if now < prev {
+                underflow.push(name.to_string());
             }
         }
         out.faults = self.faults.saturating_sub(&earlier.faults);
+        out.underflow = underflow;
         out
+    }
+
+    /// Counters that went backwards in the [`NetStats::delta_since`] that
+    /// produced this value (their deltas were clamped to zero). Non-empty
+    /// means the delta is unreliable: the snapshots don't describe one
+    /// monotone accumulation.
+    pub fn underflowed(&self) -> &[String] {
+        &self.underflow
     }
 }
 
@@ -187,6 +258,14 @@ impl fmt::Display for NetStats {
                 self.faults.timer_dropped,
                 self.faults.crashes,
                 self.faults.restarts
+            )?;
+        }
+        if !self.underflow.is_empty() {
+            writeln!(
+                f,
+                "WARNING: {} counter(s) went backwards in delta: {}",
+                self.underflow.len(),
+                self.underflow.join(", ")
             )?;
         }
         Ok(())
@@ -225,6 +304,31 @@ mod tests {
         assert_eq!(d.kind("a").remote, 1);
         assert_eq!(d.kind("b").remote, 1);
         assert_eq!(d.per_proc_sent(), &[2]);
+        assert!(d.underflowed().is_empty(), "forward deltas are clean");
+    }
+
+    #[test]
+    fn delta_since_surfaces_underflow() {
+        // Snapshots taken in the wrong order: every counter that moved
+        // reads backwards, and each must be named rather than silently
+        // clamped to zero.
+        let mut s = NetStats::new(1);
+        s.record_send("a", 0, Some(0), 4, false);
+        let later = s.clone();
+        s.record_send("a", 0, Some(0), 4, false);
+        let d = later.delta_since(&s);
+        assert_eq!(d.kind("a").remote, 0, "clamped, not negative");
+        let names = d.underflowed();
+        assert!(
+            names.contains(&"kind:a.remote".to_string()),
+            "kind counter named: {names:?}"
+        );
+        assert!(
+            names.contains(&"proc0.sent".to_string()),
+            "per-proc counter named: {names:?}"
+        );
+        let shown = format!("{d}");
+        assert!(shown.contains("went backwards"), "Display warns: {shown}");
     }
 
     #[test]

@@ -22,15 +22,17 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::context::Effect;
+use crate::obs::Sampler;
 use crate::runtime::{Poll, QuiesceError, Runtime};
-use crate::{Context, Payload, ProcId, Process, SimTime};
+use crate::trace::{TraceEntry, TraceEvent};
+use crate::{Context, Obs, ObsConfig, Payload, ProcId, ProcSample, Process, SimTime, Trace};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -39,6 +41,9 @@ enum Envelope<M> {
     Msg {
         from: ProcId,
         msg: M,
+        /// Causal span, resolved at send time exactly as the simulator does:
+        /// the payload's own span, else the sending action's.
+        span: Option<u64>,
     },
     Timer {
         token: u64,
@@ -50,6 +55,17 @@ enum Envelope<M> {
     },
     Shutdown,
 }
+
+/// Shared observability state: every worker records into the same trace and
+/// series under one mutex, so the lock-acquisition order *is* the global
+/// `seq` order — the trace is a linearization of what actually interleaved.
+struct ObsState {
+    trace: Trace,
+    series: Vec<ProcSample>,
+    sampler: Sampler,
+}
+
+type SharedObs = Option<Arc<Mutex<ObsState>>>;
 
 /// What worker threads emit on the shared output channel.
 enum Output<M> {
@@ -159,6 +175,10 @@ pub struct Cluster<P: Process> {
     /// Timers armed but not yet delivered to a worker queue.
     pending_timers: Arc<AtomicU64>,
     next_probe: u64,
+    /// Shared trace + series, `None` when observability is off (the workers
+    /// then skip every recording branch — zero overhead).
+    obs: SharedObs,
+    obs_cfg: ObsConfig,
 }
 
 impl<P> Cluster<P>
@@ -166,10 +186,25 @@ where
     P: Process + Send + 'static,
     P::Msg: Send + 'static,
 {
-    /// Spawn one thread per process.
+    /// Spawn one thread per process, with observability off.
     pub fn spawn(procs: Vec<P>) -> Self {
+        Self::spawn_with(procs, ObsConfig::default())
+    }
+
+    /// Spawn one thread per process, recording a causal trace and metrics
+    /// time series per `obs_cfg` — the same schema the simulator emits, so
+    /// runs on the two substrates are directly comparable.
+    pub fn spawn_with(procs: Vec<P>, obs_cfg: ObsConfig) -> Self {
         let n = procs.len();
         let epoch = Instant::now();
+        let obs: SharedObs =
+            (obs_cfg.trace_capacity > 0 || obs_cfg.sample_interval > 0).then(|| {
+                Arc::new(Mutex::new(ObsState {
+                    trace: Trace::with_capacity(obs_cfg.trace_capacity),
+                    series: Vec::new(),
+                    sampler: Sampler::new(obs_cfg.sample_interval, n),
+                }))
+            });
         let (out_tx, out_rx) = unbounded::<Output<P::Msg>>();
         let channels: Vec<Channel<P::Msg>> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Envelope<P::Msg>>> =
@@ -193,6 +228,7 @@ where
             let timers = timer_tx.clone();
             let actions = Arc::clone(&actions);
             let pending_timers = Arc::clone(&pending_timers);
+            let obs = obs.clone();
             let handle = thread::Builder::new()
                 .name(format!("simnet-p{i}"))
                 .spawn(move || {
@@ -207,6 +243,7 @@ where
                             now: now(epoch),
                             effects: &mut effects,
                             rng: &mut rng,
+                            span: None,
                         };
                         proc.on_start(&mut ctx);
                     }
@@ -214,31 +251,63 @@ where
                         &mut effects,
                         me,
                         now(epoch),
+                        None,
                         &peer_senders,
                         &out,
                         &timers,
                         &pending_timers,
+                        &obs,
                     );
 
                     while let Ok(env) = rx.recv() {
                         match env {
-                            Envelope::Msg { from, msg } => {
+                            Envelope::Msg { from, msg, span } => {
                                 let at = now(epoch);
+                                // Capture what the trace needs before the
+                                // payload moves into the handler.
+                                let pending = obs
+                                    .as_ref()
+                                    .map(|_| (msg.kind(), msg.redelivery(), format!("{msg:?}")));
+                                let before = if obs.is_some() {
+                                    proc.metrics()
+                                } else {
+                                    Vec::new()
+                                };
                                 let mut ctx = Context {
                                     me,
                                     now: at,
                                     effects: &mut effects,
                                     rng: &mut rng,
+                                    span,
                                 };
                                 proc.on_message(&mut ctx, from, msg);
+                                if let (Some(o), Some((kind, redelivery, detail))) =
+                                    (obs.as_ref(), pending)
+                                {
+                                    record_action(
+                                        o,
+                                        at,
+                                        from,
+                                        me,
+                                        TraceEvent::Deliver,
+                                        kind,
+                                        span,
+                                        redelivery,
+                                        detail,
+                                        &before,
+                                        &proc,
+                                    );
+                                }
                                 flush(
                                     &mut effects,
                                     me,
                                     at,
+                                    span,
                                     &peer_senders,
                                     &out,
                                     &timers,
                                     &pending_timers,
+                                    &obs,
                                 );
                                 // Count the action only after its sends are
                                 // enqueued: the probe barrier relies on
@@ -247,21 +316,44 @@ where
                             }
                             Envelope::Timer { token } => {
                                 let at = now(epoch);
+                                let before = if obs.is_some() {
+                                    proc.metrics()
+                                } else {
+                                    Vec::new()
+                                };
                                 let mut ctx = Context {
                                     me,
                                     now: at,
                                     effects: &mut effects,
                                     rng: &mut rng,
+                                    span: None,
                                 };
                                 proc.on_timer(&mut ctx, token);
+                                if let Some(o) = obs.as_ref() {
+                                    record_action(
+                                        o,
+                                        at,
+                                        me,
+                                        me,
+                                        TraceEvent::Timer,
+                                        "timer",
+                                        None,
+                                        false,
+                                        format!("token={token}"),
+                                        &before,
+                                        &proc,
+                                    );
+                                }
                                 flush(
                                     &mut effects,
                                     me,
                                     at,
+                                    None,
                                     &peer_senders,
                                     &out,
                                     &timers,
                                     &pending_timers,
+                                    &obs,
                                 );
                                 actions.fetch_add(1, Ordering::SeqCst);
                             }
@@ -288,6 +380,8 @@ where
             actions,
             pending_timers,
             next_probe: 0,
+            obs,
+            obs_cfg,
         }
     }
 
@@ -309,10 +403,30 @@ where
 
     /// Send `msg` to `to` from the external endpoint.
     pub fn inject(&self, to: ProcId, msg: P::Msg) {
+        let span = msg.span();
         let _ = self.senders[to.index()].send(Envelope::Msg {
             from: ProcId::EXTERNAL,
             msg,
+            span,
         });
+    }
+
+    /// Take the observability data recorded so far (empty when the cluster
+    /// was spawned without an [`ObsConfig`]), leaving fresh buffers.
+    pub fn take_obs(&mut self) -> Obs {
+        match &self.obs {
+            None => Obs::default(),
+            Some(o) => {
+                let mut st = o.lock().expect("obs lock");
+                Obs {
+                    trace: std::mem::replace(
+                        &mut st.trace,
+                        Trace::with_capacity(self.obs_cfg.trace_capacity),
+                    ),
+                    series: std::mem::take(&mut st.series),
+                }
+            }
+        }
     }
 
     /// Pull one output from the channel into the buffer; `false` on timeout
@@ -475,8 +589,55 @@ where
         std::mem::take(&mut self.out_buf)
     }
 
+    fn take_obs(&mut self) -> Obs {
+        Cluster::take_obs(self)
+    }
+
     fn into_procs(self) -> Vec<P> {
         self.shutdown()
+    }
+}
+
+/// Record one executed action into the shared trace (with its metric
+/// deltas) and emit a time-series sample if one is due. One lock
+/// acquisition covers both, so entry `seq` and sample order agree.
+#[allow(clippy::too_many_arguments)]
+fn record_action<P: Process>(
+    obs: &Arc<Mutex<ObsState>>,
+    at: SimTime,
+    from: ProcId,
+    me: ProcId,
+    event: TraceEvent,
+    kind: &'static str,
+    span: Option<u64>,
+    redelivery: bool,
+    detail: String,
+    before: &[(&'static str, u64)],
+    proc: &P,
+) {
+    let after = proc.metrics();
+    let mut st = obs.lock().expect("obs lock");
+    if st.trace.enabled() {
+        st.trace.record(TraceEntry {
+            seq: 0,
+            at,
+            from,
+            to: me,
+            event,
+            kind,
+            span,
+            redelivery,
+            wait: 0,
+            detail,
+            deltas: crate::obs::metric_deltas(before, &after),
+        });
+    }
+    if st.sampler.due(me, at) {
+        st.series.push(ProcSample {
+            at,
+            proc: me,
+            pairs: after,
+        });
     }
 }
 
@@ -485,18 +646,45 @@ fn flush<M: Payload>(
     effects: &mut Vec<Effect<M>>,
     me: ProcId,
     at: SimTime,
+    action_span: Option<u64>,
     peers: &[Sender<Envelope<M>>],
     out: &Sender<Output<M>>,
     timers: &Sender<TimerCmd>,
     pending_timers: &AtomicU64,
+    obs: &SharedObs,
 ) {
     for effect in effects.drain(..) {
         match effect {
             Effect::Send { to, msg } => {
+                // Same span-inheritance rule as the simulator: the payload's
+                // own span wins, else the sending action's.
+                let span = msg.span().or(action_span);
                 if to.is_external() {
+                    if let Some(o) = obs {
+                        let mut st = o.lock().expect("obs lock");
+                        if st.trace.enabled() {
+                            st.trace.record(TraceEntry {
+                                seq: 0,
+                                at,
+                                from: me,
+                                to: ProcId::EXTERNAL,
+                                event: TraceEvent::Output,
+                                kind: msg.kind(),
+                                span,
+                                redelivery: false,
+                                wait: 0,
+                                detail: format!("{msg:?}"),
+                                deltas: Vec::new(),
+                            });
+                        }
+                    }
                     let _ = out.send(Output::At(at, me, msg));
                 } else {
-                    let _ = peers[to.index()].send(Envelope::Msg { from: me, msg });
+                    let _ = peers[to.index()].send(Envelope::Msg {
+                        from: me,
+                        msg,
+                        span,
+                    });
                 }
             }
             Effect::Timer { delay, token } => {

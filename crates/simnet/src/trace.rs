@@ -1,63 +1,243 @@
-//! Optional capture of delivered messages, for debugging and for the
-//! schedule-shape assertions in protocol tests.
+//! Causal op-tracing: a bounded ring buffer of runtime events with span
+//! ids, per-hop metric deltas, and a line-oriented JSON export.
+//!
+//! Every record answers "what happened, where, and on behalf of which
+//! operation". The *span* of an entry is the driver-minted operation id the
+//! event is causally attributable to: payloads that name an operation carry
+//! it explicitly ([`Payload::span`](crate::Payload::span)), and both
+//! runtimes propagate it through everything an action sends — so split
+//! rounds, copy installs, and relays triggered by an insert are stamped
+//! with that insert's span even though their payloads never mention it.
+//!
+//! The buffer retains the **most recent** `cap` entries: debugging a failed
+//! run needs the tail, not the head. `dropped` counts evicted entries.
+
+use std::collections::VecDeque;
 
 use crate::{ProcId, SimTime};
 
-/// One delivered message (or fired timer), as recorded by the tracer.
-#[derive(Clone, Debug)]
-pub struct TraceEntry {
-    /// Virtual delivery time.
-    pub at: SimTime,
-    /// Sender (`ProcId::EXTERNAL` for injected messages).
-    pub from: ProcId,
-    /// Receiver.
-    pub to: ProcId,
-    /// The payload's `kind()`, or `"timer"`.
-    pub kind: &'static str,
-    /// `format!("{:?}")` of the payload, captured lazily only when tracing.
-    pub detail: String,
+/// What a trace entry records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A message was delivered and its action executed.
+    Deliver,
+    /// A timer fired and its action executed.
+    Timer,
+    /// A message left the system toward [`ProcId::EXTERNAL`].
+    Output,
+    /// A fault destroyed a message (loss, partition, or crash); `detail`
+    /// says which.
+    Drop,
+    /// A fault scheduled a second delivery of a message.
+    Duplicate,
+    /// A fault plan crashed the processor.
+    Crash,
+    /// A fault plan restarted the processor.
+    Restart,
 }
 
-/// A bounded in-memory trace of deliveries.
+impl TraceEvent {
+    /// Stable lowercase label used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceEvent::Deliver => "deliver",
+            TraceEvent::Timer => "timer",
+            TraceEvent::Output => "output",
+            TraceEvent::Drop => "drop",
+            TraceEvent::Duplicate => "duplicate",
+            TraceEvent::Crash => "crash",
+            TraceEvent::Restart => "restart",
+        }
+    }
+}
+
+/// One recorded runtime event.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Global record number (assigned by [`Trace::record`]; causal order
+    /// within a processor and within a channel).
+    pub seq: u64,
+    /// Event time: virtual ticks on the simulator, microseconds since spawn
+    /// on the threaded runtime.
+    pub at: SimTime,
+    /// Sender (`ProcId::EXTERNAL` for injected messages; the processor
+    /// itself for timers, crashes, and restarts).
+    pub from: ProcId,
+    /// The destination processor ([`ProcId::EXTERNAL`] for outputs).
+    pub to: ProcId,
+    /// What happened.
+    pub event: TraceEvent,
+    /// The payload's `kind()` (`"timer"` for timer events).
+    pub kind: &'static str,
+    /// The operation this event is causally attributable to, if any.
+    pub span: Option<u64>,
+    /// `true` when the payload is a session-layer retransmission rather
+    /// than a first transmission.
+    pub redelivery: bool,
+    /// Ticks the delivery waited for a busy node manager (simulator
+    /// service-time model; always 0 on the threaded runtime).
+    pub wait: u64,
+    /// `format!("{:?}")` of the payload (or a fault annotation), captured
+    /// only while tracing.
+    pub detail: String,
+    /// Named `Process::metrics` counters this action changed, as
+    /// `(name, increase)` pairs.
+    pub deltas: Vec<(&'static str, u64)>,
+}
+
+impl TraceEntry {
+    /// One line of the JSONL schema (no trailing newline). Field set and
+    /// order are pinned by a golden-file test; extend, don't reorder.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96 + self.detail.len());
+        s.push_str(&format!(
+            "{{\"seq\":{},\"at\":{},\"from\":{},\"to\":{},\"event\":\"{}\",\"kind\":\"{}\"",
+            self.seq,
+            self.at.ticks(),
+            // External is serialized as -1 so consumers get a plain integer.
+            proc_json(self.from),
+            proc_json(self.to),
+            self.event.as_str(),
+            self.kind,
+        ));
+        match self.span {
+            Some(sp) => s.push_str(&format!(",\"span\":{sp}")),
+            None => s.push_str(",\"span\":null"),
+        }
+        s.push_str(&format!(
+            ",\"redelivery\":{},\"wait\":{}",
+            self.redelivery, self.wait
+        ));
+        s.push_str(",\"detail\":\"");
+        json_escape_into(&mut s, &self.detail);
+        s.push_str("\",\"deltas\":{");
+        for (i, (name, inc)) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape_into(&mut s, name);
+            s.push_str(&format!("\":{inc}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn proc_json(p: ProcId) -> i64 {
+    if p.is_external() {
+        -1
+    } else {
+        p.0 as i64
+    }
+}
+
+/// Escape `src` for inclusion inside a JSON string literal.
+pub(crate) fn json_escape_into(out: &mut String, src: &str) {
+    for c in src.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A bounded in-memory trace of runtime events.
+///
+/// A ring buffer: once `cap` entries are held, recording a new entry evicts
+/// the **oldest** (and counts it in [`Trace::dropped`]), so the trace always
+/// ends at the present. `seq` numbers are global, so evictions are visible
+/// as a gap at the front.
 #[derive(Debug, Default)]
 pub struct Trace {
-    entries: Vec<TraceEntry>,
+    entries: VecDeque<TraceEntry>,
     cap: usize,
     dropped: u64,
+    next_seq: u64,
 }
 
 impl Trace {
-    /// A trace retaining at most `cap` entries (later entries are dropped and
-    /// counted).
+    /// A trace retaining at most `cap` of the most recent entries.
     pub fn with_capacity(cap: usize) -> Self {
         Trace {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             cap,
             dropped: 0,
+            next_seq: 0,
         }
     }
 
-    pub(crate) fn record(&mut self, entry: TraceEntry) {
-        if self.entries.len() < self.cap {
-            self.entries.push(entry);
-        } else {
+    /// Is recording enabled at all? (`cap > 0`.)
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Append an entry, stamping its `seq` and evicting the oldest entry if
+    /// the buffer is full. Public so tools and tests can build traces by
+    /// hand; the runtimes call it internally.
+    pub fn record(&mut self, mut entry: TraceEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        entry.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
             self.dropped += 1;
         }
+        self.entries.push_back(entry);
     }
 
-    /// Recorded entries, in delivery order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// Recorded entries, oldest retained first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
     }
 
-    /// Number of entries discarded after the capacity was reached.
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted to make room (the trace's head is missing
+    /// exactly this many records).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Entries of one kind, in delivery order.
+    /// Entries of one payload kind, in order.
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
         self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Entries attributed to one span, in causal order — the end-to-end
+    /// anatomy of a single operation.
+    pub fn of_span(&self, span: u64) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(move |e| e.span == Some(span))
+    }
+
+    /// Entries of one event type, in order.
+    pub fn of_event(&self, event: TraceEvent) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(move |e| e.event == event)
+    }
+
+    /// The whole trace as JSON Lines (one entry per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -67,31 +247,73 @@ mod tests {
 
     fn entry(kind: &'static str) -> TraceEntry {
         TraceEntry {
+            seq: 0,
             at: SimTime(0),
             from: ProcId(0),
             to: ProcId(1),
+            event: TraceEvent::Deliver,
             kind,
+            span: None,
+            redelivery: false,
+            wait: 0,
             detail: String::new(),
+            deltas: Vec::new(),
         }
     }
 
     #[test]
-    fn caps_and_counts_drops() {
+    fn ring_keeps_the_newest_and_counts_drops() {
         let mut t = Trace::with_capacity(2);
         t.record(entry("a"));
         t.record(entry("b"));
         t.record(entry("c"));
-        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 1);
+        // The tail survives: "b" and "c", with global seq numbers intact.
+        let kinds: Vec<&str> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+        let seqs: Vec<u64> = t.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2], "seq shows the evicted head as a gap");
     }
 
     #[test]
-    fn filters_by_kind() {
+    fn zero_capacity_disables_recording() {
+        let mut t = Trace::with_capacity(0);
+        assert!(!t.enabled());
+        t.record(entry("a"));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0, "nothing recorded, nothing dropped");
+    }
+
+    #[test]
+    fn filters_by_kind_span_and_event() {
         let mut t = Trace::with_capacity(10);
         t.record(entry("a"));
-        t.record(entry("b"));
+        let mut b = entry("b");
+        b.span = Some(7);
+        b.event = TraceEvent::Output;
+        t.record(b);
         t.record(entry("a"));
         assert_eq!(t.of_kind("a").count(), 2);
         assert_eq!(t.of_kind("b").count(), 1);
+        assert_eq!(t.of_span(7).count(), 1);
+        assert_eq!(t.of_event(TraceEvent::Output).count(), 1);
+        assert_eq!(t.of_event(TraceEvent::Deliver).count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_details() {
+        let mut e = entry("x");
+        e.detail = "say \"hi\"\nback\\slash".into();
+        let line = e.to_json();
+        assert!(line.contains(r#"say \"hi\"\nback\\slash"#));
+        assert!(!line.contains('\n'), "one line per entry");
+    }
+
+    #[test]
+    fn external_serializes_as_minus_one() {
+        let mut e = entry("client");
+        e.from = ProcId::EXTERNAL;
+        assert!(e.to_json().contains("\"from\":-1"));
     }
 }

@@ -1,0 +1,163 @@
+//! Golden-file pin of the JSONL trace schema.
+//!
+//! External consumers (the `e15_trace_anatomy` experiment, ad-hoc jq
+//! pipelines) parse the trace export line by line. This test freezes the
+//! field set, field order, and value encodings against a committed golden
+//! file: if `TraceEntry::to_json` changes shape, this fails and the change
+//! has to be deliberate — update `golden/trace_schema.jsonl` in the same
+//! commit and call out the schema break.
+
+use simnet::{ProcId, SimTime, Trace, TraceEntry, TraceEvent};
+
+const GOLDEN: &str = include_str!("golden/trace_schema.jsonl");
+
+fn entry(
+    at: u64,
+    from: ProcId,
+    to: ProcId,
+    event: TraceEvent,
+    kind: &'static str,
+    span: Option<u64>,
+    detail: &str,
+) -> TraceEntry {
+    TraceEntry {
+        seq: 0, // stamped by Trace::record
+        at: SimTime(at),
+        from,
+        to,
+        event,
+        kind,
+        span,
+        redelivery: false,
+        wait: 0,
+        detail: detail.to_string(),
+        deltas: Vec::new(),
+    }
+}
+
+/// One entry of every event type, exercising every field: spans present and
+/// absent, redeliveries, waits, metric deltas, external endpoints, and
+/// JSON-escaped details.
+fn representative_trace() -> Trace {
+    let mut t = Trace::with_capacity(16);
+    // An injected client request arriving from outside the system.
+    t.record(entry(
+        5,
+        ProcId::EXTERNAL,
+        ProcId(0),
+        TraceEvent::Deliver,
+        "client",
+        Some(42),
+        "Client { op: 42 }",
+    ));
+    // A navigation hop that waited behind a busy node manager and moved
+    // protocol counters.
+    let mut hop = entry(
+        9,
+        ProcId(0),
+        ProcId(1),
+        TraceEvent::Deliver,
+        "descend",
+        Some(42),
+        "hop 1",
+    );
+    hop.wait = 3;
+    hop.deltas = vec![("link_chases", 1), ("relays_applied", 2)];
+    t.record(hop);
+    // A fault destroying a retransmitted relay.
+    let mut lost = entry(
+        11,
+        ProcId(1),
+        ProcId(2),
+        TraceEvent::Drop,
+        "insert.relay",
+        None,
+        "loss",
+    );
+    lost.redelivery = true;
+    t.record(lost);
+    // A fault duplicating a split message.
+    t.record(entry(
+        12,
+        ProcId(2),
+        ProcId(0),
+        TraceEvent::Duplicate,
+        "split.end",
+        Some(42),
+        "dup",
+    ));
+    // A timer firing on processor 2.
+    t.record(entry(
+        15,
+        ProcId(2),
+        ProcId(2),
+        TraceEvent::Timer,
+        "timer",
+        None,
+        "token=1",
+    ));
+    // Crash and restart of processor 2.
+    t.record(entry(
+        20,
+        ProcId(2),
+        ProcId(2),
+        TraceEvent::Crash,
+        "fault.crash",
+        None,
+        "",
+    ));
+    t.record(entry(
+        30,
+        ProcId(2),
+        ProcId(2),
+        TraceEvent::Restart,
+        "fault.restart",
+        None,
+        "",
+    ));
+    // A reply leaving the system, with characters the export must escape.
+    t.record(entry(
+        33,
+        ProcId(0),
+        ProcId::EXTERNAL,
+        TraceEvent::Output,
+        "done",
+        Some(42),
+        "quote \" backslash \\ newline \n tab \t",
+    ));
+    t
+}
+
+#[test]
+fn jsonl_export_matches_the_golden_file() {
+    let got = representative_trace().to_jsonl();
+    if got != GOLDEN {
+        // Diff line by line so a failure names the divergent record.
+        for (i, (g, w)) in got.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(g, w, "line {i} diverges from the pinned schema");
+        }
+        assert_eq!(
+            got.lines().count(),
+            GOLDEN.lines().count(),
+            "line count diverges from the pinned schema"
+        );
+        panic!("trace JSONL diverges from the pinned schema");
+    }
+}
+
+#[test]
+fn every_event_label_appears_in_the_golden_file() {
+    // The golden file must stay representative: one line per event type.
+    for ev in [
+        TraceEvent::Deliver,
+        TraceEvent::Timer,
+        TraceEvent::Output,
+        TraceEvent::Drop,
+        TraceEvent::Duplicate,
+        TraceEvent::Crash,
+        TraceEvent::Restart,
+    ] {
+        let needle = format!("\"event\":\"{}\"", ev.as_str());
+        assert!(GOLDEN.contains(&needle), "golden file lacks {needle}");
+    }
+}

@@ -45,9 +45,16 @@ fn run(protocol: ProtocolKind, seed: u64) {
     cluster.run_to_quiescence();
 
     println!("update deliveries, in order:");
-    for e in cluster.sim.trace().entries() {
+    for e in cluster.sim.trace().iter() {
         if e.kind.starts_with("insert.") || e.kind.starts_with("split.") {
-            println!("  t{:<4} {} -> {}  {}", e.at.ticks(), e.from, e.to, e.kind);
+            println!(
+                "  t{:<4} {} -> {}  {:<18} span={:?}",
+                e.at.ticks(),
+                e.from,
+                e.to,
+                e.kind,
+                e.span
+            );
         }
     }
 

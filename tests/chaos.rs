@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, TreeConfig};
 use proptest::prelude::*;
-use simnet::{CrashEvent, FaultPlan, ProcId, SimConfig, SimTime};
+use simnet::{CrashEvent, FaultPlan, ProcId, SimConfig, SimTime, TraceEvent};
 
 const N_PROCS: u32 = 4;
 
@@ -188,6 +188,71 @@ fn crash_recovery_under_variable_copies() {
         let violations = checker::check_all(&mut cluster, &expected);
         assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
+}
+
+/// Every injected fault must be *visible* in the causal trace, and the
+/// trace must agree exactly with the fault RNG's statistics: each loss a
+/// `drop/loss` entry, each duplication a `duplicate/dup` entry, each
+/// crash-destroyed delivery a `drop/crash` entry — and session-layer
+/// retransmissions must be distinguishable from first transmissions via the
+/// `redelivery` flag.
+#[test]
+fn fault_trace_matches_injected_fault_stats() {
+    let plan = FaultPlan::lossy(0.10)
+        .with_dup(0.10)
+        .with_crash(CrashEvent {
+            proc: ProcId(2),
+            at: SimTime(800),
+            restart_at: Some(SimTime(2000)),
+        });
+    let mut sim_cfg = faulty_cfg(5, plan);
+    sim_cfg.trace_capacity = 1 << 20; // retain the whole run
+    let preload: Vec<u64> = (0..60).map(|k| k * 50).collect();
+    let spec = BuildSpec::new(preload, N_PROCS, TreeConfig::default());
+    let mut cluster = DbCluster::build(&spec, sim_cfg);
+
+    let origins = [ProcId(0), ProcId(1), ProcId(3)]; // avoid the crasher
+    let ops: Vec<ClientOp> = (0..100u64)
+        .map(|i| ClientOp {
+            origin: origins[i as usize % origins.len()],
+            key: 7 * i + 1,
+            intent: Intent::Insert(i),
+        })
+        .collect();
+    let stats = cluster.run_closed_loop(&ops, 3);
+    assert_eq!(stats.records.len(), ops.len());
+
+    let faults = *cluster.sim.stats().faults();
+    let trace = cluster.sim.trace();
+    assert_eq!(trace.dropped(), 0, "capacity must hold the full run");
+
+    let count = |ev: TraceEvent, flavor: &str| {
+        trace.of_event(ev).filter(|e| e.detail == flavor).count() as u64
+    };
+    assert!(faults.dropped > 0 && faults.duplicated > 0, "{faults:?}");
+    assert_eq!(count(TraceEvent::Drop, "loss"), faults.dropped);
+    assert_eq!(count(TraceEvent::Duplicate, "dup"), faults.duplicated);
+    assert_eq!(count(TraceEvent::Drop, "crash"), faults.crash_dropped);
+    assert_eq!(
+        trace.of_event(TraceEvent::Crash).count() as u64,
+        faults.crashes
+    );
+    assert_eq!(
+        trace.of_event(TraceEvent::Restart).count() as u64,
+        faults.restarts
+    );
+
+    // Lost messages force the session layer to retransmit, and those
+    // deliveries are marked — while ordinary traffic stays unmarked.
+    assert!(
+        trace
+            .iter()
+            .any(|e| e.event == TraceEvent::Deliver && e.redelivery),
+        "a lossy run must contain visible redeliveries"
+    );
+    assert!(trace
+        .iter()
+        .any(|e| e.event == TraceEvent::Deliver && !e.redelivery));
 }
 
 /// Determinism regression: an identical `SimConfig` — fault plan included —
