@@ -21,6 +21,7 @@ fn main() {
         "e13_fault_tolerance",
         "e14_threaded_throughput",
         "e15_trace_anatomy",
+        "e16_explore",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -3,6 +3,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use history::oracle::{check_sequences, SeqAction};
+use history::HistoryLog;
 use simnet::ProcId;
 
 use crate::node::NodeCopy;
@@ -320,6 +322,42 @@ pub fn check_stashes(sim: &DbSim) -> Vec<TreeViolation> {
     out
 }
 
+/// The dB-tree's class-level conflict relation, transcribing §4.1 onto the
+/// update classes the protocols issue and onto what the sequence oracle
+/// can observe (pairs that were **applied** at two copies):
+///
+/// * rule 2 — half-splits never commute with each other: the right-link
+///   and range depend on application order, so `"split"` vs `"split"`
+///   always conflicts. This is the claim that splits of one node are
+///   serialized through its PC.
+/// * rules 1, 3 & 4 — lazy writes (leaf writes, child insertions,
+///   child-home updates, directory patches) commute with each other in any
+///   form, and with a half-split *as applied pairs*: the non-commuting
+///   insert/split case of §4.1 is an insert whose key the split moved
+///   away, and the protocols never leave such a pair applied on both
+///   copies — the late relay is discarded or re-routed ("rewriting
+///   history"), which the coverage and value checks judge instead. A pair
+///   applied under both orders was in range under both orders, and such
+///   writes commute.
+/// * link-changes form the ordered class (checked by version monotonicity,
+///   not pairwise), and join/unjoin are replication-set bookkeeping — both
+///   commute with everything here.
+pub fn db_class_conflicts(a: SeqAction, b: SeqAction) -> bool {
+    a.class == "split" && b.class == "split"
+}
+
+/// Run the history sequence oracle (completeness, commuting-reorders-only
+/// compatibility, orderedness — see [`history::oracle`]) over a finished
+/// log, under the dB-tree conflict relation.
+pub fn check_history_sequences(log: &HistoryLog) -> Vec<TreeViolation> {
+    check_sequences(log, &db_class_conflicts)
+        .into_iter()
+        .map(|v| TreeViolation::History {
+            detail: v.to_string(),
+        })
+        .collect()
+}
+
 /// Run every structural check plus the history log.
 pub fn check_all(
     cluster: &mut crate::tree::DbCluster,
@@ -332,10 +370,12 @@ pub fn check_all(
     out.extend(check_leaf_chain(&cluster.sim));
     out.extend(check_stashes(&cluster.sim));
     let log = cluster.log();
-    let violations = log.lock().check();
+    let log = log.lock();
+    let violations = log.check();
     out.extend(violations.into_iter().map(|v| TreeViolation::History {
         detail: v.to_string(),
     }));
+    out.extend(check_history_sequences(&log));
     out
 }
 

@@ -60,7 +60,7 @@ mod tree;
 mod types;
 
 pub use build::{build_procs, BuildSpec};
-pub use checker::{GlobalView, TreeViolation};
+pub use checker::{check_history_sequences, db_class_conflicts, GlobalView, TreeViolation};
 pub use config::{PiggybackCfg, Placement, ProtocolKind, TreeConfig};
 pub use metrics::ProcMetrics;
 pub use msg::{InstallReason, LinkDir, Msg, SplitInfo};

@@ -272,6 +272,14 @@ impl HashCluster<HashSim> {
         } else {
             SessionConfig::default()
         };
+        Self::build_with_session(spec, sim_cfg, session)
+    }
+
+    /// Bootstrap with an explicit session configuration — e.g. the schedule
+    /// explorer raises `max_retries` so an adversarial scheduler that starves
+    /// a channel for a long stretch cannot make the session layer give up
+    /// and manufacture a message loss the protocol never caused.
+    pub fn build_with_session(spec: &HashSpec, sim_cfg: SimConfig, session: SessionConfig) -> Self {
         let (procs, log) = bootstrap(spec, session);
         HashCluster {
             sim: Simulation::new(sim_cfg, procs),

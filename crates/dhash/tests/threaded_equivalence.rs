@@ -6,51 +6,18 @@
 //! fresh key with a value derived from the key, so the final key→value map
 //! is schedule-independent even though thread interleavings are not.
 
-use std::collections::BTreeMap;
-
 use dhash::{
-    check_hash_cluster, check_hash_procs, record_final_digests_from, HKind, HashCluster, HashOp,
-    HashSpec, ThreadedHashCluster,
+    check_hash_cluster, check_hash_procs, record_final_digests_from, HashCluster,
+    ThreadedHashCluster,
 };
 use simnet::{ProcId, SimConfig};
-
-const N_PROCS: u32 = 4;
-const SEEDS: u64 = 8;
-
-fn workload(seed: u64, n_inserts: u64) -> (HashSpec, Vec<HashOp>, BTreeMap<u64, u64>) {
-    let spec = HashSpec {
-        preload: (0..60).map(|k| k * 3).collect(),
-        n_procs: N_PROCS,
-        cfg: Default::default(),
-    };
-    let mut expected: BTreeMap<u64, u64> = spec.preload.iter().map(|&k| (k, k)).collect();
-    let mut ops = Vec::new();
-    for i in 0..n_inserts {
-        let r = (i ^ seed).wrapping_mul(0x9E3779B97F4A7C15);
-        let origin = ProcId((r % N_PROCS as u64) as u32);
-        // Distinct fresh keys (stride 7, seed offset) — inserts never
-        // conflict, so the final contents don't depend on completion order.
-        let key = 10_000 + i * 7 + seed;
-        expected.insert(key, key + 1);
-        ops.push(HashOp {
-            origin,
-            key,
-            kind: HKind::Insert(key + 1),
-        });
-        if i % 3 == 0 {
-            ops.push(HashOp {
-                origin,
-                key: (i * 9) % 180, // preloaded territory
-                kind: HKind::Search,
-            });
-        }
-    }
-    (spec, ops, expected)
-}
+// The workload and seed matrix are shared with the dB-tree and explorer
+// suites via `testkit` — one definition, every substrate.
+use testkit::{hash_fresh_workload as workload, EQ_SEEDS};
 
 #[test]
 fn lazy_equivalent_across_runtimes() {
-    for seed in 0..SEEDS {
+    for seed in EQ_SEEDS {
         let (spec, ops, expected) = workload(seed, 80);
 
         // Simulator run under jittery service times.

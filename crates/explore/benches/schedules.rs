@@ -1,0 +1,42 @@
+//! Throughput of the exploration loop itself: schedules per second for the
+//! canned scenarios, per strategy. The tentpole claim is "thousands of
+//! distinct legal interleavings per wall-second instead of the one the
+//! latency model yields" — this bench is that number.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbtree::ProtocolKind;
+use explore::{blink_scenario, hash_scenario, light_faults, run_recorded, Strategy};
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedules");
+    let blink = blink_scenario(ProtocolKind::SemiSync, 7, 10, light_faults());
+    let hash = hash_scenario(7, 10, light_faults());
+    for strategy in Strategy::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("blink", strategy.name()),
+            &strategy,
+            |b, &s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(run_recorded(&blink, s, seed))
+                })
+            },
+        );
+    }
+    g.bench_with_input(
+        BenchmarkId::new("hash", Strategy::Random.name()),
+        &Strategy::Random,
+        |b, &s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_recorded(&hash, s, seed))
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

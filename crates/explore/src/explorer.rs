@@ -1,0 +1,120 @@
+//! The exploration loop: run a scenario under many schedules, apply the
+//! oracle stack after each, shrink whatever fails.
+//!
+//! Determinism contract: with a wall-clock budget of `None`, the report is
+//! a pure function of `(scenario, seed, budget)` — the strategies cycle in
+//! a fixed order, each run's scheduler seed is derived by splitmix64 from
+//! the explorer seed and the iteration index, and the per-run schedule
+//! digest folds every choice made. Two invocations with the same inputs
+//! produce identical digests, identical verdicts, and byte-identical
+//! shrunk repro files. (A wall-clock budget trades that away for
+//! predictable CI latency; the iteration count then becomes a cap.)
+
+use std::time::{Duration, Instant};
+
+use crate::scenario::{run_recorded, Scenario};
+use crate::sched::Strategy;
+use crate::shrink::{shrink, Failure, ShrinkStats};
+
+/// How much work one [`explore`] call may do.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Schedules to explore (exact when `wall` is `None`, a cap otherwise).
+    pub iterations: u64,
+    /// Optional wall-clock cutoff, checked between runs. **Breaks the
+    /// determinism contract** — leave `None` anywhere reproducibility
+    /// matters.
+    pub wall: Option<Duration>,
+    /// Stop after this many (shrunk) failures.
+    pub max_failures: usize,
+    /// Replay budget per shrink.
+    pub shrink_candidates: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            iterations: 100,
+            wall: None,
+            max_failures: 1,
+            shrink_candidates: 300,
+        }
+    }
+}
+
+/// What one exploration produced.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Schedules actually run.
+    pub runs: u64,
+    /// Total scheduling decisions across all runs.
+    pub choices_made: u64,
+    /// FNV-1a fold of every schedule-choice string, in run order — two
+    /// deterministic explorations are identical iff their digests are.
+    pub schedule_digest: u64,
+    /// Shrunk failures, in discovery order.
+    pub failures: Vec<Failure>,
+    /// Shrink effort per failure (parallel to `failures`).
+    pub shrink_stats: Vec<ShrinkStats>,
+}
+
+/// splitmix64: the per-iteration seed derivation (public so tests can
+/// predict a specific run's scheduler seed).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut acc: u64, word: u32) -> u64 {
+    for byte in word.to_le_bytes() {
+        acc = (acc ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Explore `scenario` under `budget`, cycling strategies, shrinking every
+/// failure found. See the module docs for the determinism contract.
+pub fn explore(scenario: &Scenario, seed: u64, budget: &Budget) -> Report {
+    let start = Instant::now();
+    let mut report = Report {
+        schedule_digest: FNV_OFFSET,
+        ..Report::default()
+    };
+    for i in 0..budget.iterations {
+        if let Some(wall) = budget.wall {
+            if start.elapsed() >= wall {
+                break;
+            }
+        }
+        let strategy = Strategy::ALL[(i % Strategy::ALL.len() as u64) as usize];
+        let sched_seed = splitmix64(seed ^ splitmix64(i.wrapping_add(1)));
+        let (run, choices) = run_recorded(scenario, strategy, sched_seed);
+        report.runs += 1;
+        report.choices_made += choices.len() as u64;
+        for &c in &choices {
+            report.schedule_digest = fnv_fold(report.schedule_digest, c);
+        }
+        if !run.violations.is_empty() {
+            let failure = Failure {
+                scenario: scenario.clone(),
+                choices,
+                violations: run.violations,
+                strategy: strategy.name(),
+                sched_seed,
+            };
+            let (shrunk, stats) = shrink(&failure, budget.shrink_candidates);
+            report.failures.push(shrunk);
+            report.shrink_stats.push(stats);
+            if report.failures.len() >= budget.max_failures {
+                break;
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,178 @@
+//! `explore` — the schedule-exploration CLI.
+//!
+//! Runs the canned scenarios (dB-tree protocols × hash table, with and
+//! without faults) under an iteration/time budget, reports schedules
+//! explored and oracle verdicts, and writes a shrunk repro file for every
+//! failure found. Exit status is non-zero iff any oracle fired, so CI can
+//! run it as a smoke job.
+//!
+//! ```text
+//! cargo run --release -p explore -- --iters 200 --seed 7 --out target/repros
+//! cargo run --release -p explore -- --secs 60          # wall-clock budget
+//! cargo run --release -p explore -- --scenario naive   # the broken variant
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dbtree::ProtocolKind;
+use explore::{
+    blink_scenario, crash_faults, emit_test, explore, format_repro, hash_scenario, light_faults,
+    Budget, Scenario,
+};
+use simnet::FaultPlan;
+
+struct Args {
+    iters: u64,
+    secs: Option<u64>,
+    seed: u64,
+    out: Option<PathBuf>,
+    scenario: String,
+    ops: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [--iters N] [--secs S] [--seed S] [--ops N] \
+         [--scenario all|blink|hash|crash|naive] [--out DIR]\n\
+         \n\
+         Explores schedules for the canned scenarios, checking every run\n\
+         against the structural and history-theory oracles. Writes shrunk\n\
+         repro files (and a generated #[test] next to each) to --out.\n\
+         Exits non-zero if any oracle violation was found."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 100,
+        secs: None,
+        seed: 1,
+        out: None,
+        scenario: "all".to_string(),
+        ops: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| usage_missing(name));
+        match flag.as_str() {
+            "--iters" => args.iters = val("--iters").parse().unwrap_or_else(|_| usage()),
+            "--secs" => args.secs = Some(val("--secs").parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
+            "--scenario" => args.scenario = val("--scenario"),
+            "--out" => args.out = Some(PathBuf::from(val("--out"))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_missing(name: &str) -> ! {
+    eprintln!("missing value for {name}");
+    usage();
+}
+
+/// The scenario matrix. `naive` is the deliberately-broken Fig 4 protocol —
+/// useful for watching the explorer catch and shrink a real bug.
+fn scenarios(which: &str, seed: u64, ops: usize) -> Vec<(&'static str, Scenario)> {
+    let mut out: Vec<(&'static str, Scenario)> = Vec::new();
+    let blink = |p, f| blink_scenario(p, seed, ops, f);
+    match which {
+        "blink" => {
+            out.push((
+                "blink-semisync",
+                blink(ProtocolKind::SemiSync, light_faults()),
+            ));
+            out.push(("blink-sync", blink(ProtocolKind::Sync, light_faults())));
+        }
+        "hash" => {
+            out.push(("hash", hash_scenario(seed, ops, light_faults())));
+        }
+        "crash" => {
+            out.push((
+                "blink-crash",
+                blink(ProtocolKind::SemiSync, crash_faults(1)),
+            ));
+            out.push(("hash-crash", hash_scenario(seed, ops, crash_faults(1))));
+        }
+        "naive" => {
+            out.push(("naive", blink(ProtocolKind::Naive, FaultPlan::none())));
+        }
+        "all" => {
+            out.push((
+                "blink-semisync",
+                blink(ProtocolKind::SemiSync, light_faults()),
+            ));
+            out.push(("blink-sync", blink(ProtocolKind::Sync, light_faults())));
+            out.push((
+                "blink-crash",
+                blink(ProtocolKind::SemiSync, crash_faults(1)),
+            ));
+            out.push(("hash", hash_scenario(seed, ops, light_faults())));
+            out.push(("hash-crash", hash_scenario(seed, ops, crash_faults(1))));
+        }
+        _ => usage(),
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = Budget {
+        iterations: args.iters,
+        wall: args.secs.map(Duration::from_secs),
+        ..Budget::default()
+    };
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+
+    let mut total_runs = 0u64;
+    let mut total_failures = 0usize;
+    for (name, scenario) in scenarios(&args.scenario, args.seed, args.ops) {
+        let start = std::time::Instant::now();
+        let report = explore(&scenario, args.seed, &budget);
+        let secs = start.elapsed().as_secs_f64();
+        total_runs += report.runs;
+        println!(
+            "{name:16} {:6} schedules  {:8} choices  digest {:016x}  {:7.1} sched/s  {}",
+            report.runs,
+            report.choices_made,
+            report.schedule_digest,
+            report.runs as f64 / secs.max(1e-9),
+            if report.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} FAILURE(S)", report.failures.len())
+            },
+        );
+        for (i, failure) in report.failures.iter().enumerate() {
+            total_failures += 1;
+            println!(
+                "  failure {i}: strategy={} ops={} choices={} — {}",
+                failure.strategy,
+                failure.scenario.ops.len(),
+                failure.choices.len(),
+                failure.violations.first().map(String::as_str).unwrap_or(""),
+            );
+            let repro = format_repro(failure).expect("explorer scenarios are representable");
+            if let Some(dir) = &args.out {
+                let path = dir.join(format!("{name}-{i}.repro"));
+                std::fs::write(&path, &repro).expect("write repro file");
+                let test_name = format!("repro_{}_{i}", name.replace('-', "_"));
+                let test = emit_test(&test_name, failure).expect("render repro test");
+                std::fs::write(dir.join(format!("{name}-{i}.rs")), test).expect("write repro test");
+                println!("  wrote {}", path.display());
+            } else {
+                print!("{repro}");
+            }
+        }
+    }
+    println!("total: {total_runs} schedules, {total_failures} failure(s)");
+    if total_failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Self-contained repro files.
+//!
+//! A repro file is a line-oriented text serialization of a [`Failure`]:
+//! the scenario, the schedule-choice string, and (informationally) the
+//! violations observed when it was written. [`run_repro`] parses and
+//! replays one; because a scenario plus a choice string determines the
+//! execution byte-for-byte, replaying the file reproduces the original
+//! run exactly — same schedule, same oracle verdicts.
+//!
+//! The format is hand-rolled (this workspace deliberately has no serde
+//! JSON): one `key value...` pair per line, `#` comments, order
+//! insignificant except that `op` lines keep their relative order.
+//! Floats round-trip through Rust's shortest-representation `Display`.
+//!
+//! ```text
+//! # explore repro v1
+//! strategy lifo
+//! sched-seed 7
+//! proto blink
+//! protocol naive
+//! fanout 4
+//! n-procs 3
+//! seed 42
+//! drop 0.05
+//! dup 0
+//! crash 1 400 1500
+//! preload 0 10 20 30
+//! op 0 17 insert 1017
+//! op 2 88 search
+//! choices 0 3 1 2
+//! violation sequence oracle: lost update #12 (leaf-write)
+//! ```
+//!
+//! [`emit_test`] renders a `#[test]` function that embeds the file and
+//! asserts it still reproduces — paste it into any suite that depends on
+//! `explore`.
+
+use std::fmt::Write as _;
+
+use dbtree::ProtocolKind;
+use simnet::{CrashEvent, FaultPlan, ProcId, SimTime};
+
+use crate::scenario::{replay_run, ExOp, Proto, RunReport, Scenario};
+use crate::shrink::Failure;
+
+const HEADER: &str = "# explore repro v1";
+
+fn protocol_name(p: ProtocolKind) -> &'static str {
+    match p {
+        ProtocolKind::Sync => "sync",
+        ProtocolKind::SemiSync => "semisync",
+        ProtocolKind::Naive => "naive",
+        ProtocolKind::AvailableCopies => "available-copies",
+    }
+}
+
+fn protocol_from_name(s: &str) -> Option<ProtocolKind> {
+    Some(match s {
+        "sync" => ProtocolKind::Sync,
+        "semisync" => ProtocolKind::SemiSync,
+        "naive" => ProtocolKind::Naive,
+        "available-copies" => ProtocolKind::AvailableCopies,
+        _ => return None,
+    })
+}
+
+/// Serialize a failure to repro-file text.
+///
+/// Timed partitions are not representable (the explorer never generates
+/// them); a plan carrying any is rejected rather than silently truncated.
+pub fn format_repro(failure: &Failure) -> Result<String, String> {
+    let s = &failure.scenario;
+    if !s.faults.partitions.is_empty() {
+        return Err("repro format does not carry timed partitions".into());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "strategy {}", failure.strategy);
+    let _ = writeln!(out, "sched-seed {}", failure.sched_seed);
+    match &s.proto {
+        Proto::Blink { protocol, fanout } => {
+            let _ = writeln!(out, "proto blink");
+            let _ = writeln!(out, "protocol {}", protocol_name(*protocol));
+            let _ = writeln!(out, "fanout {fanout}");
+        }
+        Proto::Hash { capacity } => {
+            let _ = writeln!(out, "proto hash");
+            let _ = writeln!(out, "capacity {capacity}");
+        }
+    }
+    let _ = writeln!(out, "n-procs {}", s.n_procs);
+    let _ = writeln!(out, "seed {}", s.seed);
+    let _ = writeln!(out, "drop {}", s.faults.drop_prob);
+    let _ = writeln!(out, "dup {}", s.faults.dup_prob);
+    for c in &s.faults.crashes {
+        match c.restart_at {
+            Some(r) => {
+                let _ = writeln!(out, "crash {} {} {}", c.proc.0, c.at.0, r.0);
+            }
+            None => {
+                let _ = writeln!(out, "crash {} {} never", c.proc.0, c.at.0);
+            }
+        }
+    }
+    let preload: Vec<String> = s.preload.iter().map(u64::to_string).collect();
+    let _ = writeln!(out, "preload {}", preload.join(" "));
+    for op in &s.ops {
+        match op.value {
+            Some(v) => {
+                let _ = writeln!(out, "op {} {} insert {v}", op.origin, op.key);
+            }
+            None => {
+                let _ = writeln!(out, "op {} {} search", op.origin, op.key);
+            }
+        }
+    }
+    let choices: Vec<String> = failure.choices.iter().map(u32::to_string).collect();
+    let _ = writeln!(out, "choices {}", choices.join(" "));
+    for v in &failure.violations {
+        let _ = writeln!(out, "violation {}", v.replace('\n', " "));
+    }
+    Ok(out)
+}
+
+fn parse_nums<T: std::str::FromStr>(rest: &str, what: &str) -> Result<Vec<T>, String> {
+    rest.split_whitespace()
+        .map(|t| t.parse().map_err(|_| format!("bad {what}: {t:?}")))
+        .collect()
+}
+
+/// Parse repro-file text back into a [`Failure`].
+pub fn parse_repro(text: &str) -> Result<Failure, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(format!("missing header line {HEADER:?}"));
+    }
+
+    let mut strategy: &'static str = "replay";
+    let mut sched_seed = 0u64;
+    let mut proto: Option<&str> = None;
+    let mut protocol = None;
+    let mut fanout = 4usize;
+    let mut capacity = 4usize;
+    let mut n_procs = 0u32;
+    let mut seed = 0u64;
+    let mut faults = FaultPlan::none();
+    let mut preload = Vec::new();
+    let mut ops = Vec::new();
+    let mut choices = Vec::new();
+    let mut violations = Vec::new();
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "strategy" => {
+                strategy = crate::sched::Strategy::from_name(rest)
+                    .map(|s| s.name())
+                    .unwrap_or("replay");
+            }
+            "sched-seed" => sched_seed = rest.parse().map_err(|_| "bad sched-seed")?,
+            "proto" => proto = Some(if rest == "hash" { "hash" } else { "blink" }),
+            "protocol" => {
+                protocol =
+                    Some(protocol_from_name(rest).ok_or(format!("unknown protocol {rest:?}"))?)
+            }
+            "fanout" => fanout = rest.parse().map_err(|_| "bad fanout")?,
+            "capacity" => capacity = rest.parse().map_err(|_| "bad capacity")?,
+            "n-procs" => n_procs = rest.parse().map_err(|_| "bad n-procs")?,
+            "seed" => seed = rest.parse().map_err(|_| "bad seed")?,
+            "drop" => faults.drop_prob = rest.parse().map_err(|_| "bad drop")?,
+            "dup" => faults.dup_prob = rest.parse().map_err(|_| "bad dup")?,
+            "crash" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(format!("crash wants `proc at restart|never`: {line:?}"));
+                }
+                faults.crashes.push(CrashEvent {
+                    proc: ProcId(parts[0].parse().map_err(|_| "bad crash proc")?),
+                    at: SimTime(parts[1].parse().map_err(|_| "bad crash time")?),
+                    restart_at: if parts[2] == "never" {
+                        None
+                    } else {
+                        Some(SimTime(parts[2].parse().map_err(|_| "bad restart time")?))
+                    },
+                });
+            }
+            "preload" => preload = parse_nums(rest, "preload key")?,
+            "op" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let value = match parts.as_slice() {
+                    [_, _, "search"] => None,
+                    [_, _, "insert", v] => Some(v.parse().map_err(|_| "bad insert value")?),
+                    _ => return Err(format!("op wants `origin key insert v|search`: {line:?}")),
+                };
+                ops.push(ExOp {
+                    origin: parts[0].parse().map_err(|_| "bad op origin")?,
+                    key: parts[1].parse().map_err(|_| "bad op key")?,
+                    value,
+                });
+            }
+            "choices" => choices = parse_nums(rest, "choice")?,
+            "violation" => violations.push(rest.to_string()),
+            _ => return Err(format!("unknown repro key {key:?}")),
+        }
+    }
+
+    let proto = match proto.ok_or("missing proto line")? {
+        "hash" => Proto::Hash { capacity },
+        _ => Proto::Blink {
+            protocol: protocol.ok_or("blink repro missing protocol line")?,
+            fanout,
+        },
+    };
+    if n_procs == 0 {
+        return Err("missing or zero n-procs".into());
+    }
+    Ok(Failure {
+        scenario: Scenario {
+            proto,
+            n_procs,
+            seed,
+            preload,
+            ops,
+            faults,
+        },
+        choices,
+        violations,
+        strategy,
+        sched_seed,
+    })
+}
+
+/// Parse and replay a repro file, returning what the oracles say *now*.
+/// (The stored `violation` lines are what they said when it was written.)
+pub fn run_repro(text: &str) -> Result<RunReport, String> {
+    let failure = parse_repro(text)?;
+    Ok(replay_run(&failure.scenario, &failure.choices))
+}
+
+/// Render a `#[test]` function that embeds the repro and asserts it still
+/// reproduces — byte-for-byte, since the embedded text is the whole input.
+pub fn emit_test(name: &str, failure: &Failure) -> Result<String, String> {
+    let repro = format_repro(failure)?;
+    Ok(format!(
+        r####"/// Auto-generated by `explore` — replays a shrunk failing schedule.
+#[test]
+fn {name}() {{
+    let repro = r##"{repro}"##;
+    let report = explore::run_repro(repro).expect("repro parses");
+    assert!(
+        !report.violations.is_empty(),
+        "shrunk repro no longer reproduces a violation"
+    );
+}}
+"####
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_failure() -> Failure {
+        Failure {
+            scenario: Scenario {
+                proto: Proto::Blink {
+                    protocol: ProtocolKind::Naive,
+                    fanout: 4,
+                },
+                n_procs: 3,
+                seed: 42,
+                preload: vec![0, 10, 20],
+                ops: vec![
+                    ExOp {
+                        origin: 0,
+                        key: 17,
+                        value: Some(1017),
+                    },
+                    ExOp {
+                        origin: 2,
+                        key: 88,
+                        value: None,
+                    },
+                ],
+                faults: FaultPlan::lossy(0.05).with_dup(0.1).with_crash(CrashEvent {
+                    proc: ProcId(1),
+                    at: SimTime(400),
+                    restart_at: Some(SimTime(1500)),
+                }),
+            },
+            choices: vec![0, 3, 1, 2],
+            violations: vec!["sequence oracle: lost update #12 (leaf-write)".into()],
+            strategy: "lifo",
+            sched_seed: 7,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let failure = sample_failure();
+        let text = format_repro(&failure).unwrap();
+        let parsed = parse_repro(&text).unwrap();
+        assert_eq!(parsed, failure);
+        // And formatting the parse is byte-identical: the format is
+        // canonical.
+        assert_eq!(format_repro(&parsed).unwrap(), text);
+    }
+
+    #[test]
+    fn hash_round_trips() {
+        let mut failure = sample_failure();
+        failure.scenario.proto = Proto::Hash { capacity: 6 };
+        let text = format_repro(&failure).unwrap();
+        assert_eq!(parse_repro(&text).unwrap(), failure);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_repro("not a repro").is_err());
+        assert!(parse_repro("# explore repro v1\nfrobnicate 3").is_err());
+        assert!(parse_repro("# explore repro v1\nproto blink\nn-procs 3").is_err());
+    }
+
+    #[test]
+    fn emitted_test_embeds_the_repro() {
+        let failure = sample_failure();
+        let test = emit_test("shrunk_case", &failure).unwrap();
+        assert!(test.contains("fn shrunk_case()"));
+        assert!(test.contains(&format_repro(&failure).unwrap()));
+    }
+}

@@ -1,0 +1,390 @@
+//! Scenarios: the replayable unit of exploration.
+//!
+//! A [`Scenario`] pins everything about one run *except* the schedule: the
+//! protocol under test, the deployment shape, the preloaded keys, the
+//! client operations, the fault plan, and the simulator seed (which fixes
+//! every latency and fault-RNG draw). Running a scenario under a
+//! [`simnet::Scheduler`] then makes the schedule itself the only free
+//! variable, so a `(scenario, choice string)` pair identifies an execution
+//! byte-for-byte — the property the shrinker and the repro files rely on.
+//!
+//! After each run the full oracle stack is applied:
+//!
+//! * the structural checkers (`dbtree::checker::check_all` /
+//!   `dhash::check_hash_cluster`): convergence digests, key findability
+//!   from every processor, leaf-chain and stash invariants;
+//! * the §3 history log check (coverage sets and final digests), which
+//!   both checkers already embed;
+//! * the sequence oracle ([`history::check_sequences`]) over each copy's
+//!   reconstructed action log: completeness, orderedness, and
+//!   compatibility (only commuting reorders) — wired into `check_all` for
+//!   the dB-tree and applied here for the hash table;
+//! * a completion check: with no crash in the plan, the session layer owes
+//!   every submitted operation an acknowledgement, whatever the schedule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dbtree::{checker, BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, TreeConfig};
+use dhash::{check_hash_cluster, HKind, HashCluster, HashConfig, HashSpec};
+use history::check_sequences;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::{CrashEvent, FaultPlan, ProcId, Scheduler, SessionConfig, SimConfig, SimTime};
+
+use crate::sched::{Recording, Replay, Strategy};
+
+/// Which search structure (and which of its protocol variants) a scenario
+/// exercises.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Proto {
+    /// The dB-tree under one of its replica-maintenance protocols.
+    Blink {
+        /// Replica-maintenance protocol variant.
+        protocol: ProtocolKind,
+        /// Node fanout (small values force splits early).
+        fanout: usize,
+    },
+    /// The lazy-directory distributed hash table.
+    Hash {
+        /// Bucket capacity before a split.
+        capacity: usize,
+    },
+}
+
+/// One client operation in explorer form: `value = Some(v)` is an insert,
+/// `None` a search. (Deletes are deliberately absent: a schedule-dependent
+/// delete would make the expected final contents schedule-dependent too,
+/// and the oracle needs them exact.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExOp {
+    /// Submitting processor (taken modulo the scenario's processor count).
+    pub origin: u32,
+    /// Target key.
+    pub key: u64,
+    /// Insert value, or `None` for a search.
+    pub value: Option<u64>,
+}
+
+/// Everything about a run except the schedule. See the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Structure and protocol under test.
+    pub proto: Proto,
+    /// Deployment size.
+    pub n_procs: u32,
+    /// Simulator seed (latency draws, fault RNG).
+    pub seed: u64,
+    /// Keys present before the workload starts.
+    pub preload: Vec<u64>,
+    /// The client workload, submitted up front (open loop) so delivery
+    /// order is maximally schedulable.
+    pub ops: Vec<ExOp>,
+    /// Fault plan (drops, duplicates, crashes).
+    pub faults: FaultPlan,
+}
+
+/// Outcome of one scheduled run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Every oracle violation, rendered. Empty = the run was correct.
+    pub violations: Vec<String>,
+    /// Operations acknowledged before quiescence.
+    pub completed: usize,
+}
+
+impl Scenario {
+    fn sim_cfg(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            faults: self.faults.clone(),
+            // Generous runaway bound: adversarial schedules legitimately
+            // run long (retransmissions under starvation), but a protocol
+            // livelock must still terminate the run.
+            max_events: 500_000,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The session configuration explorer runs use. Retries are raised far
+    /// beyond the default because an adversarial scheduler may starve a
+    /// channel for a long stretch; letting the session layer give up would
+    /// manufacture a message loss the protocol never caused, and the
+    /// completeness oracle would mis-blame the protocol.
+    fn session(&self) -> SessionConfig {
+        if self.faults.is_active() {
+            SessionConfig {
+                max_retries: 10_000,
+                ..SessionConfig::reliable()
+            }
+        } else {
+            // A perfect network still wants the session layer once crashes
+            // are possible; without faults the pass-through keeps runs
+            // identical to the plain simulator.
+            SessionConfig::default()
+        }
+    }
+}
+
+/// Run `scenario` under `scheduler` and apply the oracle stack.
+pub fn run_under(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> RunReport {
+    match &scenario.proto {
+        Proto::Blink { protocol, fanout } => run_blink(scenario, *protocol, *fanout, scheduler),
+        Proto::Hash { capacity } => run_hash(scenario, *capacity, scheduler),
+    }
+}
+
+/// Run under a named strategy, returning the report and the recorded
+/// schedule-choice string.
+pub fn run_recorded(
+    scenario: &Scenario,
+    strategy: Strategy,
+    sched_seed: u64,
+) -> (RunReport, Vec<u32>) {
+    let inner = strategy.build(sched_seed, scenario.n_procs);
+    let (recording, trace) = Recording::new(inner);
+    let report = run_under(scenario, Box::new(recording));
+    let choices = trace.borrow().clone();
+    (report, choices)
+}
+
+/// Replay a recorded choice string against (a possibly shrunk) scenario.
+pub fn replay_run(scenario: &Scenario, choices: &[u32]) -> RunReport {
+    run_under(scenario, Box::new(Replay::new(choices.to_vec())))
+}
+
+fn run_blink(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    fanout: usize,
+    scheduler: Box<dyn Scheduler>,
+) -> RunReport {
+    let cfg = TreeConfig {
+        fanout,
+        ..TreeConfig::fixed_copies(protocol, 3)
+    };
+    let spec = BuildSpec::new(scenario.preload.clone(), scenario.n_procs, cfg);
+    let mut cluster = DbCluster::build_with_session(&spec, scenario.sim_cfg(), scenario.session());
+    cluster.sim.set_scheduler(scheduler);
+
+    for op in &scenario.ops {
+        cluster.submit(ClientOp {
+            origin: ProcId(op.origin % scenario.n_procs),
+            key: op.key,
+            intent: match op.value {
+                Some(v) => Intent::Insert(v),
+                None => Intent::Search,
+            },
+        });
+    }
+
+    let mut violations = Vec::new();
+    let completed = match cluster.try_run_to_quiescence() {
+        Ok(records) => {
+            check_completion(scenario, records.len(), &mut violations);
+            // Expected keys: the preload plus every *acknowledged* insert.
+            // (With crashes in the plan an unacknowledged insert may or may
+            // not have landed; the checkers only owe us the acknowledged
+            // ones.)
+            let mut expected: BTreeSet<u64> = scenario.preload.iter().copied().collect();
+            for rec in &records {
+                if let Intent::Insert(_) = rec.op.intent {
+                    expected.insert(rec.op.key);
+                }
+            }
+            violations.extend(
+                checker::check_all(&mut cluster, &expected)
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
+            records.len()
+        }
+        Err(e) => {
+            violations.push(format!("quiescence: {e}"));
+            0
+        }
+    };
+    RunReport {
+        violations,
+        completed,
+    }
+}
+
+fn run_hash(scenario: &Scenario, capacity: usize, scheduler: Box<dyn Scheduler>) -> RunReport {
+    let spec = HashSpec {
+        preload: scenario.preload.clone(),
+        n_procs: scenario.n_procs,
+        cfg: HashConfig {
+            capacity,
+            ..HashConfig::default()
+        },
+    };
+    let mut cluster =
+        HashCluster::build_with_session(&spec, scenario.sim_cfg(), scenario.session());
+    cluster.sim.set_scheduler(scheduler);
+
+    for op in &scenario.ops {
+        let origin = ProcId(op.origin % scenario.n_procs);
+        // Values derive from keys so concurrent duplicate-key inserts agree
+        // on the final value whatever the schedule.
+        let kind = match op.value {
+            Some(_) => HKind::Insert(op.key + 1),
+            None => HKind::Search,
+        };
+        cluster.submit(origin, op.key, kind);
+    }
+
+    let mut violations = Vec::new();
+    let completed = match cluster.try_run_to_quiescence() {
+        Ok(stats) => {
+            check_completion(scenario, stats.records.len(), &mut violations);
+            if stats.lost() > 0 {
+                violations.push(format!("{} operations reported lost", stats.lost()));
+            }
+            let mut expected: BTreeMap<u64, u64> =
+                scenario.preload.iter().map(|&k| (k, k)).collect();
+            for op in &scenario.ops {
+                if op.value.is_some() {
+                    expected.insert(op.key, op.key + 1);
+                }
+            }
+            violations.extend(
+                check_hash_cluster(&mut cluster, &expected)
+                    .iter()
+                    .map(|v| format!("{v:?}")),
+            );
+            // The hash checker predates the sequence oracle; apply it here.
+            // `dir-patch` updates commute pairwise (each patches its own
+            // slot), so the dB-tree relation — splits conflict with splits,
+            // everything else commutes — is vacuously safe and still buys
+            // the completeness and orderedness checks.
+            let log = cluster.log();
+            let log = log.lock();
+            violations.extend(
+                check_sequences(&log, &dbtree::db_class_conflicts)
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
+            stats.records.len()
+        }
+        Err(e) => {
+            violations.push(format!("quiescence: {e}"));
+            0
+        }
+    };
+    RunReport {
+        violations,
+        completed,
+    }
+}
+
+/// With no crash in the plan, the session layer owes every operation an
+/// acknowledgement regardless of schedule. With crashes the scenario
+/// generator keeps client origins off the crashing processors, so
+/// completion is still owed once every crash has a restart.
+fn check_completion(scenario: &Scenario, completed: usize, violations: &mut Vec<String>) {
+    let recoverable = scenario
+        .faults
+        .crashes
+        .iter()
+        .all(|c| c.restart_at.is_some());
+    if recoverable && completed != scenario.ops.len() {
+        violations.push(format!(
+            "completion: {completed}/{} operations acknowledged",
+            scenario.ops.len()
+        ));
+    }
+}
+
+/// A canned dB-tree scenario: a small tree (low fanout) with an insert/
+/// search mix clustered tightly enough to force splits and split races.
+/// Deterministic in its arguments.
+pub fn blink_scenario(
+    protocol: ProtocolKind,
+    seed: u64,
+    n_ops: usize,
+    faults: FaultPlan,
+) -> Scenario {
+    let n_procs = 3;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB11A);
+    // A tight key range over a small fanout-4 preload: inserts concentrate
+    // in a handful of leaves, so even ~8-op workloads overflow one and the
+    // explorer gets split races to reorder (the regime §3 quantifies over).
+    let preload: Vec<u64> = (0..6).map(|k| k * 10).collect();
+    let crashers: Vec<u32> = faults.crashes.iter().map(|c| c.proc.0).collect();
+    let ops = (0..n_ops)
+        .map(|i| {
+            let mut origin = rng.gen_range(0..n_procs);
+            // Clients avoid crashing processors (an injection into a down
+            // processor is lost with the rest of its volatile queue).
+            while crashers.contains(&origin) {
+                origin = (origin + 1) % n_procs;
+            }
+            let key = rng.gen_range(0..70u64);
+            let value = if rng.gen_bool(0.75) {
+                Some(1_000 + i as u64)
+            } else {
+                None
+            };
+            ExOp { origin, key, value }
+        })
+        .collect();
+    Scenario {
+        proto: Proto::Blink {
+            protocol,
+            fanout: 4,
+        },
+        n_procs,
+        seed,
+        preload,
+        ops,
+        faults,
+    }
+}
+
+/// A canned hash-table scenario: small buckets, keys spread over preloaded
+/// and fresh territory so inserts race bucket splits.
+pub fn hash_scenario(seed: u64, n_ops: usize, faults: FaultPlan) -> Scenario {
+    let n_procs = 3;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDA5);
+    let preload: Vec<u64> = (0..16).map(|k| k * 3).collect();
+    let crashers: Vec<u32> = faults.crashes.iter().map(|c| c.proc.0).collect();
+    let ops = (0..n_ops)
+        .map(|_| {
+            let mut origin = rng.gen_range(0..n_procs);
+            while crashers.contains(&origin) {
+                origin = (origin + 1) % n_procs;
+            }
+            let key = rng.gen_range(0..96u64);
+            let value = if rng.gen_bool(0.75) {
+                Some(key + 1)
+            } else {
+                None
+            };
+            ExOp { origin, key, value }
+        })
+        .collect();
+    Scenario {
+        proto: Proto::Hash { capacity: 4 },
+        n_procs,
+        seed,
+        preload,
+        ops,
+        faults,
+    }
+}
+
+/// The light fault plan canned scenarios default to: drops and duplicates,
+/// no crashes.
+pub fn light_faults() -> FaultPlan {
+    FaultPlan::lossy(0.05).with_dup(0.05)
+}
+
+/// A fault plan with one crash/restart on top of the light plan, for the
+/// fault-alignment strategy to play with.
+pub fn crash_faults(proc: u32) -> FaultPlan {
+    light_faults().with_crash(CrashEvent {
+        proc: ProcId(proc),
+        at: SimTime(400),
+        restart_at: Some(SimTime(1_500)),
+    })
+}

@@ -1,0 +1,228 @@
+//! The shrinker: minimize a failing `(ops, fault plan, choice string)`
+//! triple to a smallest case that still trips an oracle.
+//!
+//! Classic delta debugging, specialized to the three axes a scenario can
+//! shrink along, iterated to a fixpoint (or a replay budget):
+//!
+//! 1. **Operations** — ddmin over the op list: remove contiguous chunks,
+//!    halving the chunk size until single ops; greedily restart whenever a
+//!    removal still reproduces.
+//! 2. **Faults** — zero the drop and duplicate probabilities, drop each
+//!    crash, clear partitions. A failure that survives with the faults
+//!    gone is a pure reordering bug — the most valuable kind of repro.
+//! 3. **Choices** — try the empty string (pure FIFO), then binary
+//!    truncation: [`crate::sched::Replay`] pads an exhausted string with
+//!    FIFO picks, so any prefix is a legal schedule.
+//!
+//! Every candidate is *re-run* and kept only if some oracle still fires;
+//! the shrinker never assumes a mutation preserves the failure. The final
+//! violations are whatever the minimized case actually produces (they may
+//! differ in detail from the original's — the bug reached by a shorter
+//! path often reports fewer symptoms).
+
+use crate::scenario::{replay_run, Scenario};
+
+/// A failing run: the scenario, the schedule-choice string that drove it,
+/// and what the oracles reported. Produced by the explorer, consumed by the
+/// shrinker and the repro writer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Failure {
+    /// The scenario (shrunk in place by [`shrink`]).
+    pub scenario: Scenario,
+    /// The recorded schedule-choice string.
+    pub choices: Vec<u32>,
+    /// Rendered oracle violations (non-empty).
+    pub violations: Vec<String>,
+    /// Which strategy found the failure (provenance, kept through
+    /// shrinking).
+    pub strategy: &'static str,
+    /// The strategy's seed (provenance).
+    pub sched_seed: u64,
+}
+
+/// Shrink statistics, mostly for reports and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate replays attempted.
+    pub candidates: u64,
+    /// Candidates that still reproduced (i.e. accepted improvements).
+    pub accepted: u64,
+}
+
+/// Minimize `original`, re-running at most `max_candidates` replays.
+pub fn shrink(original: &Failure, max_candidates: u64) -> (Failure, ShrinkStats) {
+    let mut best = original.clone();
+    let mut stats = ShrinkStats::default();
+
+    loop {
+        let mut improved = false;
+        improved |= shrink_ops(&mut best, max_candidates, &mut stats);
+        improved |= shrink_faults(&mut best, max_candidates, &mut stats);
+        improved |= shrink_choices(&mut best, max_candidates, &mut stats);
+        if !improved || stats.candidates >= max_candidates {
+            break;
+        }
+    }
+    (best, stats)
+}
+
+/// Replay one candidate; if it still fails, install it as the new best.
+fn attempt(
+    best: &mut Failure,
+    scenario: Scenario,
+    choices: Vec<u32>,
+    max_candidates: u64,
+    stats: &mut ShrinkStats,
+) -> bool {
+    if stats.candidates >= max_candidates {
+        return false;
+    }
+    stats.candidates += 1;
+    let report = replay_run(&scenario, &choices);
+    if report.violations.is_empty() {
+        return false;
+    }
+    stats.accepted += 1;
+    *best = Failure {
+        scenario,
+        choices,
+        violations: report.violations,
+        strategy: best.strategy,
+        sched_seed: best.sched_seed,
+    };
+    true
+}
+
+/// ddmin over the op list. Returns whether anything was removed.
+fn shrink_ops(best: &mut Failure, max_candidates: u64, stats: &mut ShrinkStats) -> bool {
+    let mut improved = false;
+    let mut chunk = best.scenario.ops.len().div_ceil(2).max(1);
+    while chunk >= 1 && !best.scenario.ops.is_empty() {
+        let mut start = 0;
+        while start < best.scenario.ops.len() {
+            let end = (start + chunk).min(best.scenario.ops.len());
+            let mut ops = best.scenario.ops.clone();
+            ops.drain(start..end);
+            let candidate = Scenario {
+                ops,
+                ..best.scenario.clone()
+            };
+            if attempt(best, candidate, best.choices.clone(), max_candidates, stats) {
+                improved = true;
+                // Do not advance: the chunk now starting at `start` is new.
+            } else {
+                start += chunk;
+            }
+            if stats.candidates >= max_candidates {
+                return improved;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+    improved
+}
+
+/// Simplify the fault plan one axis at a time.
+fn shrink_faults(best: &mut Failure, max_candidates: u64, stats: &mut ShrinkStats) -> bool {
+    let mut improved = false;
+
+    if best.scenario.faults.drop_prob > 0.0 {
+        let mut faults = best.scenario.faults.clone();
+        faults.drop_prob = 0.0;
+        let candidate = Scenario {
+            faults,
+            ..best.scenario.clone()
+        };
+        improved |= attempt(best, candidate, best.choices.clone(), max_candidates, stats);
+    }
+    if best.scenario.faults.dup_prob > 0.0 {
+        let mut faults = best.scenario.faults.clone();
+        faults.dup_prob = 0.0;
+        let candidate = Scenario {
+            faults,
+            ..best.scenario.clone()
+        };
+        improved |= attempt(best, candidate, best.choices.clone(), max_candidates, stats);
+    }
+    if !best.scenario.faults.partitions.is_empty() {
+        let mut faults = best.scenario.faults.clone();
+        faults.partitions.clear();
+        let candidate = Scenario {
+            faults,
+            ..best.scenario.clone()
+        };
+        improved |= attempt(best, candidate, best.choices.clone(), max_candidates, stats);
+    }
+    // Drop crashes one at a time (index resets after an accepted removal —
+    // the list shrank underneath us).
+    let mut i = 0;
+    while i < best.scenario.faults.crashes.len() {
+        let mut faults = best.scenario.faults.clone();
+        faults.crashes.remove(i);
+        let candidate = Scenario {
+            faults,
+            ..best.scenario.clone()
+        };
+        if attempt(best, candidate, best.choices.clone(), max_candidates, stats) {
+            improved = true;
+        } else {
+            i += 1;
+        }
+    }
+    improved
+}
+
+/// Shorten the choice string: empty first, then binary truncation.
+fn shrink_choices(best: &mut Failure, max_candidates: u64, stats: &mut ShrinkStats) -> bool {
+    let mut improved = false;
+    if !best.choices.is_empty() {
+        improved |= attempt(
+            best,
+            best.scenario.clone(),
+            Vec::new(),
+            max_candidates,
+            stats,
+        );
+    }
+    loop {
+        let len = best.choices.len();
+        if len == 0 {
+            break;
+        }
+        let half = len / 2;
+        if half == len {
+            break;
+        }
+        let candidate: Vec<u32> = best.choices[..half].to_vec();
+        if !attempt(
+            best,
+            best.scenario.clone(),
+            candidate,
+            max_candidates,
+            stats,
+        ) {
+            break;
+        }
+        improved = true;
+    }
+    // Trailing explicit-FIFO picks are identical to replay padding; strip
+    // them (verified by one replay, like every other mutation).
+    let trimmed_len = best
+        .choices
+        .iter()
+        .rposition(|&c| c != 0)
+        .map_or(0, |p| p + 1);
+    if trimmed_len < best.choices.len() {
+        improved |= attempt(
+            best,
+            best.scenario.clone(),
+            best.choices[..trimmed_len].to_vec(),
+            max_candidates,
+            stats,
+        );
+    }
+    improved
+}

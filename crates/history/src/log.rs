@@ -114,6 +114,13 @@ struct CopyRecord {
     live: bool,
     final_digest: Option<u64>,
     out_of_order: Vec<(&'static str, u64, u64)>,
+    /// Applied updates in local application order: `(tag, initial_here)`.
+    /// This is the copy's history `H_c` from §3.1, which the sequence
+    /// oracle ([`crate::oracle`]) compares across copies for commutativity.
+    applied_seq: Vec<(u64, bool)>,
+    /// Ordered-class applications in local application order, violations
+    /// included (the oracle re-derives monotonicity independently).
+    ordered_seq: Vec<(&'static str, u64)>,
 }
 
 /// Summary counters, for experiment reports.
@@ -195,10 +202,9 @@ impl HistoryLog {
         }
         self.observed_anywhere.insert(tag);
         let rec = self.copy_entry(node, proc);
-        rec.observed.insert(tag);
-        // kind currently only affects summary counters, tracked lazily in
-        // check(); store discard/forward via sentinel sets when needed.
-        let _ = kind;
+        if rec.observed.insert(tag) && kind == ObserveKind::Applied {
+            rec.applied_seq.push((tag, false));
+        }
     }
 
     /// Record that `tag` was consumed somewhere without a specific copy
@@ -221,7 +227,15 @@ impl HistoryLog {
             return;
         }
         self.initial_sets.entry(node).or_default().insert(tag);
-        self.observe(node, proc, tag, ObserveKind::Applied);
+        self.observed_anywhere.insert(tag);
+        let rec = self.copy_entry(node, proc);
+        if rec.observed.insert(tag) {
+            rec.applied_seq.push((tag, true));
+        } else if let Some(entry) = rec.applied_seq.iter_mut().rev().find(|e| e.0 == tag) {
+            // Some protocols record the application first and flag it as
+            // initial afterwards; upgrade in place.
+            entry.1 = true;
+        }
     }
 
     /// Record an applied ordered-class action (e.g. a link-change) with its
@@ -231,6 +245,7 @@ impl HistoryLog {
             return;
         }
         let rec = self.copy_entry(node, proc);
+        rec.ordered_seq.push((class, order));
         if let Some(&prev) = rec.last_ordered.get(class) {
             if order <= prev {
                 rec.out_of_order.push((class, prev, order));
@@ -345,6 +360,47 @@ impl HistoryLog {
         out
     }
 
+    /// The class `tag` was issued under, if it was issued by this log.
+    pub fn class_of(&self, tag: u64) -> Option<&'static str> {
+        self.issued.get(&tag).copied()
+    }
+
+    /// Every issued `(tag, class)` pair, in tag order.
+    pub fn issued_actions(&self) -> impl Iterator<Item = (u64, &'static str)> + '_ {
+        self.issued.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Was `tag` observed by any copy (or globally consumed)?
+    pub fn was_observed(&self, tag: u64) -> bool {
+        self.observed_anywhere.contains(&tag)
+    }
+
+    /// Per-copy applied histories of *live* copies, grouped by node:
+    /// `node → [(proc, applications)]` where each application is
+    /// `(tag, initial_here)` in local application order — the copy history
+    /// `H_c` of §3.1, as the sequence oracle consumes it.
+    pub fn applied_sequences(&self) -> AppliedSequences<'_> {
+        let mut out: AppliedSequences<'_> = BTreeMap::new();
+        for ((node, proc), rec) in &self.copies {
+            if rec.live {
+                out.entry(*node)
+                    .or_default()
+                    .push((*proc, rec.applied_seq.as_slice()));
+            }
+        }
+        out
+    }
+
+    /// Per-copy ordered-class application sequences of live copies:
+    /// `(node, proc, [(class, order)])` in local application order.
+    pub fn ordered_sequences(&self) -> Vec<OrderedSequence<'_>> {
+        self.copies
+            .iter()
+            .filter(|(_, rec)| rec.live)
+            .map(|((node, proc), rec)| (*node, *proc, rec.ordered_seq.as_slice()))
+            .collect()
+    }
+
     /// Counters for reports.
     pub fn summary(&self) -> LogSummary {
         LogSummary {
@@ -356,6 +412,14 @@ impl HistoryLog {
         }
     }
 }
+
+/// Live copy histories grouped by node: `node → [(proc, [(tag,
+/// initial_here)])]`, each copy's applications in local order.
+pub type AppliedSequences<'a> = BTreeMap<u64, Vec<(u32, &'a [(u64, bool)])>>;
+
+/// One live copy's ordered-class application sequence:
+/// `(node, proc, [(class, order)])`.
+pub type OrderedSequence<'a> = (u64, u32, &'a [(&'static str, u64)]);
 
 /// FNV-1a over little-endian words — a tiny stable digest helper for final
 /// copy values (no external hash dependencies).

@@ -1,7 +1,10 @@
 //! Property-based tests of the §3 theory: the commutativity classification
 //! of §4.1, checked over arbitrary action interleavings of the formal model.
 
+use std::collections::BTreeSet;
+
 use history::model::{Action, History, NodeValue};
+use history::taxonomy::{check_pair, derive_table, PairVerdict, Shape};
 use proptest::prelude::*;
 
 fn base_value(keys: &[u64]) -> NodeValue {
@@ -108,6 +111,73 @@ proptest! {
         prop_assert_eq!(ext.uniform().len(), prefix_keys.len() + suffix_keys.len());
     }
 
+    /// The taxonomy's classification of a random small history matches a
+    /// brute-force enumeration of its permutations: every order reachable
+    /// from the original by swapping adjacent pairs that [`check_pair`]
+    /// classifies as commuting *on the actual intermediate state* must
+    /// produce the identical observable outcome — final node value plus
+    /// the routed-right/moved-to-sibling subsequent-action sets — computed
+    /// from scratch per permutation, with no taxonomy involved. This is
+    /// exactly the soundness the sequence oracle leans on: "compatible"
+    /// histories (commuting reorders only) are observation-equivalent.
+    #[test]
+    fn commuting_reorders_are_observation_equivalent(
+        base in proptest::collection::vec(1u64..8, 0..4),
+        raw in proptest::collection::vec((0u8..4, 1u64..8), 1..6),
+    ) {
+        let mut v = NodeValue::new(0, None);
+        v.keys.extend(base.iter().copied());
+        let actions: Vec<Action> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, param))| {
+                Shape::ALL[shape as usize].instantiate(i as u64 + 1, param, 100 + i as u64)
+            })
+            .collect();
+
+        let outcome = |order: &[usize]| {
+            let mut h = History::new(v.clone());
+            for &i in order {
+                h.push(actions[i]);
+            }
+            let (fv, fx) = h.final_value();
+            // `discarded` is excluded, as in the taxonomy: a discard has no
+            // subsequent action.
+            (fv, fx.routed_right, fx.moved_to_sibling)
+        };
+
+        // Brute-force BFS over permutations, one commuting adjacent swap at
+        // a time (≤5 actions → ≤120 orders, trivially exhaustible).
+        let identity: Vec<usize> = (0..actions.len()).collect();
+        let reference = outcome(&identity);
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut frontier = vec![identity];
+        seen.insert(frontier[0].clone());
+        while let Some(order) = frontier.pop() {
+            for i in 0..order.len().saturating_sub(1) {
+                // State just before the pair, under this order.
+                let mut state = v.clone();
+                for &j in &order[..i] {
+                    state = actions[j].apply(&state).0;
+                }
+                let verdict = check_pair(actions[order[i]], actions[order[i + 1]], &state);
+                if verdict != PairVerdict::Commutes {
+                    continue;
+                }
+                let mut next = order.clone();
+                next.swap(i, i + 1);
+                if seen.insert(next.clone()) {
+                    prop_assert_eq!(
+                        &outcome(&next),
+                        &reference,
+                        "reorder via a commuting swap changed the observable outcome"
+                    );
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+
     /// Uniform histories erase the initial/relayed distinction, nothing
     /// else.
     #[test]
@@ -123,5 +193,60 @@ proptest! {
             h2.push(Action::Insert { tag: i as u64, key: k, initial: !f });
         }
         prop_assert_eq!(h1.uniform(), h2.uniform());
+    }
+}
+
+/// The derived §4.1 table agrees with a brute-force check that never calls
+/// the taxonomy: for each ordered shape pair, enumerate every state over a
+/// small key universe and every parameter choice, build the two-action
+/// history in both permutations via [`History`], and compare the outcomes
+/// (final value + routed/moved effect sets) directly. The pair commutes
+/// iff every instance agrees — which must be exactly what
+/// [`derive_table`] says.
+#[test]
+fn derived_table_matches_direct_permutation_check() {
+    const MAX_KEY: u64 = 3;
+    let universe: Vec<u64> = (1..=MAX_KEY).collect();
+    let mut states = Vec::new();
+    for mask in 0..(1u32 << universe.len()) {
+        let mut v = NodeValue::new(0, None);
+        for (i, &k) in universe.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                v.keys.insert(k);
+            }
+        }
+        states.push(v);
+    }
+
+    let outcome = |first: Action, second: Action, state: &NodeValue| {
+        let mut h = History::new(state.clone());
+        h.push(first);
+        h.push(second);
+        let (fv, fx) = h.final_value();
+        (fv, fx.routed_right, fx.moved_to_sibling)
+    };
+
+    let table = derive_table(MAX_KEY);
+    for &(sa, sb, table_commutes) in &table {
+        let mut brute_commutes = true;
+        'pairs: for &pa in &universe {
+            for &pb in &universe {
+                let a = sa.instantiate(1, pa, 100);
+                let b = sb.instantiate(2, pb, 200);
+                for s in &states {
+                    if outcome(a, b, s) != outcome(b, a, s) {
+                        brute_commutes = false;
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            table_commutes,
+            brute_commutes,
+            "{}/{}: taxonomy and brute force disagree",
+            sa.label(),
+            sb.label()
+        );
     }
 }

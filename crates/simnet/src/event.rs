@@ -1,8 +1,9 @@
 //! The event heap: a deterministic priority queue of pending deliveries.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
+use crate::schedule::{Choice, ChoiceKind};
 use crate::{ProcId, SimTime};
 
 /// What happens when an event fires.
@@ -119,6 +120,58 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The *enabled* events a schedule controller may legally fire next:
+    /// the lowest-sequence pending event of each ordering class. Classes
+    /// are `(src, dst)` channels for deliveries (per-channel FIFO), the
+    /// target processor for timers, and the target processor for
+    /// crash/restart controls (a crash precedes its own restart). Sorted by
+    /// sequence number so the listing is deterministic.
+    pub fn choices(&self) -> Vec<Choice> {
+        let mut best: HashMap<(u8, ProcId, ProcId), &Event<M>> = HashMap::new();
+        for e in self.heap.iter() {
+            let key = match &e.kind {
+                EventKind::Deliver { from, .. } => (0u8, *from, e.to),
+                EventKind::Timer { .. } => (1, e.to, e.to),
+                EventKind::Crash | EventKind::Restart => (2, e.to, e.to),
+            };
+            let slot = best.entry(key).or_insert(e);
+            if e.seq < slot.seq {
+                *slot = e;
+            }
+        }
+        let mut out: Vec<Choice> = best
+            .into_values()
+            .map(|e| Choice {
+                seq: e.seq,
+                at: e.at,
+                to: e.to,
+                from: match &e.kind {
+                    EventKind::Deliver { from, .. } => Some(*from),
+                    _ => None,
+                },
+                kind: match &e.kind {
+                    EventKind::Deliver { .. } => ChoiceKind::Deliver,
+                    EventKind::Timer { .. } => ChoiceKind::Timer,
+                    EventKind::Crash | EventKind::Restart => ChoiceKind::Control,
+                },
+            })
+            .collect();
+        out.sort_unstable_by_key(|c| c.seq);
+        out
+    }
+
+    /// Remove and return the pending event with the given sequence number.
+    /// O(n) — schedule exploration trades heap efficiency for control.
+    pub fn pop_seq(&mut self, seq: u64) -> Option<Event<M>> {
+        let mut v = std::mem::take(&mut self.heap).into_vec();
+        let found = v
+            .iter()
+            .position(|e| e.seq == seq)
+            .map(|i| v.swap_remove(i));
+        self.heap = BinaryHeap::from(v);
+        found
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +203,40 @@ mod tests {
             })
             .collect();
         assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choices_expose_one_head_per_class() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Two messages on channel 1->0, one on 2->0, a timer on 0, and a
+        // crash+restart pair on 1.
+        let deliver = |from: u32, msg| EventKind::Deliver {
+            from: ProcId(from),
+            msg,
+            span: None,
+        };
+        q.push(SimTime(10), ProcId(0), deliver(1, 7)); // seq 0
+        q.push(SimTime(5), ProcId(0), deliver(1, 8)); // seq 1 — same channel
+        q.push(SimTime(20), ProcId(0), deliver(2, 9)); // seq 2
+        q.push(SimTime(1), ProcId(0), EventKind::Timer { token: 3 }); // seq 3
+        q.push(SimTime(2), ProcId(1), EventKind::Crash); // seq 4
+        q.push(SimTime(9), ProcId(1), EventKind::Restart); // seq 5 — masked
+        let choices = q.choices();
+        let seqs: Vec<u64> = choices.iter().map(|c| c.seq).collect();
+        // Channel 1->0 exposes only seq 0 (its oldest), and the restart is
+        // masked by the crash that precedes it.
+        assert_eq!(seqs, vec![0, 2, 3, 4]);
+        assert_eq!(choices[0].from, Some(ProcId(1)));
+        assert_eq!(choices[2].kind, ChoiceKind::Timer);
+        assert_eq!(choices[3].kind, ChoiceKind::Control);
+        // Popping the crash unmasks the restart.
+        assert!(q.pop_seq(4).is_some());
+        assert!(q.choices().iter().any(|c| c.seq == 5));
+        // pop_seq leaves the rest of the heap intact and ordered.
+        assert!(q.pop_seq(99).is_none());
+        assert_eq!(q.len(), 5);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![3, 1, 5, 0, 2]);
     }
 
     #[test]

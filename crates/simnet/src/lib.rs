@@ -54,6 +54,7 @@ mod fault;
 mod latency;
 mod obs;
 mod runtime;
+pub mod schedule;
 pub mod session;
 mod sim;
 mod stats;
@@ -67,6 +68,7 @@ pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
 pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
 pub use runtime::{Poll, QuiesceError, Runtime};
+pub use schedule::{Choice, ChoiceKind, FifoScheduler, Scheduler};
 pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};

@@ -6,10 +6,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::context::{Context, Effect};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultPlan;
 use crate::obs::{metric_deltas, Sampler};
 use crate::runtime::{Poll, QuiesceError, Runtime};
+use crate::schedule::Scheduler;
 use crate::trace::{TraceEntry, TraceEvent};
 use crate::{LatencyModel, NetStats, Obs, Payload, ProcId, ProcSample, Process, SimTime, Trace};
 
@@ -128,6 +129,10 @@ pub struct Simulation<P: Process> {
     /// Incremented on each crash; events scheduled under an older epoch are
     /// the crashed incarnation's volatile queue and are discarded.
     crash_epoch: Vec<u32>,
+    /// Optional schedule controller (see [`crate::schedule`]). When
+    /// installed, each step fires the enabled event the controller picks
+    /// instead of the earliest-time event.
+    scheduler: Option<Box<dyn Scheduler>>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -162,6 +167,7 @@ impl<P: Process> Simulation<P> {
             faults_active,
             down: vec![false; n],
             crash_epoch: vec![0; n],
+            scheduler: None,
         };
         // Schedule the crash/restart control events up front; an empty plan
         // pushes nothing, keeping the event sequence of fault-free runs
@@ -306,9 +312,45 @@ impl<P: Process> Simulation<P> {
         }
     }
 
+    /// Install a schedule controller; subsequent steps fire the enabled
+    /// event it picks instead of the earliest-time event (see
+    /// [`crate::schedule`]).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Remove the schedule controller, restoring time-ordered delivery.
+    pub fn clear_scheduler(&mut self) -> Option<Box<dyn Scheduler>> {
+        self.scheduler.take()
+    }
+
+    /// Controlled replacement for `queue.pop()`: compute the enabled set,
+    /// let the scheduler pick, and fire the pick immediately. Clamping the
+    /// event to `max(at, now)` keeps time monotone; the latency model's
+    /// opinion of *when* stops mattering — only the choice order does.
+    fn pop_scheduled(&mut self) -> Option<Event<P::Msg>> {
+        let enabled = self.queue.choices();
+        if enabled.is_empty() {
+            return None;
+        }
+        let scheduler = self.scheduler.as_mut().expect("scheduler installed");
+        let idx = scheduler.choose(self.now, &enabled).min(enabled.len() - 1);
+        let mut event = self
+            .queue
+            .pop_seq(enabled[idx].seq)
+            .expect("enabled choices are pending events");
+        event.at = event.at.max(self.now);
+        Some(event)
+    }
+
     /// Deliver a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
+        let next = if self.scheduler.is_some() {
+            self.pop_scheduled()
+        } else {
+            self.queue.pop()
+        };
+        let Some(event) = next else {
             return false;
         };
         debug_assert!(event.at >= self.now, "time runs forward");
@@ -900,6 +942,31 @@ mod tests {
             };
             assert_eq!(c.seen, (0..100).collect::<Vec<_>>(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn scheduler_controls_order_but_preserves_channel_fifo() {
+        use crate::schedule::{Choice, Scheduler};
+        // Always fire the newest enabled event: maximally perturbs the
+        // cross-channel order without being able to break per-channel FIFO.
+        struct Newest;
+        impl Scheduler for Newest {
+            fn choose(&mut self, _now: SimTime, enabled: &[Choice]) -> usize {
+                enabled.len() - 1
+            }
+        }
+        let procs = vec![Either::C(Collector { seen: vec![] }), Either::B(Burst)];
+        let mut sim = Simulation::new(SimConfig::jittery(5, 1, 100), procs);
+        sim.set_scheduler(Box::new(Newest));
+        sim.run();
+        let Either::C(c) = sim.proc(ProcId(0)) else {
+            panic!()
+        };
+        assert_eq!(
+            c.seen,
+            (0..100).collect::<Vec<_>>(),
+            "FIFO survives control"
+        );
     }
 
     #[test]

@@ -145,6 +145,98 @@ fn jsonl_export_matches_the_golden_file() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ring-buffer eviction boundary: the trace is a bounded ring, and consumers
+// detect truncation via `dropped()` plus the seq numbering of the surviving
+// head. Pin the boundary exactly.
+// ---------------------------------------------------------------------------
+
+fn tick(at: u64) -> TraceEntry {
+    entry(
+        at,
+        ProcId(0),
+        ProcId(1),
+        TraceEvent::Deliver,
+        "tick",
+        None,
+        "",
+    )
+}
+
+/// `dropped()` stays zero through the `trace_capacity`-th record and counts
+/// exactly one per record past it — the boundary is at capacity, not
+/// capacity±1.
+#[test]
+fn dropped_is_exact_at_the_capacity_boundary() {
+    const CAP: usize = 16;
+    let mut t = Trace::with_capacity(CAP);
+    for i in 0..CAP as u64 {
+        t.record(tick(i));
+        assert_eq!(t.dropped(), 0, "no eviction until the ring is full");
+        assert_eq!(t.len(), i as usize + 1);
+    }
+    // Every record past capacity evicts exactly one head entry.
+    for extra in 1..=2 * CAP as u64 {
+        t.record(tick(CAP as u64 + extra));
+        assert_eq!(t.dropped(), extra, "one eviction per overflow record");
+        assert_eq!(t.len(), CAP, "retained window stays at capacity");
+    }
+}
+
+/// After eviction the JSONL export shows the head gap: the first exported
+/// line's `seq` equals `dropped()`, the lines that remain are contiguous,
+/// and sequences `0..dropped()` appear nowhere in the export.
+#[test]
+fn head_gap_is_visible_in_the_jsonl_export() {
+    const CAP: usize = 8;
+    const TOTAL: u64 = 13; // 5 evictions
+    let mut t = Trace::with_capacity(CAP);
+    for i in 0..TOTAL {
+        t.record(tick(i));
+    }
+    assert_eq!(t.dropped(), TOTAL - CAP as u64);
+
+    let jsonl = t.to_jsonl();
+    let seqs: Vec<u64> = jsonl
+        .lines()
+        .map(|line| {
+            let tail = line
+                .split("\"seq\":")
+                .nth(1)
+                .expect("every line carries a seq field");
+            tail[..tail.find(',').unwrap()].parse().unwrap()
+        })
+        .collect();
+
+    assert_eq!(seqs.len(), CAP, "export holds exactly the retained window");
+    assert_eq!(
+        seqs[0],
+        t.dropped(),
+        "first surviving seq names the size of the head gap"
+    );
+    let expected: Vec<u64> = (t.dropped()..TOTAL).collect();
+    assert_eq!(seqs, expected, "retained tail is contiguous and in order");
+    for gone in 0..t.dropped() {
+        assert!(
+            !seqs.contains(&gone),
+            "evicted seq {gone} leaked into the export"
+        );
+    }
+}
+
+/// Capacity zero disables recording entirely: nothing retained, nothing
+/// counted as dropped (there is no ring to overflow).
+#[test]
+fn zero_capacity_records_and_drops_nothing() {
+    let mut t = Trace::with_capacity(0);
+    for i in 0..4 {
+        t.record(tick(i));
+    }
+    assert!(t.is_empty());
+    assert_eq!(t.dropped(), 0);
+    assert!(t.to_jsonl().is_empty());
+}
+
 #[test]
 fn every_event_label_appears_in_the_golden_file() {
     // The golden file must stay representative: one line per event type.

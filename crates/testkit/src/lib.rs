@@ -1,0 +1,186 @@
+//! Shared test support for the equivalence and exploration suites.
+//!
+//! Three test families — `tests/threaded_equivalence.rs`,
+//! `tests/trace_equivalence.rs`, `crates/dhash/tests/threaded_equivalence.rs`
+//! and the explorer's perturbed-schedule suite — drive the *same* workloads
+//! over different substrates and compare schedule-independent facts. The
+//! seed lists and workload generators they share used to be copy-pasted
+//! into each file; they live here instead so a seed added to the matrix is
+//! added everywhere at once, and so a divergence between suites can only
+//! come from the runtimes, never from drifted workload definitions.
+//!
+//! Everything here is deterministic in its arguments: no ambient RNG, no
+//! clocks. The equivalence argument depends on it — see
+//! [`blink_fresh_workload`].
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use dbtree::{BuildSpec, ClientOp, Intent, ProtocolKind, TreeConfig};
+use dhash::{HKind, HashOp, HashSpec};
+use simnet::ProcId;
+
+/// The canonical seed matrix for cross-runtime equivalence suites.
+pub const EQ_SEEDS: std::ops::Range<u64> = 0..8;
+
+/// Processor count used by the equivalence workloads.
+pub const EQ_N_PROCS: u32 = 4;
+
+/// Processor count used by the trace-reconstruction workload.
+pub const TRACE_N_PROCS: u32 = 3;
+
+/// Simulator seed pinned by the trace-equivalence suite (and reused by the
+/// explorer's perturbed-trace runs so their artifacts are comparable).
+pub const TRACE_SEED: u64 = 17;
+
+/// Ring-buffer capacity big enough to retain a whole trace-suite run.
+pub const TRACE_CAP: usize = 1 << 16;
+
+/// The dB-tree equivalence workload: preload on a coarse grid; inserts land
+/// at seed-dependent off-grid offsets so they are fresh, mutually distinct,
+/// and disjoint across seeds. Because every insert targets a distinct fresh
+/// key with a value derived from the key, the final key→value contents are
+/// schedule-independent — the property every equivalence suite compares.
+///
+/// Returns `(preload, ops, expected final contents)`.
+pub fn blink_fresh_workload(
+    seed: u64,
+    n_inserts: u64,
+) -> (Vec<u64>, Vec<ClientOp>, BTreeMap<u64, u64>) {
+    let preload: Vec<u64> = (0..120).map(|k| k * 50).collect();
+    let mut expected: BTreeMap<u64, u64> = preload.iter().map(|&k| (k, k)).collect();
+    let mut ops = Vec::new();
+    for i in 0..n_inserts {
+        let origin = ProcId(((i + seed) % EQ_N_PROCS as u64) as u32);
+        let key = i * 50 + 1 + (seed % 48);
+        let value = key * 3 + 7;
+        expected.insert(key, value);
+        ops.push(ClientOp {
+            origin,
+            key,
+            intent: Intent::Insert(value),
+        });
+        // Interleave searches of preloaded keys (no effect on contents).
+        if i % 3 == 0 {
+            ops.push(ClientOp {
+                origin,
+                key: (i * 150) % 6000,
+                intent: Intent::Search,
+            });
+        }
+    }
+    (preload, ops, expected)
+}
+
+/// The hash-table equivalence workload, same fresh-key discipline as
+/// [`blink_fresh_workload`]: distinct stride-7 keys per seed, value derived
+/// from the key, so final contents are schedule-independent.
+///
+/// Returns `(spec, ops, expected final contents)`.
+pub fn hash_fresh_workload(
+    seed: u64,
+    n_inserts: u64,
+) -> (HashSpec, Vec<HashOp>, BTreeMap<u64, u64>) {
+    let spec = HashSpec {
+        preload: (0..60).map(|k| k * 3).collect(),
+        n_procs: EQ_N_PROCS,
+        cfg: Default::default(),
+    };
+    let mut expected: BTreeMap<u64, u64> = spec.preload.iter().map(|&k| (k, k)).collect();
+    let mut ops = Vec::new();
+    for i in 0..n_inserts {
+        let r = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let origin = ProcId((r % EQ_N_PROCS as u64) as u32);
+        // Distinct fresh keys (stride 7, seed offset) — inserts never
+        // conflict, so the final contents don't depend on completion order.
+        let key = 10_000 + i * 7 + seed;
+        expected.insert(key, key + 1);
+        ops.push(HashOp {
+            origin,
+            key,
+            kind: HKind::Insert(key + 1),
+        });
+        if i % 3 == 0 {
+            ops.push(HashOp {
+                origin,
+                key: (i * 9) % 180, // preloaded territory
+                kind: HKind::Search,
+            });
+        }
+    }
+    (spec, ops, expected)
+}
+
+/// The trace-reconstruction deployment: fanout-8 leaves preloaded close to
+/// capacity so the insert burst from [`split_burst_ops`] forces a split,
+/// and 3-copy replication so the split runs the full relayed cascade
+/// (split.relay, copy installs, relays to every copy).
+pub fn split_burst_spec() -> BuildSpec {
+    let preload: Vec<u64> = (0..40).map(|k| k * 20).collect();
+    BuildSpec::new(
+        preload,
+        TRACE_N_PROCS,
+        TreeConfig::fixed_copies(ProtocolKind::SemiSync, 3),
+    )
+}
+
+/// The insert burst that overflows one leaf of [`split_burst_spec`], plus
+/// two searches — one of which must chase into the fresh sibling.
+pub fn split_burst_ops() -> Vec<ClientOp> {
+    let mut ops = Vec::new();
+    // Nine inserts into one leaf's range: guaranteed to overflow it.
+    for i in 0..9u64 {
+        ops.push(ClientOp {
+            origin: ProcId((i % TRACE_N_PROCS as u64) as u32),
+            key: 401 + i,
+            intent: Intent::Insert(1000 + i),
+        });
+    }
+    // Searches, one of which must chase into the fresh sibling.
+    ops.push(ClientOp {
+        origin: ProcId(2),
+        key: 405,
+        intent: Intent::Search,
+    });
+    ops.push(ClientOp {
+        origin: ProcId(0),
+        key: 60,
+        intent: Intent::Search,
+    });
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blink_workloads_are_fresh_and_disjoint_across_seeds() {
+        let mut all_keys = std::collections::BTreeSet::new();
+        for seed in EQ_SEEDS {
+            let (preload, ops, expected) = blink_fresh_workload(seed, 60);
+            for op in &ops {
+                if let Intent::Insert(_) = op.intent {
+                    assert!(
+                        !preload.contains(&op.key),
+                        "insert key collides with preload"
+                    );
+                    assert!(all_keys.insert((seed, op.key)), "duplicate insert key");
+                    assert!(expected.contains_key(&op.key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_workload_values_derive_from_keys() {
+        let (_, ops, expected) = hash_fresh_workload(3, 80);
+        for op in &ops {
+            if let HKind::Insert(v) = op.kind {
+                assert_eq!(v, op.key + 1);
+                assert_eq!(expected.get(&op.key), Some(&v));
+            }
+        }
+    }
+}

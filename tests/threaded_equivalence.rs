@@ -13,41 +13,14 @@
 use std::collections::BTreeMap;
 
 use dbtree::{
-    record_final_digests_from, BuildSpec, ClientOp, DbCluster, DbProc, GlobalView, Intent,
-    ProtocolKind, ThreadedDbCluster, TreeConfig,
+    record_final_digests_from, BuildSpec, DbCluster, DbProc, GlobalView, ProtocolKind,
+    ThreadedDbCluster, TreeConfig,
 };
 use simnet::{ProcId, SessionProc, SimConfig};
-
-const N_PROCS: u32 = 4;
-const SEEDS: u64 = 8;
-
-/// Preload on a coarse grid; inserts land at seed-dependent off-grid
-/// offsets so they are fresh, mutually distinct, and disjoint across seeds.
-fn workload(seed: u64, n_inserts: u64) -> (Vec<u64>, Vec<ClientOp>, BTreeMap<u64, u64>) {
-    let preload: Vec<u64> = (0..120).map(|k| k * 50).collect();
-    let mut expected: BTreeMap<u64, u64> = preload.iter().map(|&k| (k, k)).collect();
-    let mut ops = Vec::new();
-    for i in 0..n_inserts {
-        let origin = ProcId(((i + seed) % N_PROCS as u64) as u32);
-        let key = i * 50 + 1 + (seed % 48);
-        let value = key * 3 + 7;
-        expected.insert(key, value);
-        ops.push(ClientOp {
-            origin,
-            key,
-            intent: Intent::Insert(value),
-        });
-        // Interleave searches of preloaded keys (no effect on contents).
-        if i % 3 == 0 {
-            ops.push(ClientOp {
-                origin,
-                key: (i * 150) % 6000,
-                intent: Intent::Search,
-            });
-        }
-    }
-    (preload, ops, expected)
-}
+// The workload and the seed matrix are shared with the trace, dhash, and
+// explorer perturbed-schedule suites — see `testkit` for the freshness
+// argument the equivalence comparison rests on.
+use testkit::{blink_fresh_workload as workload, EQ_N_PROCS as N_PROCS, EQ_SEEDS};
 
 /// Assert facts (a)–(c) over a finished run's records and final states.
 fn assert_run(
@@ -76,7 +49,7 @@ fn assert_run(
 }
 
 fn check_equivalence(cfg: TreeConfig, n_inserts: u64) {
-    for seed in 0..SEEDS {
+    for seed in EQ_SEEDS {
         let (preload, ops, expected) = workload(seed, n_inserts);
         let spec = BuildSpec::new(preload, N_PROCS, cfg.clone());
 

@@ -12,47 +12,11 @@
 
 use std::collections::BTreeMap;
 
-use dbtree::{BuildSpec, ClientOp, DbCluster, Intent, ProtocolKind, ThreadedDbCluster, TreeConfig};
-use simnet::{ObsConfig, ProcId, SessionConfig, SimConfig};
-
-const N_PROCS: u32 = 3;
-const TRACE_CAP: usize = 1 << 16;
-
-fn spec() -> BuildSpec {
-    // Fanout-8 leaves preloaded close to capacity so the insert burst below
-    // forces a split, and 3-copy replication so the split runs the full
-    // relayed cascade (split.relay, copy installs, relays to every copy).
-    let preload: Vec<u64> = (0..40).map(|k| k * 20).collect();
-    BuildSpec::new(
-        preload,
-        N_PROCS,
-        TreeConfig::fixed_copies(ProtocolKind::SemiSync, 3),
-    )
-}
-
-fn ops() -> Vec<ClientOp> {
-    let mut ops = Vec::new();
-    // Nine inserts into one leaf's range: guaranteed to overflow it.
-    for i in 0..9u64 {
-        ops.push(ClientOp {
-            origin: ProcId((i % N_PROCS as u64) as u32),
-            key: 401 + i,
-            intent: Intent::Insert(1000 + i),
-        });
-    }
-    // Searches, one of which must chase into the fresh sibling.
-    ops.push(ClientOp {
-        origin: ProcId(2),
-        key: 405,
-        intent: Intent::Search,
-    });
-    ops.push(ClientOp {
-        origin: ProcId(0),
-        key: 60,
-        intent: Intent::Search,
-    });
-    ops
-}
+use dbtree::{DbCluster, ThreadedDbCluster};
+use simnet::{ObsConfig, SessionConfig, SimConfig};
+// Deployment and burst are shared with the explorer's perturbed-schedule
+// suite via `testkit`, so both suites reconstruct the very same operations.
+use testkit::{split_burst_ops as ops, split_burst_spec as spec, TRACE_CAP, TRACE_SEED};
 
 /// Pull one JSON field's raw value out of a trace line (the export is
 /// hand-rolled, so the consumer side is too — no serde in this repo).
@@ -108,7 +72,7 @@ where
 
 #[test]
 fn hop_chains_identical_across_runtimes() {
-    let mut sim_cfg = SimConfig::seeded(17);
+    let mut sim_cfg = SimConfig::seeded(TRACE_SEED);
     sim_cfg.trace_capacity = TRACE_CAP;
     let mut sim = DbCluster::build(&spec(), sim_cfg);
     let sim_chains = chains(&drive(&mut sim));
