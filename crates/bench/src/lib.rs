@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod suite;
 
 use std::collections::BTreeSet;
 

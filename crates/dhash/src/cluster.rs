@@ -357,6 +357,50 @@ where
             .map(|s| HashClusterStats::from_driver(s.records))
     }
 
+    /// Drive `ops` open-loop on the deterministic arrival schedule of
+    /// [`simnet::driver::arrival_offsets`], then run to quiescence. Panics
+    /// on a limit (see [`HashCluster::try_run_open_loop`]).
+    pub fn run_open_loop(&mut self, ops: &[HashOp], cfg: &simnet::OpenLoopCfg) -> HashClusterStats {
+        HashClusterStats::from_driver(self.driver.run_open_loop(&mut self.sim, ops, cfg).records)
+    }
+
+    /// Open-loop driving with limits reported as values.
+    pub fn try_run_open_loop(
+        &mut self,
+        ops: &[HashOp],
+        cfg: &simnet::OpenLoopCfg,
+    ) -> Result<HashClusterStats, QuiesceError> {
+        self.driver
+            .try_run_open_loop(&mut self.sim, ops, cfg)
+            .map(|s| HashClusterStats::from_driver(s.records))
+    }
+
+    /// Closed-loop driving returning the *generic* driver statistics
+    /// (op ids = trace spans, makespan) — what the benchmark suite and the
+    /// critical-path profiler consume.
+    pub fn try_run_closed_loop_stats(
+        &mut self,
+        ops: &[HashOp],
+        concurrency: usize,
+    ) -> Result<simnet::driver::DriverStats<HashOp, HOutcome>, QuiesceError> {
+        self.driver
+            .try_run_closed_loop(&mut self.sim, ops, concurrency)
+    }
+
+    /// Open-loop driving returning the generic driver statistics.
+    pub fn try_run_open_loop_stats(
+        &mut self,
+        ops: &[HashOp],
+        cfg: &simnet::OpenLoopCfg,
+    ) -> Result<simnet::driver::DriverStats<HashOp, HOutcome>, QuiesceError> {
+        self.driver.try_run_open_loop(&mut self.sim, ops, cfg)
+    }
+
+    /// Take the observability data (trace + series) from the runtime.
+    pub fn take_obs(&mut self) -> simnet::Obs {
+        self.sim.take_obs()
+    }
+
     /// Operations submitted but not yet completed.
     pub fn pending_ops(&self) -> usize {
         self.driver.pending_ops()

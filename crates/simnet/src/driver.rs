@@ -74,6 +74,8 @@ pub enum NoScan {}
 
 /// Uniform accessors over protocol-specific outcomes, so [`DriverStats`]
 /// can aggregate hops/chases/losses without knowing the structure.
+/// Implemented for `()` so outcome-less protocols (driver tests, synthetic
+/// profiler workloads) still get the full stats surface.
 pub trait OpOutcome {
     /// Nodes visited while navigating to the operation's home.
     fn hops(&self) -> u32 {
@@ -89,9 +91,14 @@ pub trait OpOutcome {
     }
 }
 
+impl OpOutcome for () {}
+
 /// A completed operation with its timing.
 #[derive(Clone, Copy, Debug)]
 pub struct OpRecord<Op, O> {
+    /// The driver-assigned operation id — also the op's trace *span*, which
+    /// is how the critical-path profiler joins records to trace entries.
+    pub id: u64,
     /// The submitted operation.
     pub op: Op,
     /// Submission time.
@@ -343,6 +350,7 @@ impl<C: ClientProtocol> Driver<C> {
                 Some(Completion::Op { id, outcome }) => {
                     if let Some((op, submitted)) = self.pending.remove(&id) {
                         records.push(OpRecord {
+                            id,
                             op,
                             submitted,
                             completed: at,
@@ -727,6 +735,28 @@ mod tests {
         assert!(stats.mean_latency() > 0.0);
     }
 
+    /// Every statistics accessor must be total on zero samples: 0, never a
+    /// panic or NaN. Downstream (benchsuite, experiment bins) calls these
+    /// unconditionally on possibly-empty cells.
+    #[test]
+    fn empty_stats_are_total() {
+        let empty: DriverStats<ProcId, ()> = DriverStats::default();
+        assert_eq!(empty.mean_latency(), 0.0);
+        assert!(!empty.mean_latency().is_nan());
+        assert_eq!(empty.mean_hops(), 0.0);
+        assert!(!empty.mean_hops().is_nan());
+        assert_eq!(empty.total_chases(), 0);
+        assert_eq!(empty.lost_count(), 0);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.latency_quantile(q), 0, "q={q}");
+        }
+        assert_eq!(empty.throughput_per_kilotick(), 0.0);
+        let h = empty.latency_histogram();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
     #[test]
     fn quantile_edge_cases() {
         let empty: DriverStats<ProcId, ()> = DriverStats::default();
@@ -735,6 +765,7 @@ mod tests {
         assert_eq!(empty.throughput_per_kilotick(), 0.0);
 
         let rec = |lat: u64| OpRecord {
+            id: lat,
             op: ProcId(0),
             submitted: SimTime(0),
             completed: SimTime(lat),

@@ -53,6 +53,7 @@ mod event;
 mod fault;
 mod latency;
 mod obs;
+pub mod profile;
 mod runtime;
 pub mod schedule;
 pub mod session;
@@ -67,13 +68,16 @@ pub use driver::{Driver, OpenLoopCfg};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
 pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
+pub use profile::{
+    folded_events, folded_waits, Hop, OpProfile, Profiler, RunProfile, Segments, ServiceTimes,
+};
 pub use runtime::{Poll, QuiesceError, Runtime};
 pub use schedule::{Choice, ChoiceKind, FifoScheduler, Scheduler};
 pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};
 pub use time::SimTime;
-pub use trace::{Trace, TraceEntry, TraceEvent};
+pub use trace::{SpanIndex, Trace, TraceEntry, TraceEvent};
 
 use std::fmt;
 

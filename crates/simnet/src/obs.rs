@@ -217,7 +217,9 @@ impl Histogram {
                     0
                 } else {
                     // Upper bound of the bucket, clamped to the observed max.
-                    (1u64 << i).saturating_sub(1).min(self.max)
+                    // Written as a right shift because bucket 64 (values with
+                    // the top bit set) would overflow `1u64 << 64`.
+                    (u64::MAX >> (64 - i)).min(self.max)
                 };
             }
         }

@@ -31,9 +31,16 @@ pub struct SimConfig {
     pub sample_interval: u64,
     /// Per-action service time: each processor is a single node manager
     /// (the paper's model), so actions on one processor execute at most
-    /// every `service_time` ticks; deliveries to a busy processor wait.
-    /// 0 disables the model (infinitely fast processors).
+    /// every `service_time` ticks; deliveries to a busy processor wait,
+    /// and everything an action sends departs when the action *completes*
+    /// (`arrival + service`), so a hop's service shows up in downstream
+    /// latency. 0 disables the model (infinitely fast processors).
     pub service_time: u64,
+    /// Per-processor overrides of `service_time`, as `(proc, ticks)` pairs
+    /// — model a degraded node manager (E17's slow replica) without
+    /// touching the network latency model. An override of 0 makes that
+    /// processor infinitely fast even when the base is nonzero.
+    pub service_overrides: Vec<(ProcId, u64)>,
     /// Abort the run after this many delivered events (runaway protection).
     pub max_events: u64,
     /// Abort the run past this virtual time.
@@ -52,6 +59,7 @@ impl Default for SimConfig {
             trace_capacity: 0,
             sample_interval: 0,
             service_time: 0,
+            service_overrides: Vec::new(),
             max_events: 100_000_000,
             max_time: SimTime(u64::MAX),
             faults: FaultPlan::none(),
@@ -107,7 +115,9 @@ pub struct Simulation<P: Process> {
     channel_clock: HashMap<(ProcId, ProcId), SimTime>,
     /// Per-processor node-manager busy horizon (service-time model).
     proc_busy: Vec<SimTime>,
-    service_time: u64,
+    /// Per-processor service time (base + overrides); all zero disables
+    /// the model.
+    service: Vec<u64>,
     stats: NetStats,
     trace: Trace,
     trace_cap: usize,
@@ -141,6 +151,11 @@ impl<P: Process> Simulation<P> {
     pub fn new(config: SimConfig, procs: Vec<P>) -> Self {
         let n = procs.len();
         let faults_active = config.faults.is_active();
+        let mut service = vec![config.service_time; n];
+        for &(p, s) in &config.service_overrides {
+            assert!(p.index() < n, "service override names unknown processor");
+            service[p.index()] = s;
+        }
         let mut sim = Simulation {
             procs: procs.into_iter().map(Some).collect(),
             queue: EventQueue::new(),
@@ -149,7 +164,7 @@ impl<P: Process> Simulation<P> {
             latency: config.latency,
             channel_clock: HashMap::new(),
             proc_busy: vec![SimTime::ZERO; n],
-            service_time: config.service_time,
+            service,
             stats: NetStats::new(n),
             trace: Trace::with_capacity(config.trace_capacity),
             trace_cap: config.trace_capacity,
@@ -393,7 +408,12 @@ impl<P: Process> Simulation<P> {
         // (requeue order follows pop order, so per-channel FIFO holds).
         // Crash/restart are physical faults, not actions: they bypass the
         // node manager's queue.
-        if self.service_time > 0 && !is_control {
+        let svc = if is_control {
+            0
+        } else {
+            self.service[event.to.index()]
+        };
+        if svc > 0 {
             let busy = self.proc_busy[event.to.index()];
             if busy > event.at {
                 // Keep the original sequence number: a requeued event must
@@ -404,7 +424,7 @@ impl<P: Process> Simulation<P> {
                 self.queue.requeue(busy, event);
                 return true;
             }
-            self.proc_busy[event.to.index()] = event.at + self.service_time;
+            self.proc_busy[event.to.index()] = event.at + svc;
         }
         self.now = event.at;
         self.delivered += 1;
@@ -419,7 +439,9 @@ impl<P: Process> Simulation<P> {
                     wait: event.wait,
                     detail: format!("{msg:?}"),
                 });
-                self.run_action(to, span, pending, |p, ctx| p.on_message(ctx, from, msg));
+                self.run_action(to, span, svc, pending, |p, ctx| {
+                    p.on_message(ctx, from, msg)
+                });
             }
             EventKind::Timer { token } => {
                 let pending = self.trace.enabled().then(|| PendingTrace {
@@ -430,7 +452,7 @@ impl<P: Process> Simulation<P> {
                     wait: event.wait,
                     detail: format!("token={token}"),
                 });
-                self.run_action(to, None, pending, |p, ctx| p.on_timer(ctx, token));
+                self.run_action(to, None, svc, pending, |p, ctx| p.on_timer(ctx, token));
             }
             EventKind::Crash => {
                 self.down[to.index()] = true;
@@ -465,7 +487,7 @@ impl<P: Process> Simulation<P> {
                     wait: 0,
                     detail: String::new(),
                 });
-                self.run_action(to, None, pending, |p, ctx| p.on_restart(ctx));
+                self.run_action(to, None, 0, pending, |p, ctx| p.on_restart(ctx));
             }
         }
         self.stats.observe_inflight(self.queue.len());
@@ -520,7 +542,12 @@ impl<P: Process> Simulation<P> {
     }
 
     fn with_proc(&mut self, id: ProcId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>)) {
-        self.run_action(id, None, None, f);
+        self.run_action(id, None, 0, None, f);
+    }
+
+    /// Per-processor service time after overrides (0 = infinitely fast).
+    pub fn service_of(&self, id: ProcId) -> u64 {
+        self.service[id.index()]
     }
 
     /// Execute one atomic action on `id`: run `f` with a [`Context`] whose
@@ -528,11 +555,15 @@ impl<P: Process> Simulation<P> {
     /// the action's `Process::metrics` deltas), emit a time-series sample if
     /// one is due, then apply the buffered effects — so the action's entry
     /// lands in the trace *before* the entries its sends generate, keeping
-    /// the trace causally ordered.
+    /// the trace causally ordered. Effects depart at `now + service` (the
+    /// action's completion under the service-time model): a hop's service
+    /// delays everything downstream of it, which is what lets the profiler
+    /// decompose op latency exactly.
     fn run_action(
         &mut self,
         id: ProcId,
         span: Option<u64>,
+        service: u64,
         pending: Option<PendingTrace>,
         f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
     ) {
@@ -579,13 +610,20 @@ impl<P: Process> Simulation<P> {
             });
         }
         self.procs[id.index()] = Some(p);
+        let depart = self.now + service;
         for effect in effects.drain(..) {
-            self.apply_effect(id, span, effect);
+            self.apply_effect(id, span, depart, effect);
         }
         self.effects_buf = effects;
     }
 
-    fn apply_effect(&mut self, src: ProcId, action_span: Option<u64>, effect: Effect<P::Msg>) {
+    fn apply_effect(
+        &mut self,
+        src: ProcId,
+        action_span: Option<u64>,
+        depart: SimTime,
+        effect: Effect<P::Msg>,
+    ) {
         match effect {
             Effect::Send { to, msg } => {
                 // Causal span inheritance: a payload that names its operation
@@ -598,7 +636,7 @@ impl<P: Process> Simulation<P> {
                     if self.trace.enabled() {
                         self.trace.record(TraceEntry {
                             seq: 0,
-                            at: self.now,
+                            at: depart,
                             from: src,
                             to: ProcId::EXTERNAL,
                             event: TraceEvent::Output,
@@ -610,7 +648,7 @@ impl<P: Process> Simulation<P> {
                             deltas: Vec::new(),
                         });
                     }
-                    self.outputs.push((self.now, src, msg));
+                    self.outputs.push((depart, src, msg));
                     return;
                 }
                 let local = to == src;
@@ -626,20 +664,28 @@ impl<P: Process> Simulation<P> {
                 // Dropped messages do NOT advance the FIFO watermark, so the
                 // survivors still arrive in send order.
                 if self.faults_active && !local {
-                    if self.faults.severed(src, to, self.now) {
+                    if self.faults.severed(src, to, depart) {
                         self.stats.faults_mut().partition_dropped += 1;
-                        self.record_fault(src, to, &msg, span, TraceEvent::Drop, "partition");
+                        self.record_fault(
+                            src,
+                            to,
+                            &msg,
+                            span,
+                            depart,
+                            TraceEvent::Drop,
+                            "partition",
+                        );
                         return;
                     }
                     if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob)
                     {
                         self.stats.faults_mut().dropped += 1;
-                        self.record_fault(src, to, &msg, span, TraceEvent::Drop, "loss");
+                        self.record_fault(src, to, &msg, span, depart, TraceEvent::Drop, "loss");
                         return;
                     }
                 }
                 let latency = self.latency.sample(src, to, &mut self.rng);
-                let mut at = self.now + latency;
+                let mut at = depart + latency;
                 // Enforce FIFO per channel: never schedule before an earlier
                 // message on the same channel.
                 let watermark = self.channel_clock.entry((src, to)).or_insert(SimTime::ZERO);
@@ -657,10 +703,10 @@ impl<P: Process> Simulation<P> {
                     // advance the watermark: it may be overtaken, exactly
                     // like a retransmitted packet on a real network.
                     self.stats.faults_mut().duplicated += 1;
-                    self.record_fault(src, to, &msg, span, TraceEvent::Duplicate, "dup");
+                    self.record_fault(src, to, &msg, span, depart, TraceEvent::Duplicate, "dup");
                     self.queue.push_epoch(
                         dup_at(
-                            self.now,
+                            depart,
                             self.latency.sample(src, to, &mut self.fault_rng),
                             wm,
                         ),
@@ -686,7 +732,7 @@ impl<P: Process> Simulation<P> {
             }
             Effect::Timer { delay, token } => {
                 self.queue.push_epoch(
-                    self.now + delay,
+                    depart + delay,
                     src,
                     self.crash_epoch[src.index()],
                     EventKind::Timer { token },
@@ -696,19 +742,21 @@ impl<P: Process> Simulation<P> {
     }
 
     /// Record a fault-injection trace entry (drop, duplicate) at send time.
+    #[allow(clippy::too_many_arguments)]
     fn record_fault(
         &mut self,
         from: ProcId,
         to: ProcId,
         msg: &P::Msg,
         span: Option<u64>,
+        at: SimTime,
         event: TraceEvent,
         flavor: &str,
     ) {
         if self.trace.enabled() {
             self.trace.record(TraceEntry {
                 seq: 0,
-                at: self.now,
+                at,
                 from,
                 to,
                 event,
@@ -1091,6 +1139,64 @@ mod tests {
             panic!()
         };
         assert_eq!(o.seen, vec![99, 1, 2], "A not overtaken by B");
+    }
+
+    #[test]
+    fn effects_depart_at_action_completion() {
+        // With service_time 5, a reply leaves when the action *completes*:
+        // inject arrives at t=1, so the output is stamped t=6, not t=1.
+        struct Replier;
+        impl Process for Replier {
+            type Msg = Msg;
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ProcId, msg: Msg) {
+                if let Msg::Ping(n) = msg {
+                    ctx.send(ProcId::EXTERNAL, Msg::Pong(n));
+                }
+            }
+        }
+        let mut cfg = SimConfig::seeded(1);
+        cfg.service_time = 5;
+        let mut sim = Simulation::new(cfg, vec![Replier]);
+        sim.inject_at(SimTime(1), ProcId(0), Msg::Ping(0));
+        sim.run();
+        assert_eq!(sim.outputs().len(), 1);
+        assert_eq!(sim.outputs()[0].0, SimTime(6), "departs at completion");
+    }
+
+    #[test]
+    fn service_overrides_slow_one_processor() {
+        // P0 forwards to P1; P1 replies out. Constant latency 10 remote,
+        // base service 2, P1 overridden to 50. End-to-end: arrive P0 at 1,
+        // depart 3, arrive P1 at 13, depart (output) at 63.
+        struct Fwd {
+            next: Option<ProcId>,
+        }
+        impl Process for Fwd {
+            type Msg = Msg;
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ProcId, msg: Msg) {
+                match self.next {
+                    Some(next) => ctx.send(next, msg),
+                    None => ctx.send(ProcId::EXTERNAL, msg),
+                }
+            }
+        }
+        let mut cfg = SimConfig::seeded(1);
+        cfg.service_time = 2;
+        cfg.service_overrides = vec![(ProcId(1), 50)];
+        let mut sim = Simulation::new(
+            cfg,
+            vec![
+                Fwd {
+                    next: Some(ProcId(1)),
+                },
+                Fwd { next: None },
+            ],
+        );
+        assert_eq!(sim.service_of(ProcId(0)), 2);
+        assert_eq!(sim.service_of(ProcId(1)), 50);
+        sim.inject_at(SimTime(1), ProcId(0), Msg::Ping(0));
+        sim.run();
+        assert_eq!(sim.outputs()[0].0, SimTime(63));
     }
 
     #[test]

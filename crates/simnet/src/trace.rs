@@ -12,7 +12,7 @@
 //! The buffer retains the **most recent** `cap` entries: debugging a failed
 //! run needs the tail, not the head. `dropped` counts evicted entries.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::{ProcId, SimTime};
 
@@ -221,8 +221,25 @@ impl Trace {
 
     /// Entries attributed to one span, in causal order — the end-to-end
     /// anatomy of a single operation.
+    ///
+    /// This scans the whole trace: O(n) per call. Callers that look up many
+    /// spans (the critical-path profiler visits every op) should build a
+    /// [`Trace::span_index`] once and query that instead.
     pub fn of_span(&self, span: u64) -> impl Iterator<Item = &TraceEntry> + '_ {
         self.entries.iter().filter(move |e| e.span == Some(span))
+    }
+
+    /// Build a span → entries index in one pass over the trace. Entries per
+    /// span keep their trace (seq) order. The index borrows the trace, so
+    /// build it after recording is done.
+    pub fn span_index(&self) -> SpanIndex<'_> {
+        let mut by_span: BTreeMap<u64, Vec<&TraceEntry>> = BTreeMap::new();
+        for e in &self.entries {
+            if let Some(sp) = e.span {
+                by_span.entry(sp).or_default().push(e);
+            }
+        }
+        SpanIndex { by_span }
     }
 
     /// Entries of one event type, in order.
@@ -238,6 +255,35 @@ impl Trace {
             out.push('\n');
         }
         out
+    }
+}
+
+/// A prebuilt span → entries index over a [`Trace`], answering per-span
+/// lookups in O(log #spans) instead of [`Trace::of_span`]'s O(n) scan.
+#[derive(Debug, Default)]
+pub struct SpanIndex<'a> {
+    by_span: BTreeMap<u64, Vec<&'a TraceEntry>>,
+}
+
+impl<'a> SpanIndex<'a> {
+    /// Entries attributed to `span`, in trace order (empty if unknown).
+    pub fn of_span(&self, span: u64) -> &[&'a TraceEntry] {
+        self.by_span.get(&span).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All indexed spans, ascending.
+    pub fn spans(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_span.keys().copied()
+    }
+
+    /// Number of distinct spans indexed.
+    pub fn len(&self) -> usize {
+        self.by_span.len()
+    }
+
+    /// `true` if no entry carried a span.
+    pub fn is_empty(&self) -> bool {
+        self.by_span.is_empty()
     }
 }
 
@@ -299,6 +345,26 @@ mod tests {
         assert_eq!(t.of_span(7).count(), 1);
         assert_eq!(t.of_event(TraceEvent::Output).count(), 1);
         assert_eq!(t.of_event(TraceEvent::Deliver).count(), 2);
+    }
+
+    #[test]
+    fn span_index_matches_linear_scan() {
+        let mut t = Trace::with_capacity(64);
+        for i in 0..30u64 {
+            let mut e = entry("k");
+            e.at = SimTime(i);
+            e.span = if i % 3 == 0 { None } else { Some(i % 5) };
+            t.record(e);
+        }
+        let idx = t.span_index();
+        assert!(!idx.is_empty());
+        for span in 0..6u64 {
+            let linear: Vec<u64> = t.of_span(span).map(|e| e.seq).collect();
+            let indexed: Vec<u64> = idx.of_span(span).iter().map(|e| e.seq).collect();
+            assert_eq!(linear, indexed, "span {span}");
+        }
+        assert_eq!(idx.spans().count(), idx.len());
+        assert!(SpanIndex::default().of_span(1).is_empty());
     }
 
     #[test]

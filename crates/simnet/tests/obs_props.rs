@@ -1,0 +1,78 @@
+//! Property tests of the observability primitives.
+//!
+//! The benchmark suite merges per-cell histograms into run-level
+//! aggregates, so `Histogram::merge` must be *observation-equivalent* to
+//! having recorded every sample into a single histogram: same count, min,
+//! max, mean, and quantiles — with no dependence on how the samples were
+//! split across the two halves.
+
+use proptest::prelude::*;
+use simnet::Histogram;
+
+fn recorded(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// merge(a, b) observes exactly what record(a ++ b) observes.
+    #[test]
+    fn merge_is_observation_equivalent_to_recording(
+        a in proptest::collection::vec(0u64..1_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let single = recorded(&all);
+
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert_eq!(merged.mean(), single.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                single.quantile(q),
+                "quantile {} diverges", q
+            );
+        }
+    }
+
+    /// Merging an empty histogram is the identity on every observable.
+    #[test]
+    fn merge_with_empty_is_identity(
+        a in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&Histogram::new());
+        let plain = recorded(&a);
+        prop_assert_eq!(merged.count(), plain.count());
+        prop_assert_eq!(merged.min(), plain.min());
+        prop_assert_eq!(merged.max(), plain.max());
+        prop_assert_eq!(merged.mean(), plain.mean());
+        for q in [0.0, 0.5, 1.0] {
+            prop_assert_eq!(merged.quantile(q), plain.quantile(q));
+        }
+    }
+
+    /// Extremes (0, u64::MAX) don't overflow the bucketing or the summary
+    /// fields on either path.
+    #[test]
+    fn merge_handles_extremes(x in any::<u64>(), y in any::<u64>()) {
+        let mut merged = recorded(&[x]);
+        merged.merge(&recorded(&[y]));
+        let single = recorded(&[x, y]);
+        prop_assert_eq!(merged.count(), 2);
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert_eq!(merged.quantile(0.5), single.quantile(0.5));
+    }
+}
