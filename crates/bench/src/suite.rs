@@ -19,7 +19,10 @@
 use dbtree::{BuildSpec, ClientOp, DbCluster, Key, ThreadedDbCluster, TreeConfig};
 use dhash::{DirProtocol, HKind, HashCluster, HashConfig, HashOp, HashSpec, ThreadedHashCluster};
 use simnet::driver::{DriverStats, OpOutcome};
-use simnet::{folded_waits, FaultPlan, OpenLoopCfg, ProcId, Profiler, ServiceTimes, SimConfig};
+use simnet::{
+    folded_waits, CrashEvent, DetectorConfig, FaultPlan, OpenLoopCfg, ProcId, Profiler,
+    RetryPolicy, ServiceTimes, SessionConfig, SimConfig, SimTime,
+};
 use workload::{KeyDist, Mix, Op, OpKind, WorkloadGen};
 
 use crate::to_client;
@@ -86,6 +89,11 @@ pub enum Network {
     /// 3% message loss + 1% duplication; the session layer makes delivery
     /// reliable again, at the cost of retransmissions (sim only).
     Faulty,
+    /// 2% loss plus a mid-run crash of one processor (restarted later),
+    /// with the failure detector and the client retry layer enabled — the
+    /// cost of a full self-healing cycle: suspicion, quarantine, redirected
+    /// retries, rejoin, anti-entropy catch-up (sim only).
+    Chaos,
 }
 
 impl Network {
@@ -93,7 +101,26 @@ impl Network {
         match self {
             Network::Clean => "clean",
             Network::Faulty => "faulty",
+            Network::Chaos => "chaos",
         }
+    }
+}
+
+/// The processor the chaos cells crash, and when. Fixed alongside the cell
+/// seeds: the whole outage is part of the pinned measurement.
+const CHAOS_CRASH: CrashEvent = CrashEvent {
+    proc: ProcId(2),
+    at: SimTime(150),
+    restart_at: Some(SimTime(1_200)),
+};
+
+/// Retry policy for chaos cells: deadlines short enough that operations
+/// stuck on the dead processor redirect during the outage.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        enabled: true,
+        deadline: 600,
+        ..RetryPolicy::default()
     }
 }
 
@@ -338,6 +365,23 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
             ops: n(250, 80),
             ..dhash.clone()
         },
+        // The price of a self-healing cycle: one processor crashes at tick
+        // 150 and restarts at 1200, clients keep submitting to it, and the
+        // detector + retry + recovery stack absorbs the outage. Gated like
+        // every other sim cell — a regression here is a recovery-path
+        // slowdown (or, if `completed` drops, a lost operation).
+        CellSpec {
+            id: "blink-sim-closed-chaos",
+            network: Network::Chaos,
+            ops: n(250, 80),
+            ..blink.clone()
+        },
+        CellSpec {
+            id: "dhash-sim-closed-chaos",
+            network: Network::Chaos,
+            ops: n(250, 80),
+            ..dhash.clone()
+        },
     ];
     if !smoke {
         cells.extend([
@@ -389,10 +433,19 @@ fn sim_cfg(spec: &CellSpec) -> SimConfig {
     if let Some(o) = spec.service_override {
         cfg.service_overrides.push(o);
     }
-    if spec.network == Network::Faulty {
-        cfg.faults = FaultPlan::lossy(0.03).with_dup(0.01);
+    match spec.network {
+        Network::Clean => {}
+        Network::Faulty => cfg.faults = FaultPlan::lossy(0.03).with_dup(0.01),
+        Network::Chaos => cfg.faults = FaultPlan::lossy(0.02).with_crash(CHAOS_CRASH),
     }
     cfg
+}
+
+/// Session layer for the cell: chaos cells run the failure detector on top
+/// of the reliable session; everything else takes the builder's default
+/// (reliable iff the fault plan needs it).
+fn chaos_session() -> SessionConfig {
+    SessionConfig::reliable().with_detector(DetectorConfig::on())
 }
 
 fn service_times(spec: &CellSpec) -> ServiceTimes {
@@ -499,7 +552,13 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
     };
     let keys: Vec<Key> = (0..spec.preload).map(|k| k * 10).collect();
     let bspec = BuildSpec::new(keys, spec.n_procs, cfg);
-    let mut cluster = DbCluster::build(&bspec, sim_cfg(spec));
+    let mut cluster = if spec.network == Network::Chaos {
+        let mut c = DbCluster::build_with_session(&bspec, sim_cfg(spec), chaos_session());
+        c.set_retry(chaos_retry());
+        c
+    } else {
+        DbCluster::build(&bspec, sim_cfg(spec))
+    };
     let before = cluster.sim.stats().clone();
     let ops: Vec<ClientOp> = workload_ops(spec).iter().map(to_client).collect();
     let stats = match spec.drive {
@@ -572,7 +631,13 @@ fn run_dhash_sim(spec: &CellSpec) -> CellOutput {
             ..HashConfig::default()
         },
     };
-    let mut cluster = HashCluster::build(&hspec, sim_cfg(spec));
+    let mut cluster = if spec.network == Network::Chaos {
+        let mut c = HashCluster::build_with_session(&hspec, sim_cfg(spec), chaos_session());
+        c.set_retry(chaos_retry());
+        c
+    } else {
+        HashCluster::build(&hspec, sim_cfg(spec))
+    };
     let before = cluster.sim.stats().clone();
     let ops: Vec<HashOp> = workload_ops(spec).iter().map(to_hash).collect();
     let stats = match spec.drive {

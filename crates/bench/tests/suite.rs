@@ -217,6 +217,32 @@ fn real_cell_is_deterministic_and_gateable() {
     );
 }
 
+/// Chaos cells — crash + restart with the detector and retry layer on —
+/// are still pure functions of their spec (every timer, backoff jitter,
+/// and anti-entropy exchange is seeded), still complete every operation,
+/// and therefore gate exactly like the clean cells.
+#[test]
+fn chaos_cell_is_deterministic_and_completes() {
+    for structure in [Structure::Blink, Structure::Dhash] {
+        let spec = CellSpec {
+            network: Network::Chaos,
+            ..tiny_cell(structure)
+        };
+        let a = run_cell(&spec);
+        let b = run_cell(&spec);
+        assert_eq!(
+            a.result.to_json(),
+            b.result.to_json(),
+            "{structure:?}: identical chaos cells must measure identically"
+        );
+        assert_eq!(
+            a.result.completed, a.result.ops,
+            "{structure:?}: the retry layer must land every operation"
+        );
+        assert!(a.result.deterministic, "{structure:?}: chaos is sim-only");
+    }
+}
+
 /// The profiler output embedded in a cell is internally consistent: every
 /// completed op is either profiled or counted skipped, every profiled op
 /// decomposes exactly, and the segment shares partition the latency.

@@ -106,6 +106,13 @@ pub struct TreeConfig {
     pub join_version_relay: bool,
     /// Record a [`history::HistoryLog`] for end-of-run verification.
     pub record_history: bool,
+    /// On crash restart, pull a state-based anti-entropy sync
+    /// ([`crate::Msg::SyncReq`]) for every copy the stable store retained,
+    /// merging a live peer's state over whatever survived the crash.
+    /// Quarantine catch-up *pushes* (from peers that suppressed relays
+    /// while this processor was suspect) happen regardless; this governs
+    /// only the restarting side's pulls.
+    pub sync_on_restart: bool,
 }
 
 impl Default for TreeConfig {
@@ -120,6 +127,7 @@ impl Default for TreeConfig {
             variable_copies: false,
             join_version_relay: true,
             record_history: true,
+            sync_on_restart: true,
         }
     }
 }

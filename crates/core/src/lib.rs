@@ -54,6 +54,7 @@ mod nav;
 mod node;
 mod proc;
 mod protocol;
+mod recovery;
 mod relay;
 mod store;
 mod tree;

@@ -42,6 +42,18 @@ pub struct ProcMetrics {
     /// Interior copies dropped at restart and re-acquired via the §4.3
     /// join protocol.
     pub recovery_rejoins: u64,
+    /// Peers quarantined on a failure-detector suspicion.
+    pub quarantines: u64,
+    /// Relays withheld from quarantined peers (recorded for catch-up
+    /// instead of being sent into the void).
+    pub relays_suppressed: u64,
+    /// Anti-entropy state snapshots sent (quarantine catch-up pushes and
+    /// `SyncReq` replies).
+    pub sync_pushes: u64,
+    /// Anti-entropy pulls requested at restart for retained copies.
+    pub sync_pulls: u64,
+    /// Anti-entropy snapshots merged that actually changed the local copy.
+    pub sync_merges: u64,
 }
 
 impl ProcMetrics {
@@ -67,6 +79,11 @@ impl ProcMetrics {
             ("unjoins", self.unjoins),
             ("recoveries", self.recoveries),
             ("recovery_rejoins", self.recovery_rejoins),
+            ("quarantines", self.quarantines),
+            ("relays_suppressed", self.relays_suppressed),
+            ("sync_pushes", self.sync_pushes),
+            ("sync_pulls", self.sync_pulls),
+            ("sync_merges", self.sync_merges),
         ]
     }
 
@@ -89,6 +106,11 @@ impl ProcMetrics {
         self.unjoins += other.unjoins;
         self.recoveries += other.recoveries;
         self.recovery_rejoins += other.recovery_rejoins;
+        self.quarantines += other.quarantines;
+        self.relays_suppressed += other.relays_suppressed;
+        self.sync_pushes += other.sync_pushes;
+        self.sync_pulls += other.sync_pulls;
+        self.sync_merges += other.sync_merges;
     }
 }
 

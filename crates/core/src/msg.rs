@@ -295,6 +295,31 @@ pub enum Msg {
         tag: u64,
     },
 
+    // ---- crash recovery & anti-entropy -----------------------------------
+    /// Anti-entropy pull: ask a peer for its current state of `node`
+    /// (crash-recovery catch-up for copies the stable store retained).
+    /// Answered with [`Msg::SyncState`] when the peer holds a copy;
+    /// silently ignored otherwise.
+    SyncReq {
+        /// The node to synchronize.
+        node: NodeId,
+    },
+    /// Anti-entropy push: merge `snapshot` into the local copy of `node`
+    /// (a join-semilattice merge — see [`crate::NodeCopy::merge_from`]). Sent in
+    /// reply to a [`Msg::SyncReq`] and spontaneously when a quarantined
+    /// peer is heard from again.
+    SyncState {
+        /// The node.
+        node: NodeId,
+        /// The sender's full copy state.
+        snapshot: NodeSnapshot,
+        /// History tags the snapshot's value already covers (the sender's
+        /// coverage — relays suppressed during the quarantine are in here,
+        /// which is what keeps the history checker's per-copy coverage
+        /// requirement satisfied without replaying them individually).
+        covered: Vec<u64>,
+    },
+
     // ---- available-copies baseline --------------------------------------
     /// Coordinator asks a copy to lock the node.
     LockReq {
@@ -404,6 +429,8 @@ impl Payload for Msg {
             Msg::RelayedJoin { .. } => "member.join-relay",
             Msg::Unjoin { .. } => "member.unjoin",
             Msg::RelayedUnjoin { .. } => "member.unjoin-relay",
+            Msg::SyncReq { .. } => "sync.req",
+            Msg::SyncState { .. } => "sync.state",
             Msg::LockReq { .. } => "lock.req",
             Msg::LockGrant { .. } => "lock.grant",
             Msg::ApplyUnlock { .. } => "lock.apply",
@@ -432,6 +459,9 @@ impl Payload for Msg {
         match self {
             // Rough logical wire sizes, for byte accounting.
             Msg::InstallCopy { snapshot, .. } => 64 + snapshot.entries.len() * 24,
+            Msg::SyncState {
+                snapshot, covered, ..
+            } => 64 + snapshot.entries.len() * 24 + covered.len() * 8,
             Msg::RelayBatch(items) => 16 + items.len() * 40,
             Msg::Scan { acc, .. } => 48 + acc.len() * 16,
             Msg::ScanResult { items, .. } => 16 + items.len() * 16,

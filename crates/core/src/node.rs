@@ -26,6 +26,27 @@ pub struct LockState {
     pub queued: Vec<(u64, Msg)>,
 }
 
+/// Total order over entries for the anti-entropy merge: last-writer-wins on
+/// the stamp for leaf entries (matching [`NodeCopy::upsert`], whose stamps
+/// are globally unique), child version for routing entries, with the payload
+/// as a tie-break so the maximum is well-defined on *any* pair — that
+/// totality is what makes [`NodeCopy::merge_from`] order-independent.
+fn entry_rank(e: &Entry) -> (u64, u8, u64, u64) {
+    match e {
+        Entry::Val { value, stamp } => (*stamp, 1, *value, 0),
+        Entry::Tomb { stamp } => (*stamp, 3, 0, 0),
+        Entry::Child(c) => (c.version, 2, c.node.raw(), c.home.0 as u64),
+    }
+}
+
+/// Total order over optional links for the merge (`None` sorts lowest).
+fn link_rank(l: Option<Link>) -> (u8, u64, u64) {
+    match l {
+        None => (0, 0, 0),
+        Some(l) => (1, l.node.raw(), l.home.0 as u64),
+    }
+}
+
 /// One physical copy of a logical node.
 #[derive(Clone, Debug)]
 pub struct NodeCopy {
@@ -160,9 +181,15 @@ impl NodeCopy {
     /// set the right link, discard out-of-range entries. Returns the number
     /// of entries discarded.
     pub fn apply_split(&mut self, info: &SplitInfo) -> usize {
-        // A copy can see splits only in order (they all come from the PC via
-        // one FIFO channel), so `sep` always lands inside the current range.
-        debug_assert!(self.range.contains(info.sep));
+        // Splits from one PC arrive in order (one FIFO channel), but a
+        // state merge ([`NodeCopy::merge_from`], crash catch-up) may have
+        // narrowed the range *before* an in-flight split is finally
+        // delivered. The split is then old news the merged snapshot
+        // already carried — re-applying it would widen the range back.
+        if !self.range.contains(info.sep) {
+            debug_assert!(info.sep >= self.range.low, "split below the range");
+            return 0;
+        }
         self.range = KeyRange::new(self.range.low, Some(info.sep));
         self.right = Some(Link::new(info.sib, info.sib_home));
         self.right_link_version = self.right_link_version.max(info.sib_version);
@@ -218,6 +245,146 @@ impl NodeCopy {
         fnv1a(words)
     }
 
+    /// State-based anti-entropy (crash catch-up): merge another copy's
+    /// snapshot into this one. The merge is a join-semilattice on copy
+    /// state — commutative, associative, and idempotent — so pushes and
+    /// pulls may arrive in any order, any number of times, interleaved
+    /// with ordinary relays, and every copy still converges:
+    ///
+    /// * **range** — the intersection. Splits only ever shrink a range,
+    ///   and entries outside the merged range were carried away by the
+    ///   split that shrank it, exactly as in [`NodeCopy::apply_split`].
+    /// * **entries** — per-key maximum in the same last-writer-wins order
+    ///   [`NodeCopy::upsert`] applies to relays (child entries compare by
+    ///   version, with a total tie-break so merge order never matters).
+    /// * **version** — maximum.
+    /// * **membership** — union, keeping the greater join version per
+    ///   member. A departed member resurfacing is harmless: it discards
+    ///   relays addressed to it (§4.3).
+    /// * **right link** — from the copy with the *narrower range*: every
+    ///   split shrinks the high bound and installs the new sibling link in
+    ///   the same atomic action, so the bound totally orders the link's
+    ///   split history. (The node's §4.3 `version` cannot order it: splits
+    ///   deliberately leave the version alone, and a stale wide copy pulled
+    ///   during crash catch-up must not undo a split.) Equal bounds fall
+    ///   back to the per-link version, which migrations bump.
+    /// * **left/parent links and the PC** — by their own change versions
+    ///   (totally tie-broken): successive left-neighbour splits and
+    ///   migrations stamp strictly growing versions, and both hints may be
+    ///   stale anyway (out-of-range routing recovers).
+    ///
+    /// Returns `true` if anything observable changed.
+    pub fn merge_from(&mut self, other: &NodeSnapshot) -> bool {
+        debug_assert_eq!(self.id, other.id);
+        debug_assert_eq!(self.level, other.level);
+        let mut changed = false;
+
+        // Right link first, while both high bounds are still visible: the
+        // total order is (narrower bound, link version, link), and the
+        // winning copy's (link, version) pair is taken wholesale so
+        // repeated merges in any grouping land on the same maximum.
+        let right_key = |high: Option<Key>, v: u64, l: Option<Link>| {
+            (
+                u128::MAX - high.map_or(u128::MAX, |h| h as u128),
+                v,
+                link_rank(l),
+            )
+        };
+        if right_key(other.range.high, other.right_link_version, other.right)
+            > right_key(self.range.high, self.right_link_version, self.right)
+        {
+            if self.right != other.right {
+                self.right = other.right;
+                changed = true;
+            }
+            self.right_link_version = other.right_link_version;
+        }
+
+        // Range: meet (intersection) — both bounds move monotonically.
+        let merged_range = KeyRange::new(
+            self.range.low.max(other.range.low),
+            match (self.range.high, other.range.high) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        );
+        if merged_range != self.range {
+            self.range = merged_range;
+            changed = true;
+        }
+        let before = self.entries.len();
+        self.entries.retain(|k, _| merged_range.contains(*k));
+        changed |= self.entries.len() != before;
+
+        // Entries: per-key join in the total LWW order.
+        for (k, e) in &other.entries {
+            if !merged_range.contains(*k) {
+                continue;
+            }
+            match self.entries.get(k) {
+                Some(mine) if entry_rank(mine) >= entry_rank(e) => {}
+                _ => {
+                    self.entries.insert(*k, *e);
+                    changed = true;
+                }
+            }
+        }
+
+        // Left/parent links: lexicographic join on (link version, link)
+        // pairs, the winning pair stored wholesale. Successive left-
+        // neighbour splits and migrations stamp strictly growing versions;
+        // both hints tolerate staleness (routing recovers).
+        for (mine, my_v, theirs, their_v) in [
+            (
+                &mut self.left,
+                &mut self.left_link_version,
+                other.left,
+                other.left_link_version,
+            ),
+            (
+                &mut self.parent,
+                &mut self.parent_link_version,
+                other.parent,
+                other.parent_link_version,
+            ),
+        ] {
+            if (their_v, link_rank(theirs)) > (*my_v, link_rank(*mine)) {
+                if *mine != theirs {
+                    *mine = theirs;
+                    changed = true;
+                }
+                *my_v = their_v;
+            }
+        }
+        let my_v = self.version;
+        if (other.version, other.pc.0) > (my_v, self.pc.0) && self.pc != other.pc {
+            self.pc = other.pc;
+            changed = true;
+        }
+        if other.version > self.version {
+            self.version = other.version;
+            changed = true;
+        }
+
+        // Membership: union, greater join version per member.
+        for (&m, &jv) in other.copies.iter().zip(other.join_versions.iter()) {
+            match self.copies.iter().position(|&p| p == m) {
+                Some(i) => {
+                    if jv > self.join_versions[i] {
+                        self.join_versions[i] = jv;
+                        changed = true;
+                    }
+                }
+                None => {
+                    self.copies.push(m);
+                    self.join_versions.push(jv);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
     /// Package the copy for the wire.
     pub fn snapshot(&self) -> NodeSnapshot {
         NodeSnapshot {
@@ -232,6 +399,9 @@ impl NodeCopy {
             pc: self.pc,
             copies: self.copies.clone(),
             join_versions: self.join_versions.clone(),
+            right_link_version: self.right_link_version,
+            left_link_version: self.left_link_version,
+            parent_link_version: self.parent_link_version,
         }
     }
 }
@@ -262,6 +432,12 @@ pub struct NodeSnapshot {
     pub copies: Vec<ProcId>,
     /// Join versions aligned with `copies`.
     pub join_versions: Vec<u64>,
+    /// Version at which the right link last changed (splits, migrations).
+    pub right_link_version: u64,
+    /// See `right_link_version`.
+    pub left_link_version: u64,
+    /// See `right_link_version`.
+    pub parent_link_version: u64,
 }
 
 impl NodeSnapshot {
@@ -279,9 +455,9 @@ impl NodeSnapshot {
             pc: self.pc,
             copies: self.copies,
             join_versions: self.join_versions,
-            right_link_version: 0,
-            left_link_version: 0,
-            parent_link_version: 0,
+            right_link_version: self.right_link_version,
+            left_link_version: self.left_link_version,
+            parent_link_version: self.parent_link_version,
             aas: None,
             split_pending: false,
             lock: None,
@@ -397,6 +573,67 @@ mod tests {
         // A stale delete does not resurrect.
         c.upsert(1, Entry::Tomb { stamp: 2 });
         assert_eq!(c.get_value(1), Some(300));
+    }
+
+    #[test]
+    fn merge_catches_up_a_stale_copy() {
+        let mut a = leaf(0);
+        let mut b = leaf(0);
+        for k in [1u64, 2, 3] {
+            a.upsert(k, val(k * 10, k));
+        }
+        b.upsert(1, val(10, 1)); // b missed stamps 2 and 3
+        assert!(b.merge_from(&a.snapshot()));
+        assert_eq!(a.digest(), b.digest());
+        // Merging again changes nothing (idempotent).
+        assert!(!b.merge_from(&a.snapshot()));
+    }
+
+    #[test]
+    fn merge_is_symmetric_in_value() {
+        let mut a = leaf(0);
+        let mut b = leaf(0);
+        a.upsert(1, val(10, 7));
+        a.upsert(2, Entry::Tomb { stamp: 4 });
+        b.upsert(1, val(99, 3)); // older write loses
+        b.upsert(5, val(50, 9));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge_from(&sb);
+        b.merge_from(&sa);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.get_value(1), Some(10));
+        assert_eq!(a.get_value(5), Some(50));
+    }
+
+    #[test]
+    fn merge_narrows_to_the_split_range() {
+        // `a` saw a split (range shrank, right link set, version bumped);
+        // `b` is a pre-split straggler with entries the split moved away.
+        let mut a = leaf(0);
+        a.version = 3;
+        a.range = KeyRange::new(0, Some(10));
+        a.right = Some(Link::new(NodeId(2), ProcId(1)));
+        a.upsert(1, val(10, 1));
+        let mut b = leaf(0);
+        b.upsert(1, val(10, 1));
+        b.upsert(15, val(150, 2)); // split away; carried by the sibling
+        assert!(b.merge_from(&a.snapshot()));
+        assert_eq!(b.range.high, Some(10));
+        assert_eq!(b.entries.len(), 1, "out-of-range entry dropped");
+        assert_eq!(b.right.unwrap().node, NodeId(2), "newer copy's link wins");
+        assert_eq!(b.version, 3);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn merge_unions_membership_with_greater_join_version() {
+        let mut a = leaf(0);
+        a.add_member(ProcId(1), 2);
+        let mut b = leaf(0);
+        b.add_member(ProcId(2), 5);
+        b.merge_from(&a.snapshot());
+        assert_eq!(b.copies, vec![ProcId(0), ProcId(2), ProcId(1)]);
+        assert_eq!(b.join_versions, vec![0, 5, 2]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! sibling modules (`nav`, `relay`, `protocol::*`) as further `impl DbProc`
 //! blocks.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use history::HistoryLog;
@@ -88,6 +88,15 @@ pub struct DbProc {
     /// Joins requested but not yet granted (dedupes Join messages).
     pub(crate) pending_joins: HashSet<NodeId>,
 
+    // -- failure-detector recovery (quarantine & anti-entropy) ---------------
+    /// Peers the failure detector currently suspects: relays to them are
+    /// suppressed (and recorded in `missed`) instead of piling up in the
+    /// session's retransmit queue. Ordered, for deterministic replay.
+    pub(crate) quarantined: BTreeSet<ProcId>,
+    /// Nodes whose relays each quarantined peer missed; pushed as one
+    /// full-state sync per node when the peer is heard from again.
+    pub(crate) missed: BTreeMap<ProcId, BTreeSet<NodeId>>,
+
     // -- available-copies coordinator state ---------------------------------
     pub(crate) next_ticket: u64,
     pub(crate) pending_locks: HashMap<u64, PendingLock>,
@@ -111,6 +120,8 @@ impl DbProc {
             stash: HashMap::new(),
             unjoined: HashSet::new(),
             pending_joins: HashSet::new(),
+            quarantined: BTreeSet::new(),
+            missed: BTreeMap::new(),
             next_ticket: 0,
             pending_locks: HashMap::new(),
             coord_busy: HashSet::new(),
@@ -366,6 +377,12 @@ impl Process for DbProc {
                 version,
                 tag,
             } => self.handle_relayed_unjoin(node, member, version, tag),
+            Msg::SyncReq { node } => self.handle_sync_req(ctx, from, node),
+            Msg::SyncState {
+                node,
+                snapshot,
+                covered,
+            } => self.handle_sync_state(ctx, node, snapshot, covered),
             Msg::LockReq { node, ticket } => self.handle_lock_req(ctx, from, node, ticket),
             Msg::LockGrant { node, ticket } => self.handle_lock_grant(ctx, node, ticket),
             Msg::ApplyUnlock {
@@ -403,6 +420,9 @@ impl Process for DbProc {
     /// protocol, which resynchronizes it exactly like a late joiner.
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
         self.metrics.recoveries += 1;
+        // Quarantine opinions predate the crash; flush and forget them
+        // (see `flush_quarantine_on_restart`).
+        self.flush_quarantine_on_restart(ctx);
         // The piggyback timer died with the crash; the buffered relays are
         // stable, so flush them now and let the next buffering re-arm it.
         self.relay_timer_armed = false;
@@ -417,6 +437,19 @@ impl Process for DbProc {
         // The store iterates in hash order; the join messages must go out
         // in a replayable order or identical seeds diverge.
         victims.sort_unstable();
+        ctx.mark(
+            simnet::TraceEvent::Rejoin,
+            "recovery.rejoin",
+            format!(
+                "rejoin {} interior copies, sync pull {}",
+                victims.len(),
+                if self.cfg.sync_on_restart {
+                    "on"
+                } else {
+                    "off"
+                },
+            ),
+        );
         for (node, pc) in victims {
             self.store.remove(node);
             self.log.lock().copy_deleted(node.raw(), me.0);
@@ -428,6 +461,16 @@ impl Process for DbProc {
                 ctx.send(pc, Msg::Join { node, joiner: me });
             }
         }
+        // Anti-entropy catch-up for the copies the stable store kept: the
+        // rejoin pass re-acquires dropped interior copies, this pulls the
+        // retained ones (leaves, own-PC nodes) back up to date.
+        if self.cfg.sync_on_restart {
+            self.sync_pull_all(ctx);
+        }
+    }
+
+    fn on_peer_change(&mut self, ctx: &mut Context<'_, Msg>, peer: ProcId, up: bool) {
+        self.handle_peer_change(ctx, peer, up);
     }
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {

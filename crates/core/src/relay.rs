@@ -30,6 +30,13 @@ impl DbProc {
             };
             copy.peers(self.me).collect()
         };
+        // Quarantined peers get no relays — the session layer would only
+        // retransmit them into the void. Record the node instead; one state
+        // sync at rehabilitation subsumes everything it missed.
+        let peers: Vec<_> = peers
+            .into_iter()
+            .filter(|p| !self.suppress_if_quarantined(*p, node))
+            .collect();
         if peers.is_empty() {
             return;
         }
@@ -87,10 +94,29 @@ impl DbProc {
     pub(crate) fn flush_relays(&mut self, ctx: &mut Context<'_, Msg>) {
         let bufs = std::mem::take(&mut self.relay_buf);
         for (peer, batch) in bufs {
-            if !batch.is_empty() {
-                ctx.send(peer, Msg::RelayBatch(batch));
+            if batch.is_empty() {
+                continue;
             }
+            if self.quarantined.contains(&peer) {
+                // The peer went suspect after these were buffered.
+                for item in &batch {
+                    self.suppress_if_quarantined(peer, item.node);
+                }
+                continue;
+            }
+            ctx.send(peer, Msg::RelayBatch(batch));
         }
+    }
+
+    /// If `peer` is quarantined, record that it missed an update to `node`
+    /// and return `true` (the caller drops the relay).
+    pub(crate) fn suppress_if_quarantined(&mut self, peer: simnet::ProcId, node: NodeId) -> bool {
+        if !self.quarantined.contains(&peer) {
+            return false;
+        }
+        self.metrics.relays_suppressed += 1;
+        self.missed.entry(peer).or_default().insert(node);
+        true
     }
 
     /// A relayed insert arrives at this processor.
@@ -158,7 +184,7 @@ impl DbProc {
                 .lock()
                 .observe(node.raw(), self.me.0, tag, ObserveKind::Applied);
             for member in late {
-                if member != self.me {
+                if member != self.me && !self.suppress_if_quarantined(member, node) {
                     ctx.send(
                         member,
                         Msg::RelayedInsert {

@@ -77,6 +77,13 @@ impl ClientProtocol for DbProtocol {
         op.origin
     }
 
+    fn retarget(op: &ClientOp, to: ProcId) -> ClientOp {
+        // Any processor can serve any client operation (navigation starts
+        // at the local root copy), so a retried op can enter at whichever
+        // processor the retry layer picked.
+        ClientOp { origin: to, ..*op }
+    }
+
     fn request(id: u64, op: &ClientOp) -> Self::Msg {
         SessionMsg::Raw(Msg::Client {
             op: OpId(id),
@@ -261,6 +268,13 @@ where
     /// The shared history log.
     pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
         Arc::clone(&self.log)
+    }
+
+    /// Enable (or reconfigure) client-side robustness: per-op deadlines,
+    /// bounded exponential backoff, and redirect-away-from-suspects. With
+    /// the default (disabled) policy the driver behaves exactly as before.
+    pub fn set_retry(&mut self, policy: simnet::RetryPolicy) {
+        self.driver.set_retry(policy);
     }
 
     /// Number of processors.

@@ -1,0 +1,248 @@
+//! Property tests for the anti-entropy state merge
+//! ([`NodeCopy::merge_from`]): the recovery layer may deliver snapshots
+//! duplicated, reordered, or crossed with one another and with ordinary
+//! relayed updates, so the merge must be a join-semilattice on copy state —
+//! **commutative**, **associative**, and **idempotent** — and a merge must
+//! subsume any prefix/subset of the update stream it summarizes
+//! (op-replay and state-merge land every copy on the same digest).
+
+use dbtree::{ChildRef, Entry, Key, KeyRange, Link, NodeCopy, NodeId};
+use proptest::prelude::*;
+use simnet::ProcId;
+
+/// The node identity every generated copy shares (the merge is only
+/// defined between copies of the same logical node).
+const NODE: NodeId = NodeId(7);
+
+/// Everything [`NodeCopy::merge_from`] claims to join, order-normalized:
+/// membership is position-insensitive on the wire (each member's join
+/// version is what matters), so it canonicalizes to a sorted map.
+type Canon = (
+    KeyRange,
+    u64,
+    Vec<(Key, Entry)>,
+    [(Option<Link>, u64); 3],
+    ProcId,
+    Vec<(ProcId, u64)>,
+);
+
+fn canon(c: &NodeCopy) -> Canon {
+    let mut members: Vec<(ProcId, u64)> = c
+        .copies
+        .iter()
+        .copied()
+        .zip(c.join_versions.iter().copied())
+        .collect();
+    members.sort_unstable_by_key(|(p, _)| *p);
+    (
+        c.range,
+        c.version,
+        c.entries.iter().map(|(k, e)| (*k, *e)).collect(),
+        [
+            (c.right, c.right_link_version),
+            (c.left, c.left_link_version),
+            (c.parent, c.parent_link_version),
+        ],
+        c.pc,
+        members,
+    )
+}
+
+fn merged(a: &NodeCopy, b: &NodeCopy) -> NodeCopy {
+    let mut out = a.clone();
+    out.merge_from(&b.snapshot());
+    out
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    prop_oneof![
+        (0u64..1_000, 1u64..40).prop_map(|(value, stamp)| Entry::Val { value, stamp }),
+        (1u64..40).prop_map(|stamp| Entry::Tomb { stamp }),
+        (0u64..12, 0u32..4, 0u64..15).prop_map(|(node, home, version)| Entry::Child(ChildRef {
+            node: NodeId(node),
+            home: ProcId(home),
+            version,
+        })),
+    ]
+}
+
+fn arb_link() -> impl Strategy<Value = Option<Link>> {
+    prop_oneof![
+        Just(None::<Link>),
+        (1u64..12, 0u32..4).prop_map(|(node, home)| Some(Link::new(NodeId(node), ProcId(home)))),
+    ]
+}
+
+/// An arbitrary copy of `NODE`: a range narrowed to some high bound (splits
+/// only ever shrink the high side), entries inside it, arbitrary version,
+/// links (each with its change version), PC, and membership.
+fn arb_copy() -> impl Strategy<Value = NodeCopy> {
+    (
+        (
+            prop_oneof![Just(None::<u64>), (10u64..120).prop_map(Some)],
+            proptest::collection::vec((0u64..120, arb_entry()), 0..12),
+            0u64..15,
+            arb_link(),
+        ),
+        (
+            arb_link(),
+            arb_link(),
+            0u32..4,
+            proptest::collection::vec((0u32..6, 0u64..15), 1..5),
+        ),
+        (0u64..6, 0u64..6, 0u64..6),
+    )
+        .prop_map(
+            |((high, entries, version, right), (left, parent, pc, members), (rlv, llv, plv))| {
+                let range = KeyRange::new(0, high);
+                let mut c = NodeCopy::new(NODE, 0, range, ProcId(pc));
+                c.entries = entries
+                    .into_iter()
+                    .filter(|(k, _)| range.contains(*k))
+                    .collect();
+                c.version = version;
+                c.right = right;
+                c.left = left;
+                c.parent = parent;
+                c.right_link_version = rlv;
+                c.left_link_version = llv;
+                c.parent_link_version = plv;
+                // Dedup members (later join version wins) via a sorted map, the
+                // same shape `canon` reduces to.
+                let members: std::collections::BTreeMap<u32, u64> = members.into_iter().collect();
+                c.copies = members.keys().map(|&p| ProcId(p)).collect();
+                c.join_versions = members.values().copied().collect();
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// x ⊔ x = x, and merging anything twice changes nothing the second
+    /// time (`merge_from` reports no change).
+    #[test]
+    fn merge_is_idempotent(a in arb_copy(), b in arb_copy()) {
+        let mut self_merge = a.clone();
+        self_merge.merge_from(&a.snapshot());
+        prop_assert_eq!(canon(&self_merge), canon(&a));
+
+        let mut once = a.clone();
+        once.merge_from(&b.snapshot());
+        let again = once.merge_from(&b.snapshot());
+        prop_assert!(!again, "second identical merge reported a change");
+    }
+
+    /// x ⊔ y = y ⊔ x (on the canonical projection — membership vectors may
+    /// list members in a different order, which the wire format permits).
+    #[test]
+    fn merge_is_commutative(a in arb_copy(), b in arb_copy()) {
+        prop_assert_eq!(canon(&merged(&a, &b)), canon(&merged(&b, &a)));
+    }
+
+    /// (x ⊔ y) ⊔ z = x ⊔ (y ⊔ z).
+    #[test]
+    fn merge_is_associative(a in arb_copy(), b in arb_copy(), c in arb_copy()) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(canon(&left), canon(&right));
+    }
+
+    /// Op-replay and state-merge converge: one replica applies the full
+    /// update stream (and possibly a split) action by action; a second
+    /// replica applies only an arbitrary subset, in reverse order — then a
+    /// single state merge from the first must land the second on exactly
+    /// the first's state and digest, the way a rehabilitation push or a
+    /// restart pull catches a copy up without replaying what it missed.
+    #[test]
+    fn state_merge_subsumes_op_replay(
+        ops in proptest::collection::vec((0u64..100, 0u64..1_000), 1..24),
+        applied in proptest::collection::vec(any::<bool>(), 24..25),
+        split_at in prop_oneof![Just(None::<usize>), (0usize..24).prop_map(Some)],
+    ) {
+        let base = {
+            let mut c = NodeCopy::new(NODE, 0, KeyRange::new(0, None), ProcId(0));
+            for k in [10u64, 40, 70] {
+                c.upsert(k, Entry::Val { value: k, stamp: 1 });
+            }
+            c
+        };
+
+        // Replica A: the full stream, stamps unique and increasing (the
+        // driver's stamps are globally unique), split applied mid-stream.
+        let mut a = base.clone();
+        for (i, &(key, value)) in ops.iter().enumerate() {
+            if Some(i) == split_at && a.entries.len() >= 2 {
+                let (_sep, _sib_range, _moved) = a.half_split();
+                a.right = Some(Link::new(NodeId(99), ProcId(3)));
+                a.right_link_version = a.version + 1;
+                a.version += 1;
+            }
+            if a.range.contains(key) {
+                a.upsert(key, Entry::Val { value, stamp: 2 + i as u64 });
+            }
+        }
+
+        // Replica B: an arbitrary subset, applied in reverse order (relays
+        // to different copies arrive in different interleavings).
+        let mut b = base.clone();
+        for (i, &(key, value)) in ops.iter().enumerate().rev() {
+            if applied.get(i).copied().unwrap_or(false) && b.range.contains(key) {
+                b.upsert(key, Entry::Val { value, stamp: 2 + i as u64 });
+            }
+        }
+
+        b.merge_from(&a.snapshot());
+        prop_assert_eq!(canon(&b), canon(&a));
+        prop_assert_eq!(b.digest(), a.digest());
+    }
+}
+
+/// The crash-catch-up race the schedule explorer found (blink-crash,
+/// fault-align): a restarted PC splits a leaf, then a §4.3 pull response a
+/// peer computed *before* applying the split relay arrives — a stale
+/// pre-split snapshot whose right link still names the old neighbour. The
+/// merge must keep the split's right link: the node's §4.3 version cannot
+/// order links (splits leave it alone), so the join runs on the range's
+/// high bound, which the split narrowed in the same atomic action.
+#[test]
+fn stale_presplit_snapshot_cannot_undo_a_split() {
+    // Post-split copy: [20,30), right = the new sibling n11.
+    let mut post = NodeCopy::new(NODE, 0, KeyRange::new(20, Some(30)), ProcId(1));
+    post.right = Some(Link::new(NodeId(11), ProcId(1)));
+    post.right_link_version = 1;
+    // Stale pre-split snapshot: [20,40), right = the old neighbour n20 —
+    // whose arbitrary tie-break rank happens to beat the sibling's.
+    let mut stale = NodeCopy::new(NODE, 0, KeyRange::new(20, Some(40)), ProcId(1));
+    stale.right = Some(Link::new(NodeId(20), ProcId(2)));
+
+    let mut healed = post.clone();
+    healed.merge_from(&stale.snapshot());
+    assert_eq!(healed.right, post.right, "stale snapshot undid the split");
+    assert_eq!(healed.range, post.range);
+
+    // And the merge converges from the other side too.
+    stale.merge_from(&post.snapshot());
+    assert_eq!(stale.right, post.right);
+    assert_eq!(stale.digest(), healed.digest());
+}
+
+/// The reverse-order replay above silently skips out-of-range keys; this
+/// pins that entries B holds *beyond* A's split point are dropped by the
+/// merge exactly as [`NodeCopy::apply_split`] would have dropped them.
+#[test]
+fn merge_drops_entries_the_split_moved_away() {
+    let mut a = NodeCopy::new(NODE, 0, KeyRange::new(0, Some(50)), ProcId(0));
+    a.upsert(10, Entry::Val { value: 1, stamp: 5 });
+
+    let mut b = NodeCopy::new(NODE, 0, KeyRange::new(0, None), ProcId(0));
+    b.upsert(10, Entry::Val { value: 1, stamp: 5 });
+    b.upsert(80, Entry::Val { value: 8, stamp: 6 });
+
+    b.merge_from(&a.snapshot());
+    assert_eq!(b.range, KeyRange::new(0, Some(50)));
+    let keys: Vec<Key> = b.entries.keys().copied().collect();
+    assert_eq!(keys, vec![10]);
+    assert_eq!(b.digest(), a.digest());
+}

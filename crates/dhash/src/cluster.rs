@@ -60,6 +60,12 @@ impl ClientProtocol for HashProtocol {
         op.origin
     }
 
+    fn retarget(op: &HashOp, to: ProcId) -> HashOp {
+        // Every processor holds a directory copy and can route any key, so
+        // a retried op may enter wherever the retry layer redirects it.
+        HashOp { origin: to, ..*op }
+    }
+
     fn request(id: u64, op: &HashOp) -> Self::Msg {
         SessionMsg::Raw(HMsg::Client {
             op: id,
@@ -118,6 +124,15 @@ pub struct HashOpRecord {
 pub struct HashClusterStats {
     /// Completed operations.
     pub records: Vec<HashOpRecord>,
+    /// Attempts that hit their per-attempt deadline (retry layer only;
+    /// cumulative over the driver's lifetime, like the other three).
+    pub timeouts: u64,
+    /// Resubmissions made after a timeout.
+    pub retries: u64,
+    /// Resubmissions redirected off a suspected origin.
+    pub redirects: u64,
+    /// Operations given up after exhausting their attempts.
+    pub abandoned: u64,
 }
 
 impl HashClusterStats {
@@ -131,6 +146,20 @@ impl HashClusterStats {
                     completed: r.completed,
                 })
                 .collect(),
+            timeouts: 0,
+            retries: 0,
+            redirects: 0,
+            abandoned: 0,
+        }
+    }
+
+    fn from_stats(stats: simnet::driver::DriverStats<HashOp, HOutcome>) -> Self {
+        HashClusterStats {
+            timeouts: stats.timeouts,
+            retries: stats.retries,
+            redirects: stats.redirects,
+            abandoned: stats.abandoned,
+            ..Self::from_driver(stats.records)
         }
     }
 
@@ -298,7 +327,13 @@ impl ThreadedHashCluster {
     /// Bootstrap the same deployment on real OS threads (pass-through
     /// session layer: thread channels are already reliable and FIFO).
     pub fn build_threaded(spec: &HashSpec) -> Self {
-        let (procs, log) = bootstrap(spec, SessionConfig::default());
+        Self::build_threaded_with_session(spec, SessionConfig::default())
+    }
+
+    /// Threaded deployment with an explicit session configuration (e.g. to
+    /// run the failure detector against real crash/restart envelopes).
+    pub fn build_threaded_with_session(spec: &HashSpec, session: SessionConfig) -> Self {
+        let (procs, log) = bootstrap(spec, session);
         HashCluster {
             sim: threaded::Cluster::spawn(procs),
             driver: Driver::new(),
@@ -314,6 +349,12 @@ where
     /// The shared history log.
     pub fn log(&self) -> Arc<Mutex<HistoryLog>> {
         Arc::clone(&self.log)
+    }
+
+    /// Enable (or reconfigure) client-side robustness: per-op deadlines,
+    /// bounded exponential backoff, and redirect-away-from-suspects.
+    pub fn set_retry(&mut self, policy: simnet::RetryPolicy) {
+        self.driver.set_retry(policy);
     }
 
     /// Submit one operation at `origin`.
@@ -339,11 +380,7 @@ where
     /// per origin, then run to quiescence. Panics on a limit (see
     /// [`HashCluster::try_run_closed_loop`]).
     pub fn run_closed_loop(&mut self, ops: &[HashOp], concurrency: usize) -> HashClusterStats {
-        HashClusterStats::from_driver(
-            self.driver
-                .run_closed_loop(&mut self.sim, ops, concurrency)
-                .records,
-        )
+        HashClusterStats::from_stats(self.driver.run_closed_loop(&mut self.sim, ops, concurrency))
     }
 
     /// Closed-loop driving with limits reported as values.
@@ -354,14 +391,14 @@ where
     ) -> Result<HashClusterStats, QuiesceError> {
         self.driver
             .try_run_closed_loop(&mut self.sim, ops, concurrency)
-            .map(|s| HashClusterStats::from_driver(s.records))
+            .map(HashClusterStats::from_stats)
     }
 
     /// Drive `ops` open-loop on the deterministic arrival schedule of
     /// [`simnet::driver::arrival_offsets`], then run to quiescence. Panics
     /// on a limit (see [`HashCluster::try_run_open_loop`]).
     pub fn run_open_loop(&mut self, ops: &[HashOp], cfg: &simnet::OpenLoopCfg) -> HashClusterStats {
-        HashClusterStats::from_driver(self.driver.run_open_loop(&mut self.sim, ops, cfg).records)
+        HashClusterStats::from_stats(self.driver.run_open_loop(&mut self.sim, ops, cfg))
     }
 
     /// Open-loop driving with limits reported as values.
@@ -372,7 +409,7 @@ where
     ) -> Result<HashClusterStats, QuiesceError> {
         self.driver
             .try_run_open_loop(&mut self.sim, ops, cfg)
-            .map(|s| HashClusterStats::from_driver(s.records))
+            .map(HashClusterStats::from_stats)
     }
 
     /// Closed-loop driving returning the *generic* driver statistics

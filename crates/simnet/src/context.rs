@@ -3,13 +3,28 @@
 
 use rand::rngs::SmallRng;
 
+use crate::trace::TraceEvent;
 use crate::{ProcId, SimTime};
 
 /// Buffered outgoing effects of one action.
 #[derive(Debug)]
 pub(crate) enum Effect<M> {
-    Send { to: ProcId, msg: M },
-    Timer { delay: u64, token: u64 },
+    Send {
+        to: ProcId,
+        msg: M,
+    },
+    Timer {
+        delay: u64,
+        token: u64,
+    },
+    /// A process-emitted trace annotation (detector transitions, recovery
+    /// milestones). Recorded into the causal trace with the action's span;
+    /// no message moves.
+    Mark {
+        event: TraceEvent,
+        kind: &'static str,
+        detail: String,
+    },
 }
 
 /// Handle passed to every [`Process`](crate::Process) callback.
@@ -52,6 +67,18 @@ impl<'a, M> Context<'a, M> {
     #[inline]
     pub fn set_timer(&mut self, delay: u64, token: u64) {
         self.effects.push(Effect::Timer { delay, token });
+    }
+
+    /// Record a trace annotation attributed to this action's span: detector
+    /// transitions (suspect/alive) and recovery milestones
+    /// (quarantine/rejoin). Purely observational — nothing is sent.
+    #[inline]
+    pub fn mark(&mut self, event: TraceEvent, kind: &'static str, detail: String) {
+        self.effects.push(Effect::Mark {
+            event,
+            kind,
+            detail,
+        });
     }
 
     /// Deterministic per-run randomness (shared stream; do not assume

@@ -9,7 +9,7 @@
 //! `DbCluster` and the hash table's `HashCluster` are thin typed wrappers
 //! over [`Driver`].
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +47,16 @@ pub trait ClientProtocol {
     /// Parse an external output: `Some` if it completes a driver-submitted
     /// operation or scan, `None` for anything else.
     fn parse(msg: Self::Msg) -> Option<Completion<Self::Outcome, Self::ScanResult>>;
+
+    /// Rewrite `op` so the driver submits it to `to` instead of its current
+    /// origin. Client-side retry uses this to redirect an operation away
+    /// from a suspected-down processor; any live processor can navigate to
+    /// the operation's home. The default keeps the op unchanged (no
+    /// redirection — retries go back to the original origin).
+    fn retarget(op: &Self::Op, to: ProcId) -> Self::Op {
+        let _ = to;
+        op.clone()
+    }
 }
 
 /// A parsed completion message.
@@ -131,6 +141,79 @@ pub struct ScanRecord<S, R> {
     pub completed: SimTime,
 }
 
+/// Client-side robustness policy: per-attempt deadlines, bounded
+/// exponential backoff with jitter, and redirection away from suspected
+/// processors. Disabled by default — the driver then never times out an
+/// operation, draws no randomness, and behaves byte-identically to builds
+/// without the retry layer.
+///
+/// Time quantities are in runtime ticks (virtual for the simulator,
+/// microseconds for threads), so callers set them per substrate.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Master switch.
+    pub enabled: bool,
+    /// Per-attempt deadline: an operation unanswered this long is timed
+    /// out, its origin suspected, and the op rescheduled.
+    pub deadline: u64,
+    /// Backoff before the first resubmission; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling.
+    pub backoff_max: u64,
+    /// Give an operation up (count it `abandoned`) after this many
+    /// attempts, the initial submission included.
+    pub max_attempts: u32,
+    /// Seed of the jitter stream (each backoff adds a uniform draw from
+    /// `[0, backoff/4]` to decorrelate retry storms).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: false,
+            deadline: 3_000,
+            backoff_base: 50,
+            backoff_max: 800,
+            max_attempts: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// An enabled policy with default timing.
+    pub fn on() -> Self {
+        RetryPolicy {
+            enabled: true,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// One outstanding attempt of a retry-tracked operation.
+#[derive(Clone, Copy, Debug)]
+struct Attempt {
+    /// When this attempt times out.
+    deadline_at: SimTime,
+    /// How many attempts this op has made, this one included.
+    attempts: u32,
+    /// The processor this attempt was actually submitted to (the original
+    /// origin, or the redirect target if that origin was suspect). A
+    /// timeout suspects it; a completion rehabilitates it.
+    origin: ProcId,
+}
+
+/// An operation waiting out its backoff before resubmission.
+struct Resub<Op> {
+    op: Op,
+    /// Original submission time — latency is measured end to end across
+    /// every attempt.
+    submitted: SimTime,
+    /// Attempts made so far.
+    attempts: u32,
+}
+
 /// Aggregate results of a driven workload.
 #[derive(Clone, Debug)]
 pub struct DriverStats<Op, O> {
@@ -138,6 +221,15 @@ pub struct DriverStats<Op, O> {
     pub records: Vec<OpRecord<Op, O>>,
     /// Ticks from first injection to last completion.
     pub makespan: u64,
+    /// Attempts that hit their per-attempt deadline (retry layer only).
+    pub timeouts: u64,
+    /// Resubmissions made after a timeout.
+    pub retries: u64,
+    /// Resubmissions redirected to a different origin because the original
+    /// was suspected down.
+    pub redirects: u64,
+    /// Operations given up after `max_attempts`.
+    pub abandoned: u64,
 }
 
 /// Completed records of a quiescence run, or the limit that tripped.
@@ -148,6 +240,10 @@ impl<Op, O> Default for DriverStats<Op, O> {
         DriverStats {
             records: Vec::new(),
             makespan: 0,
+            timeouts: 0,
+            retries: 0,
+            redirects: 0,
+            abandoned: 0,
         }
     }
 }
@@ -282,6 +378,21 @@ pub struct Driver<C: ClientProtocol> {
     pending: HashMap<u64, (C::Op, SimTime)>,
     pending_scans: HashMap<u64, (C::Scan, SimTime)>,
     scans: Vec<ScanRecord<C::Scan, C::ScanResult>>,
+    retry: RetryPolicy,
+    retry_rng: SmallRng,
+    /// Per-attempt deadlines of retry-tracked live ids (⊆ `pending` keys).
+    inflight: BTreeMap<u64, Attempt>,
+    /// Timed-out ops waiting out their backoff, keyed by wake time (the
+    /// second key component keeps same-tick resubmissions FIFO).
+    backlog: BTreeMap<(SimTime, u64), Resub<C::Op>>,
+    backlog_seq: u64,
+    /// Origins the client currently believes down (an attempt against them
+    /// timed out; cleared by the next completion from that origin).
+    suspects: BTreeSet<ProcId>,
+    timeouts: u64,
+    retries: u64,
+    redirects: u64,
+    abandoned: u64,
 }
 
 impl<C: ClientProtocol> Default for Driver<C> {
@@ -293,17 +404,44 @@ impl<C: ClientProtocol> Default for Driver<C> {
 impl<C: ClientProtocol> Driver<C> {
     /// A fresh driver; ids start at 1.
     pub fn new() -> Self {
+        Self::with_retry(RetryPolicy::default())
+    }
+
+    /// A fresh driver with the given client-side retry policy.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
         Driver {
             next_op: 1,
             pending: HashMap::new(),
             pending_scans: HashMap::new(),
             scans: Vec::new(),
+            retry,
+            retry_rng: SmallRng::seed_from_u64(retry.seed ^ 0x7E7A_11ED),
+            inflight: BTreeMap::new(),
+            backlog: BTreeMap::new(),
+            backlog_seq: 0,
+            suspects: BTreeSet::new(),
+            timeouts: 0,
+            retries: 0,
+            redirects: 0,
+            abandoned: 0,
         }
     }
 
-    /// Operations submitted but not yet completed (scans included).
+    /// Replace the retry policy (resets the jitter stream).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+        self.retry_rng = SmallRng::seed_from_u64(retry.seed ^ 0x7E7A_11ED);
+    }
+
+    /// Operations submitted but not yet completed (scans included; ops
+    /// waiting out a retry backoff included).
     pub fn pending_ops(&self) -> usize {
-        self.pending.len() + self.pending_scans.len()
+        self.pending.len() + self.pending_scans.len() + self.backlog.len()
+    }
+
+    /// Origins the retry layer currently suspects down.
+    pub fn suspected_origins(&self) -> Vec<ProcId> {
+        self.suspects.iter().copied().collect()
     }
 
     /// Completed scans (drained).
@@ -317,11 +455,123 @@ impl<C: ClientProtocol> Driver<C> {
         R: Runtime,
         R::Proc: Process<Msg = C::Msg>,
     {
+        let now = rt.now();
+        self.submit_attempt(rt, op, now, 1)
+    }
+
+    /// Submit one attempt of `op` under a fresh id, preserving the original
+    /// submission time so latency is end-to-end across attempts. `pending`
+    /// keeps the op exactly as the workload issued it (records and
+    /// closed-loop refill see original origins); if that origin is
+    /// currently suspect, the attempt itself is redirected to the nearest
+    /// non-suspect processor on the wire.
+    fn submit_attempt<R>(&mut self, rt: &mut R, op: C::Op, submitted: SimTime, attempts: u32) -> u64
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
         let id = self.next_op;
         self.next_op += 1;
-        self.pending.insert(id, (op.clone(), rt.now()));
-        rt.inject(C::origin(&op), C::request(id, &op));
+        let mut wire = op.clone();
+        if self.retry.enabled && self.suspects.contains(&C::origin(&wire)) {
+            let from = C::origin(&wire);
+            let n = rt.num_procs() as u32;
+            for step in 1..n {
+                let cand = ProcId((from.0 + step) % n);
+                if !self.suspects.contains(&cand) {
+                    wire = C::retarget(&wire, cand);
+                    self.redirects += 1;
+                    break;
+                }
+            }
+        }
+        self.pending.insert(id, (op, submitted));
+        if self.retry.enabled {
+            self.inflight.insert(
+                id,
+                Attempt {
+                    deadline_at: rt.now() + self.retry.deadline,
+                    attempts,
+                    origin: C::origin(&wire),
+                },
+            );
+        }
+        rt.inject(C::origin(&wire), C::request(id, &wire));
         id
+    }
+
+    /// The next instant the retry layer needs the clock to reach: the
+    /// earliest attempt deadline or backlog wake-up. `None` when the retry
+    /// layer is off or has nothing scheduled.
+    fn next_wake(&self) -> Option<SimTime> {
+        if !self.retry.enabled {
+            return None;
+        }
+        let d = self.inflight.values().map(|a| a.deadline_at).min();
+        let b = self.backlog.keys().next().map(|(at, _)| *at);
+        match (d, b) {
+            (Some(d), Some(b)) => Some(d.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    /// Time out overdue attempts and resubmit ops whose backoff expired.
+    /// Timed-out attempts suspect their origin; resubmissions against a
+    /// suspected origin are redirected to the nearest non-suspect
+    /// processor. No-op while the retry layer is off.
+    fn service_retries<R>(&mut self, rt: &mut R)
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        if !self.retry.enabled {
+            return;
+        }
+        let now = rt.now();
+        let expired: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, a)| a.deadline_at <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            let a = self.inflight.remove(&id).expect("key just listed");
+            let Some((op, submitted)) = self.pending.remove(&id) else {
+                continue;
+            };
+            self.timeouts += 1;
+            self.suspects.insert(a.origin);
+            if a.attempts >= self.retry.max_attempts {
+                self.abandoned += 1;
+                continue;
+            }
+            let shift = (a.attempts - 1).min(16);
+            let backoff = (self.retry.backoff_base << shift)
+                .min(self.retry.backoff_max)
+                .max(1);
+            let jitter = self.retry_rng.gen_range(0..=backoff / 4);
+            self.backlog_seq += 1;
+            self.backlog.insert(
+                (now + backoff + jitter, self.backlog_seq),
+                Resub {
+                    op,
+                    submitted,
+                    attempts: a.attempts,
+                },
+            );
+        }
+        let due: Vec<(SimTime, u64)> = self
+            .backlog
+            .range(..=(now, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let r = self.backlog.remove(&key).expect("key just listed");
+            self.retries += 1;
+            // `submit_attempt` redirects away from suspect origins itself.
+            self.submit_attempt(rt, r.op, r.submitted, r.attempts + 1);
+        }
     }
 
     /// Submit one scan; returns the driver-assigned id.
@@ -348,7 +598,16 @@ impl<C: ClientProtocol> Driver<C> {
         for (at, _from, msg) in rt.drain_outputs() {
             match C::parse(msg) {
                 Some(Completion::Op { id, outcome }) => {
+                    // Completions of retired attempt ids (the op was
+                    // resubmitted under a fresh id after a timeout) are not
+                    // in `pending` and fall through silently: the op is
+                    // recorded exactly once, under whichever id was live.
                     if let Some((op, submitted)) = self.pending.remove(&id) {
+                        if let Some(a) = self.inflight.remove(&id) {
+                            // A completion is proof of life for the
+                            // processor that served the attempt.
+                            self.suspects.remove(&a.origin);
+                        }
                         records.push(OpRecord {
                             id,
                             op,
@@ -478,24 +737,38 @@ impl<C: ClientProtocol> Driver<C> {
         let mut records: Vec<OpRecord<C::Op, C::Outcome>> = Vec::with_capacity(ops.len());
         let mut idle = 0u32;
         loop {
-            if self.pending.is_empty() && queues.values().all(|q| q.is_empty()) {
+            if self.pending.is_empty()
+                && self.backlog.is_empty()
+                && queues.values().all(|q| q.is_empty())
+            {
                 // Workload drained; let stragglers (relays, acks) finish.
                 rt.settle().map_err(|e| self.stamp(e))?;
                 self.drain_into(rt, &mut records);
                 break;
             }
-            match rt.poll(None) {
+            // With the retry layer on, poll only as far as the next attempt
+            // deadline or backoff expiry: ops against a crashed processor
+            // then time out and retry instead of hanging the run.
+            match rt.poll(self.next_wake()) {
                 Poll::Outputs => {
                     idle = 0;
                     let before = records.len();
                     self.drain_into(rt, &mut records);
                     self.refill(rt, &mut queues, &records, before);
+                    self.service_retries(rt);
+                }
+                Poll::Deadline => {
+                    self.service_retries(rt);
                 }
                 Poll::Quiescent => {
                     // Simulator: queue empty with ops still pending — they
-                    // were lost. Return what completed.
+                    // were lost. Retry what the retry layer still owns;
+                    // break only once it has nothing left to do.
                     self.drain_into(rt, &mut records);
-                    break;
+                    self.service_retries(rt);
+                    if self.next_wake().is_none() {
+                        break;
+                    }
                 }
                 Poll::Idle => {
                     // Threads: no outputs for a grace period. Probe: if the
@@ -518,17 +791,29 @@ impl<C: ClientProtocol> Driver<C> {
                     self.drain_into(rt, &mut records);
                     return Err(self.stamp(e));
                 }
-                Poll::Deadline => unreachable!("no deadline requested"),
             }
         }
         let mut last = start;
         for r in &records {
             last = last.max(r.completed);
         }
-        Ok(DriverStats {
-            makespan: last - start,
+        Ok(self.stats_from(records, last - start))
+    }
+
+    /// Assemble run stats, folding in the retry layer's counters.
+    fn stats_from(
+        &self,
+        records: Vec<OpRecord<C::Op, C::Outcome>>,
+        makespan: u64,
+    ) -> DriverStats<C::Op, C::Outcome> {
+        DriverStats {
             records,
-        })
+            makespan,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            redirects: self.redirects,
+            abandoned: self.abandoned,
+        }
     }
 
     /// Closed-loop driving; panics if a limit trips (see
@@ -577,19 +862,26 @@ impl<C: ClientProtocol> Driver<C> {
                 next += 1;
             }
             if next >= ops.len() {
-                if self.pending.is_empty() {
+                if self.pending.is_empty() && self.backlog.is_empty() {
                     rt.settle().map_err(|e| self.stamp(e))?;
                     self.drain_into(rt, &mut records);
                     break;
                 }
-                match rt.poll(None) {
+                match rt.poll(self.next_wake()) {
                     Poll::Outputs => {
                         idle = 0;
                         self.drain_into(rt, &mut records);
+                        self.service_retries(rt);
+                    }
+                    Poll::Deadline => {
+                        self.service_retries(rt);
                     }
                     Poll::Quiescent => {
                         self.drain_into(rt, &mut records);
-                        break;
+                        self.service_retries(rt);
+                        if self.next_wake().is_none() {
+                            break;
+                        }
                     }
                     Poll::Idle => {
                         idle += 1;
@@ -606,14 +898,18 @@ impl<C: ClientProtocol> Driver<C> {
                         self.drain_into(rt, &mut records);
                         return Err(self.stamp(e));
                     }
-                    Poll::Deadline => {}
                 }
             } else {
-                match rt.poll(Some(start + offsets[next])) {
+                let arrival = start + offsets[next];
+                let wake = self.next_wake().map_or(arrival, |w| w.min(arrival));
+                match rt.poll(Some(wake)) {
                     Poll::Outputs => {
                         self.drain_into(rt, &mut records);
+                        self.service_retries(rt);
                     }
-                    Poll::Deadline | Poll::Quiescent | Poll::Idle => {}
+                    Poll::Deadline | Poll::Quiescent | Poll::Idle => {
+                        self.service_retries(rt);
+                    }
                     Poll::Limit(e) => {
                         self.drain_into(rt, &mut records);
                         return Err(self.stamp(e));
@@ -625,10 +921,7 @@ impl<C: ClientProtocol> Driver<C> {
         for r in &records {
             last = last.max(r.completed);
         }
-        Ok(DriverStats {
-            makespan: last - start,
-            records,
-        })
+        Ok(self.stats_from(records, last - start))
     }
 
     /// Open-loop driving; panics if a limit trips (see
@@ -710,6 +1003,9 @@ mod tests {
                 _ => None,
             }
         }
+        fn retarget(_op: &ProcId, to: ProcId) -> ProcId {
+            to
+        }
     }
 
     fn sim(n: u32, seed: u64) -> Simulation<Echo> {
@@ -774,6 +1070,7 @@ mod tests {
         let single = DriverStats {
             records: vec![rec(42)],
             makespan: 42,
+            ..Default::default()
         };
         for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
             assert_eq!(single.latency_quantile(q), 42, "single record at q={q}");
@@ -782,6 +1079,7 @@ mod tests {
         let many = DriverStats {
             records: (1..=100).map(rec).collect(),
             makespan: 100,
+            ..Default::default()
         };
         assert_eq!(many.latency_quantile(0.0), 1, "q=0 is the minimum");
         assert_eq!(many.latency_quantile(1.0), 100, "q=1 is the maximum");
@@ -789,6 +1087,66 @@ mod tests {
         assert_eq!(many.latency_quantile(-0.5), 1, "q<0 clamps to min");
         // Nearest-rank: index round(99 * 0.5) = 50, i.e. the 51st latency.
         assert_eq!(many.latency_quantile(0.5), 51);
+    }
+
+    /// Without the retry layer, ops submitted to a permanently crashed
+    /// processor hang a closed-loop run (the driver waits forever). With it
+    /// they time out, suspect the dead processor, redirect to a live one,
+    /// and the whole workload completes.
+    #[test]
+    fn retry_redirects_around_a_crashed_processor() {
+        use crate::{CrashEvent, FaultPlan};
+        let mut cfg = SimConfig::jittery(13, 1, 20);
+        cfg.faults = FaultPlan::none().with_crash(CrashEvent {
+            proc: ProcId(1),
+            at: SimTime(0),
+            restart_at: None,
+        });
+        let mut rt = Simulation::new(cfg, (0..3).map(|_| Echo { n: 3 }).collect());
+        let mut driver: Driver<EchoProtocol> = Driver::with_retry(RetryPolicy {
+            enabled: true,
+            deadline: 500,
+            backoff_base: 20,
+            backoff_max: 200,
+            max_attempts: 8,
+            seed: 1,
+        });
+        let work = ops(3, 30);
+        let stats = driver.run_closed_loop(&mut rt, &work, 2);
+        assert_eq!(stats.records.len(), 30, "every op completed");
+        assert_eq!(driver.pending_ops(), 0);
+        assert!(stats.timeouts > 0, "dead-processor attempts timed out");
+        assert!(stats.retries > 0, "timed-out ops were resubmitted");
+        assert!(stats.redirects > 0, "retries were redirected to live procs");
+        assert_eq!(stats.abandoned, 0, "nothing was given up");
+        // Records keep the op as the workload issued it (original origin),
+        // even when the attempt that completed it was redirected.
+        assert!(stats.records.iter().any(|r| r.op == ProcId(1)));
+    }
+
+    /// With the retry layer off, a clean run draws no randomness and
+    /// behaves exactly as before the layer existed.
+    #[test]
+    fn retry_disabled_changes_nothing() {
+        let run = |retry: RetryPolicy| {
+            let mut rt = sim(3, 7);
+            let mut driver: Driver<EchoProtocol> = Driver::with_retry(retry);
+            let stats = driver.run_closed_loop(&mut rt, &ops(3, 50), 4);
+            let lat: Vec<u64> = stats.records.iter().map(|r| r.latency()).collect();
+            (lat, stats.makespan, stats.timeouts, stats.retries)
+        };
+        let base = run(RetryPolicy::default());
+        let tuned = run(RetryPolicy {
+            enabled: false,
+            deadline: 1,
+            backoff_base: 1,
+            backoff_max: 1,
+            max_attempts: 1,
+            seed: 9,
+        });
+        assert_eq!(base, tuned);
+        assert_eq!(base.2, 0);
+        assert_eq!(base.3, 0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod time;
 mod trace;
 
 pub use context::Context;
-pub use driver::{Driver, OpenLoopCfg};
+pub use driver::{Driver, OpenLoopCfg, RetryPolicy};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use latency::LatencyModel;
 pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
@@ -73,7 +73,7 @@ pub use profile::{
 };
 pub use runtime::{Poll, QuiesceError, Runtime};
 pub use schedule::{Choice, ChoiceKind, FifoScheduler, Scheduler};
-pub use session::{SessionConfig, SessionMsg, SessionProc, SessionStats};
+pub use session::{DetectorConfig, SessionConfig, SessionMsg, SessionProc, SessionStats};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{KindStats, NetStats};
 pub use time::SimTime;
@@ -184,6 +184,15 @@ pub trait Process {
     ///
     /// Never called without an active fault plan.
     fn on_restart(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// A failure detector changed its opinion of `peer`: `up = false` when
+    /// the peer became suspect (no traffic within the detector's threshold),
+    /// `up = true` when a suspected peer was heard from again. The default
+    /// ignores the hint — detection is advisory; safety never depends on it.
+    ///
+    /// Called by the session-layer detector (when enabled) from within an
+    /// action, so implementations may send messages and set timers.
+    fn on_peer_change(&mut self, _ctx: &mut Context<'_, Self::Msg>, _peer: ProcId, _up: bool) {}
 
     /// Named monotone counters describing this process's internal work,
     /// snapshotted by the observability layer: the trace records the

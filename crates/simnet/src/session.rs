@@ -30,21 +30,84 @@
 //! payload — message statistics are byte-identical to running the inner
 //! process directly.
 //!
+//! **Failure detection.** The session layer optionally runs a heartbeat
+//! failure detector (see [`DetectorConfig`]). Every peer this processor has
+//! exchanged traffic with is monitored: a periodic detector round pings each
+//! monitored peer, and a peer silent for more than `suspect_after` rounds is
+//! marked *suspect* — surfaced as a [`TraceEvent::Suspect`] annotation, a
+//! counter, and an advisory [`Process::on_peer_change`] callback on the inner
+//! process. The first arrival from a suspected peer clears the suspicion
+//! ([`TraceEvent::Alive`] + `on_peer_change(peer, true)`). Detection is
+//! purely advisory: safety never depends on it, only reaction latency does.
+//! The detector goes *dormant* (stops re-arming its timer) after
+//! `idle_rounds` rounds with no inner traffic and nothing unacknowledged, so
+//! quiescence detection still terminates; the next inner send or arrival
+//! re-arms it. Disabled (the default), it adds zero timers, messages, and
+//! RNG draws — runs are byte-identical to builds without it.
+//!
 //! [`FaultPlan`]: crate::FaultPlan
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::{Deref, DerefMut};
 
 use crate::context::{Context, Effect};
-use crate::{Payload, ProcId, Process};
+use crate::trace::TraceEvent;
+use crate::{Payload, ProcId, Process, SimTime};
 
 /// High bit of the timer-token space, reserved for session retransmission
 /// timers. Inner processes must keep their own tokens below this bit.
 pub const SESSION_TIMER_BIT: u64 = 1 << 63;
 
+/// Timer token of the failure detector's periodic round. Lives in the
+/// session-reserved token space; distinguishable from per-channel
+/// retransmission tokens, which only use the low 32 bits.
+pub const DETECTOR_TIMER: u64 = SESSION_TIMER_BIT | (1 << 62);
+
 #[inline]
 fn session_token(dst: ProcId) -> u64 {
     SESSION_TIMER_BIT | dst.0 as u64
+}
+
+/// Tuning knobs for the heartbeat failure detector.
+///
+/// Thresholds are in ticks / detector rounds. A peer is suspected when it has
+/// been silent (no arrival of any kind) for longer than
+/// `ping_interval * suspect_after` ticks at a round boundary, so detection
+/// latency is between `suspect_after` and `suspect_after + 1` rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// Master switch. Off (the default) = no timers, no pings, no RNG draws:
+    /// runs are byte-identical to a detector-free build.
+    pub enabled: bool,
+    /// Ticks between detector rounds (each round pings every monitored peer).
+    pub ping_interval: u64,
+    /// Rounds of silence before a peer becomes suspect.
+    pub suspect_after: u32,
+    /// Consecutive rounds with no inner traffic (and empty outboxes) before
+    /// the detector goes dormant. Dormancy is what lets quiescence detection
+    /// terminate; the next inner send or arrival re-arms the round timer.
+    pub idle_rounds: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            enabled: false,
+            ping_interval: 100,
+            suspect_after: 3,
+            idle_rounds: 2,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// An enabled detector with default timing.
+    pub fn on() -> Self {
+        DetectorConfig {
+            enabled: true,
+            ..DetectorConfig::default()
+        }
+    }
 }
 
 /// Tuning knobs for the session layer.
@@ -60,6 +123,8 @@ pub struct SessionConfig {
     /// Give up on a channel after this many consecutive fruitless
     /// retransmission rounds (e.g. the peer is partitioned away for good).
     pub max_retries: u32,
+    /// Heartbeat failure detector (independent of the reliability switch).
+    pub detector: DetectorConfig,
 }
 
 impl Default for SessionConfig {
@@ -69,6 +134,7 @@ impl Default for SessionConfig {
             base_rto: 50,
             max_rto: 2000,
             max_retries: 64,
+            detector: DetectorConfig::default(),
         }
     }
 }
@@ -80,6 +146,12 @@ impl SessionConfig {
             enabled: true,
             ..SessionConfig::default()
         }
+    }
+
+    /// Same configuration with the given failure detector.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
     }
 }
 
@@ -105,6 +177,11 @@ pub enum SessionMsg<M> {
         /// One past the highest in-order sequence delivered.
         upto: u64,
     },
+    /// Failure-detector heartbeat probe. Unsequenced (loss is tolerated; the
+    /// next round probes again) and answered immediately with [`Self::Pong`].
+    Ping,
+    /// Reply to a [`Self::Ping`]; its arrival refreshes the peer's liveness.
+    Pong,
 }
 
 impl<M: Payload> Payload for SessionMsg<M> {
@@ -115,6 +192,8 @@ impl<M: Payload> Payload for SessionMsg<M> {
             SessionMsg::Raw(m) => m.kind(),
             SessionMsg::Data { msg, .. } => msg.kind(),
             SessionMsg::Ack { .. } => "session.ack",
+            SessionMsg::Ping => "detector.ping",
+            SessionMsg::Pong => "detector.pong",
         }
     }
 
@@ -123,6 +202,7 @@ impl<M: Payload> Payload for SessionMsg<M> {
             SessionMsg::Raw(m) => m.size_hint(),
             SessionMsg::Data { msg, .. } => msg.size_hint() + 8,
             SessionMsg::Ack { .. } => 8,
+            SessionMsg::Ping | SessionMsg::Pong => 4,
         }
     }
 
@@ -130,13 +210,15 @@ impl<M: Payload> Payload for SessionMsg<M> {
         match self {
             SessionMsg::Raw(m) => m.span(),
             SessionMsg::Data { msg, .. } => msg.span(),
-            SessionMsg::Ack { .. } => None,
+            SessionMsg::Ack { .. } | SessionMsg::Ping | SessionMsg::Pong => None,
         }
     }
 
     fn redelivery(&self) -> bool {
         match self {
-            SessionMsg::Raw(_) | SessionMsg::Ack { .. } => false,
+            SessionMsg::Raw(_) | SessionMsg::Ack { .. } | SessionMsg::Ping | SessionMsg::Pong => {
+                false
+            }
             SessionMsg::Data { retx, .. } => *retx,
         }
     }
@@ -183,6 +265,15 @@ impl<M> Default for RecvState<M> {
     }
 }
 
+/// Failure-detector bookkeeping for one monitored peer.
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    /// Time of the last arrival of any kind from this peer.
+    last_heard: SimTime,
+    /// Currently suspected down.
+    suspected: bool,
+}
+
 /// Counters kept by one processor's session layer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
@@ -198,6 +289,10 @@ pub struct SessionStats {
     pub out_of_order: u64,
     /// Payloads abandoned after `max_retries` fruitless rounds.
     pub aborted: u64,
+    /// Detector transitions into suspicion (peer went silent).
+    pub suspects: u64,
+    /// Detector transitions out of suspicion (suspected peer heard again).
+    pub alives: u64,
 }
 
 impl SessionStats {
@@ -209,6 +304,8 @@ impl SessionStats {
         self.dup_suppressed += other.dup_suppressed;
         self.out_of_order += other.out_of_order;
         self.aborted += other.aborted;
+        self.suspects += other.suspects;
+        self.alives += other.alives;
     }
 }
 
@@ -221,6 +318,16 @@ pub struct SessionProc<P: Process> {
     send: BTreeMap<ProcId, SendState<P::Msg>>,
     recv: BTreeMap<ProcId, RecvState<P::Msg>>,
     stats: SessionStats,
+    /// Peers the failure detector monitors (everyone this processor has
+    /// exchanged traffic with). Empty while the detector is disabled.
+    det_peers: BTreeMap<ProcId, PeerState>,
+    /// A detector round timer is outstanding.
+    det_armed: bool,
+    /// Consecutive detector rounds with no inner traffic and nothing
+    /// unacknowledged; reaching `idle_rounds` makes the detector dormant.
+    det_idle: u32,
+    /// Inner traffic (data sent or delivered) since the last detector round.
+    det_activity: bool,
 }
 
 impl<P: Process> SessionProc<P> {
@@ -232,6 +339,10 @@ impl<P: Process> SessionProc<P> {
             send: BTreeMap::new(),
             recv: BTreeMap::new(),
             stats: SessionStats::default(),
+            det_peers: BTreeMap::new(),
+            det_armed: false,
+            det_idle: 0,
+            det_activity: false,
         }
     }
 
@@ -253,6 +364,15 @@ impl<P: Process> SessionProc<P> {
     /// Total payloads currently awaiting acknowledgement.
     pub fn unacked(&self) -> usize {
         self.send.values().map(|s| s.outbox.len()).sum()
+    }
+
+    /// Peers this processor's failure detector currently suspects.
+    pub fn suspected_peers(&self) -> Vec<ProcId> {
+        self.det_peers
+            .iter()
+            .filter(|(_, st)| st.suspected)
+            .map(|(p, _)| *p)
+            .collect()
     }
 
     /// Run `f` against the inner process, then translate its effects:
@@ -285,11 +405,109 @@ impl<P: Process> SessionProc<P> {
                     );
                     ctx.set_timer(delay, token);
                 }
+                Effect::Mark {
+                    event,
+                    kind,
+                    detail,
+                } => ctx.mark(event, kind, detail),
             }
         }
     }
 
+    /// Record traffic with a remote peer: start monitoring it, refresh its
+    /// liveness on arrivals, clear suspicion if it was suspected, and (for
+    /// inner traffic) wake a dormant detector.
+    ///
+    /// `arrival` — the peer was *heard from* (refreshes `last_heard`);
+    /// `inner` — the traffic is application traffic rather than detector
+    /// heartbeats (counts against dormancy and re-arms the round timer).
+    fn det_note(
+        &mut self,
+        ctx: &mut Context<'_, SessionMsg<P::Msg>>,
+        peer: ProcId,
+        arrival: bool,
+        inner: bool,
+    ) {
+        if !self.cfg.detector.enabled || peer.is_external() || peer == ctx.me() {
+            return;
+        }
+        let now = ctx.now();
+        let st = self.det_peers.entry(peer).or_insert(PeerState {
+            last_heard: now,
+            suspected: false,
+        });
+        if arrival {
+            st.last_heard = now;
+            if st.suspected {
+                st.suspected = false;
+                self.stats.alives += 1;
+                ctx.mark(
+                    TraceEvent::Alive,
+                    "detector.transition",
+                    format!("{peer} heard from again"),
+                );
+                self.with_inner(ctx, |p, c| p.on_peer_change(c, peer, true));
+            }
+        }
+        if inner {
+            self.det_activity = true;
+            self.det_arm(ctx);
+        }
+    }
+
+    /// Arm the detector round timer if it is not already outstanding.
+    fn det_arm(&mut self, ctx: &mut Context<'_, SessionMsg<P::Msg>>) {
+        if !self.det_armed {
+            self.det_armed = true;
+            self.det_idle = 0;
+            ctx.set_timer(self.cfg.detector.ping_interval, DETECTOR_TIMER);
+        }
+    }
+
+    /// One detector round: suspect peers that have gone silent, ping every
+    /// monitored peer, then re-arm — or go dormant after `idle_rounds`
+    /// rounds with no inner traffic and empty outboxes.
+    fn det_round(&mut self, ctx: &mut Context<'_, SessionMsg<P::Msg>>) {
+        let det = self.cfg.detector;
+        let now = ctx.now();
+        let threshold = det.ping_interval.saturating_mul(det.suspect_after as u64);
+        let mut newly_suspect = Vec::new();
+        for (&p, st) in self.det_peers.iter_mut() {
+            if !st.suspected && now.0.saturating_sub(st.last_heard.0) > threshold {
+                st.suspected = true;
+                newly_suspect.push(p);
+            }
+        }
+        for p in newly_suspect {
+            self.stats.suspects += 1;
+            ctx.mark(
+                TraceEvent::Suspect,
+                "detector.transition",
+                format!("{p} silent past threshold"),
+            );
+            self.with_inner(ctx, |pr, c| pr.on_peer_change(c, p, false));
+        }
+        for &p in self.det_peers.keys() {
+            ctx.send(p, SessionMsg::Ping);
+        }
+        let idle = !self.det_activity && self.send.values().all(|s| s.outbox.is_empty());
+        self.det_idle = if idle { self.det_idle + 1 } else { 0 };
+        self.det_activity = false;
+        if self.det_idle >= det.idle_rounds {
+            // Dormant: quiescence can now drain. The next inner send or
+            // arrival re-arms the round timer. (Nothing nested can have
+            // armed one meanwhile — activity would have made `idle` false.)
+            self.det_armed = false;
+        } else {
+            self.det_armed = true;
+            ctx.set_timer(det.ping_interval, DETECTOR_TIMER);
+        }
+    }
+
     fn send_out(&mut self, ctx: &mut Context<'_, SessionMsg<P::Msg>>, to: ProcId, msg: P::Msg) {
+        // Outbound application traffic: monitor the peer and keep the
+        // detector awake (no liveness refresh — we only *hear* arrivals).
+        self.det_note(ctx, to, false, true);
         // Local hand-offs never cross the network and client replies leave
         // the system; neither needs (or gets) session framing.
         if !self.cfg.enabled || to.is_external() || to == ctx.me() {
@@ -408,16 +626,30 @@ impl<P: Process> Process for SessionProc<P> {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcId, msg: Self::Msg) {
+        // Any arrival proves the peer alive; only application traffic keeps
+        // the detector out of dormancy (heartbeats must not feed themselves).
+        let inner = !matches!(msg, SessionMsg::Ping | SessionMsg::Pong);
+        self.det_note(ctx, from, true, inner);
         match msg {
             SessionMsg::Raw(m) => self.with_inner(ctx, |p, c| p.on_message(c, from, m)),
             SessionMsg::Data { seq, msg, .. } => self.on_data(ctx, from, seq, msg),
             SessionMsg::Ack { upto } => self.on_ack(from, upto),
+            SessionMsg::Ping => ctx.send(from, SessionMsg::Pong),
+            SessionMsg::Pong => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
         if token & SESSION_TIMER_BIT == 0 {
             self.with_inner(ctx, |p, c| p.on_timer(c, token));
+            return;
+        }
+        if token == DETECTOR_TIMER {
+            // `det_armed` stays true for the duration of the round so that
+            // sends made by `on_peer_change` handlers inside it cannot arm a
+            // second round timer; the round itself decides at the end
+            // whether to re-arm or go dormant.
+            self.det_round(ctx);
             return;
         }
         let dst = ProcId((token & !SESSION_TIMER_BIT) as u32);
@@ -445,6 +677,23 @@ impl<P: Process> Process for SessionProc<P> {
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        // The crash destroyed any outstanding detector round timer. Restart
+        // monitoring from a clean slate: liveness opinions formed before the
+        // crash are stale (and peers will re-prove themselves as the
+        // retransmitted traffic below flows).
+        if self.cfg.detector.enabled {
+            self.det_armed = false;
+            self.det_idle = 0;
+            self.det_activity = false;
+            let now = ctx.now();
+            for st in self.det_peers.values_mut() {
+                st.last_heard = now;
+                st.suspected = false;
+            }
+            if !self.det_peers.is_empty() {
+                self.det_arm(ctx);
+            }
+        }
         if self.cfg.enabled {
             // Out-of-order buffers are volatile; the delivery counters are
             // part of the stable queue manager and survive, which is what
@@ -472,6 +721,13 @@ impl<P: Process> Process for SessionProc<P> {
         self.with_inner(ctx, |p, c| p.on_restart(c));
     }
 
+    fn on_peer_change(&mut self, ctx: &mut Context<'_, Self::Msg>, peer: ProcId, up: bool) {
+        // Forward externally-sourced hints (e.g. when this session layer is
+        // itself wrapped); the built-in detector calls the inner process
+        // directly through `det_note`/`det_round`.
+        self.with_inner(ctx, |p, c| p.on_peer_change(c, peer, up));
+    }
+
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         let mut m = self.inner.metrics();
         if self.cfg.enabled {
@@ -480,6 +736,11 @@ impl<P: Process> Process for SessionProc<P> {
             m.push(("session.acks_sent", self.stats.acks_sent));
             m.push(("session.dup_suppressed", self.stats.dup_suppressed));
             m.push(("session.out_of_order", self.stats.out_of_order));
+            m.push(("session.aborted", self.stats.aborted));
+        }
+        if self.cfg.detector.enabled {
+            m.push(("detector.suspects", self.stats.suspects));
+            m.push(("detector.alives", self.stats.alives));
         }
         m
     }
@@ -661,6 +922,7 @@ mod tests {
                             base_rto: 10,
                             max_rto: 40,
                             max_retries: 6,
+                            ..SessionConfig::default()
                         },
                     )
                 })
@@ -670,5 +932,139 @@ mod tests {
         assert_eq!(sim.proc(ProcId(0)).session_stats().aborted, 5);
         assert_eq!(sim.proc(ProcId(0)).unacked(), 0);
         assert!(sim.proc(ProcId(1)).inner().seen.is_empty());
+        // The backoff is bounded: go-back-N retransmits the whole 5-message
+        // outbox at most `max_retries` times before giving up, never more.
+        let retx = sim.proc(ProcId(0)).session_stats().retransmissions;
+        assert!(retx > 0, "partition forced retransmissions");
+        assert!(
+            retx <= 6 * 5,
+            "retransmissions bounded by max_retries: {retx}"
+        );
+    }
+
+    /// An inner process that records detector hints.
+    struct PeerWatcher {
+        count: u32,
+        seen: Vec<u32>,
+        transitions: Vec<(ProcId, bool)>,
+    }
+
+    impl Process for PeerWatcher {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.me() == ProcId(0) {
+                for n in 0..self.count {
+                    ctx.send(ProcId(1), Msg::Num(n));
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcId, msg: Msg) {
+            let Msg::Num(n) = msg;
+            self.seen.push(n);
+        }
+        fn on_peer_change(&mut self, _ctx: &mut Context<'_, Msg>, peer: ProcId, up: bool) {
+            self.transitions.push((peer, up));
+        }
+    }
+
+    fn watchers(count: u32, det: DetectorConfig) -> Vec<SessionProc<PeerWatcher>> {
+        (0..2)
+            .map(|_| {
+                SessionProc::new(
+                    PeerWatcher {
+                        count,
+                        seen: vec![],
+                        transitions: vec![],
+                    },
+                    SessionConfig::reliable().with_detector(det),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detector_suspects_crashed_peer_and_clears_on_restart() {
+        let det = DetectorConfig {
+            enabled: true,
+            ping_interval: 50,
+            suspect_after: 3,
+            idle_rounds: 4,
+        };
+        let mut cfg = SimConfig::jittery(11, 2, 5);
+        cfg.faults = FaultPlan::none().with_crash(CrashEvent {
+            proc: ProcId(1),
+            at: SimTime(30),
+            restart_at: Some(SimTime(900)),
+        });
+        let mut sim = Simulation::new(cfg, watchers(40, det));
+        sim.run();
+        let p0 = sim.proc(ProcId(0));
+        // All data eventually delivered despite the crash…
+        assert_eq!(
+            sim.proc(ProcId(1)).inner().seen,
+            (0..40).collect::<Vec<_>>()
+        );
+        // …and the detector saw the outage: suspect while down, alive after
+        // the restarted peer was heard from again.
+        assert!(p0.session_stats().suspects >= 1, "P1 was suspected");
+        assert!(p0.session_stats().alives >= 1, "P1 was rehabilitated");
+        let t = &p0.inner().transitions;
+        assert!(
+            t.contains(&(ProcId(1), false)),
+            "down hint delivered: {t:?}"
+        );
+        assert!(t.contains(&(ProcId(1), true)), "up hint delivered: {t:?}");
+        assert!(p0.suspected_peers().is_empty(), "no residual suspicion");
+    }
+
+    #[test]
+    fn detector_goes_dormant_so_quiescence_terminates() {
+        // A clean run with the detector on must still quiesce (bounded
+        // events), and must end with no peer suspected.
+        let mut sim = Simulation::new(
+            SimConfig::jittery(5, 2, 10),
+            watchers(30, DetectorConfig::on()),
+        );
+        sim.run();
+        assert_eq!(
+            sim.proc(ProcId(1)).inner().seen,
+            (0..30).collect::<Vec<_>>()
+        );
+        for p in [ProcId(0), ProcId(1)] {
+            assert!(sim.proc(p).suspected_peers().is_empty());
+            assert!(sim.proc(p).inner().transitions.is_empty());
+        }
+    }
+
+    #[test]
+    fn detector_off_is_byte_identical() {
+        // Same workload, detector off vs. a detector-free SessionConfig:
+        // identical per-kind message statistics and virtual end times.
+        let run = |cfg: SessionConfig| {
+            let procs = (0..2)
+                .map(|_| {
+                    SessionProc::new(
+                        Streamer {
+                            count: 60,
+                            seen: vec![],
+                        },
+                        cfg,
+                    )
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::jittery(21, 2, 25), procs);
+            sim.run();
+            (sim.now(), sim.stats().total_messages())
+        };
+        assert_eq!(run(SessionConfig::reliable()), {
+            let mut cfg = SessionConfig::reliable();
+            cfg.detector = DetectorConfig {
+                enabled: false,
+                ping_interval: 1,
+                suspect_after: 1,
+                idle_rounds: 1,
+            };
+            run(cfg)
+        });
     }
 }

@@ -738,6 +738,27 @@ impl<P: Process> Simulation<P> {
                     EventKind::Timer { token },
                 );
             }
+            Effect::Mark {
+                event,
+                kind,
+                detail,
+            } => {
+                if self.trace.enabled() {
+                    self.trace.record(TraceEntry {
+                        seq: 0,
+                        at: depart,
+                        from: src,
+                        to: src,
+                        event,
+                        kind,
+                        span: action_span,
+                        redelivery: false,
+                        wait: 0,
+                        detail,
+                        deltas: Vec::new(),
+                    });
+                }
+            }
         }
     }
 

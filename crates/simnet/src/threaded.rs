@@ -53,6 +53,12 @@ enum Envelope<M> {
     Probe {
         token: u64,
     },
+    /// Fault injection: the worker enters crash mode — messages and timers
+    /// are dropped (the volatile queue of the dead incarnation) until a
+    /// `Restart` arrives. Probes are still echoed so settle stays live.
+    Crash,
+    /// Fault injection: leave crash mode and run `Process::on_restart`.
+    Restart,
     Shutdown,
 }
 
@@ -259,10 +265,36 @@ where
                         &obs,
                     );
 
+                    // Crash mode: envelopes addressed to a crashed worker are
+                    // the dead incarnation's volatile queue — dropped without
+                    // running the process or bumping the action counter
+                    // (dropping is not an action, so settle stays sound).
+                    let mut down = false;
                     while let Ok(env) = rx.recv() {
                         match env {
                             Envelope::Msg { from, msg, span } => {
                                 let at = now(epoch);
+                                if down {
+                                    if let Some(o) = obs.as_ref() {
+                                        let mut st = o.lock().expect("obs lock");
+                                        if st.trace.enabled() {
+                                            st.trace.record(TraceEntry {
+                                                seq: 0,
+                                                at,
+                                                from,
+                                                to: me,
+                                                event: TraceEvent::Drop,
+                                                kind: msg.kind(),
+                                                span,
+                                                redelivery: msg.redelivery(),
+                                                wait: 0,
+                                                detail: "crash".into(),
+                                                deltas: Vec::new(),
+                                            });
+                                        }
+                                    }
+                                    continue;
+                                }
                                 // Capture what the trace needs before the
                                 // payload moves into the handler.
                                 let pending = obs
@@ -315,6 +347,9 @@ where
                                 actions.fetch_add(1, Ordering::SeqCst);
                             }
                             Envelope::Timer { token } => {
+                                if down {
+                                    continue;
+                                }
                                 let at = now(epoch);
                                 let before = if obs.is_some() {
                                     proc.metrics()
@@ -359,6 +394,74 @@ where
                             }
                             Envelope::Probe { token } => {
                                 let _ = out.send(Output::Probe(token));
+                            }
+                            Envelope::Crash => {
+                                down = true;
+                                if let Some(o) = obs.as_ref() {
+                                    let mut st = o.lock().expect("obs lock");
+                                    if st.trace.enabled() {
+                                        st.trace.record(TraceEntry {
+                                            seq: 0,
+                                            at: now(epoch),
+                                            from: me,
+                                            to: me,
+                                            event: TraceEvent::Crash,
+                                            kind: "fault.crash",
+                                            span: None,
+                                            redelivery: false,
+                                            wait: 0,
+                                            detail: String::new(),
+                                            deltas: Vec::new(),
+                                        });
+                                    }
+                                }
+                            }
+                            Envelope::Restart => {
+                                if !down {
+                                    continue;
+                                }
+                                down = false;
+                                let at = now(epoch);
+                                let before = if obs.is_some() {
+                                    proc.metrics()
+                                } else {
+                                    Vec::new()
+                                };
+                                let mut ctx = Context {
+                                    me,
+                                    now: at,
+                                    effects: &mut effects,
+                                    rng: &mut rng,
+                                    span: None,
+                                };
+                                proc.on_restart(&mut ctx);
+                                if let Some(o) = obs.as_ref() {
+                                    record_action(
+                                        o,
+                                        at,
+                                        me,
+                                        me,
+                                        TraceEvent::Restart,
+                                        "fault.restart",
+                                        None,
+                                        false,
+                                        String::new(),
+                                        &before,
+                                        &proc,
+                                    );
+                                }
+                                flush(
+                                    &mut effects,
+                                    me,
+                                    at,
+                                    None,
+                                    &peer_senders,
+                                    &out,
+                                    &timers,
+                                    &pending_timers,
+                                    &obs,
+                                );
+                                actions.fetch_add(1, Ordering::SeqCst);
                             }
                             Envelope::Shutdown => break,
                         }
@@ -409,6 +512,22 @@ where
             msg,
             span,
         });
+    }
+
+    /// Crash processor `p`: once the command reaches its queue the worker
+    /// drops every message and timer (the volatile queue of the dead
+    /// incarnation) until [`Cluster::restart`]. The process object itself
+    /// survives, playing the paper's stable store. Mirrors the simulator's
+    /// [`crate::CrashEvent`] fault injection.
+    pub fn crash(&self, p: ProcId) {
+        let _ = self.senders[p.index()].send(Envelope::Crash);
+    }
+
+    /// Restart a crashed processor: the worker leaves crash mode and runs
+    /// [`Process::on_restart`]. A restart for a processor that is not down
+    /// is ignored.
+    pub fn restart(&self, p: ProcId) {
+        let _ = self.senders[p.index()].send(Envelope::Restart);
     }
 
     /// Take the observability data recorded so far (empty when the cluster
@@ -699,6 +818,30 @@ fn flush<M: Payload>(
                     proc: me,
                     token,
                 });
+            }
+            Effect::Mark {
+                event,
+                kind,
+                detail,
+            } => {
+                if let Some(o) = obs {
+                    let mut st = o.lock().expect("obs lock");
+                    if st.trace.enabled() {
+                        st.trace.record(TraceEntry {
+                            seq: 0,
+                            at,
+                            from: me,
+                            to: me,
+                            event,
+                            kind,
+                            span: action_span,
+                            redelivery: false,
+                            wait: 0,
+                            detail,
+                            deltas: Vec::new(),
+                        });
+                    }
+                }
             }
         }
     }

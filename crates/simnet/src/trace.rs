@@ -34,6 +34,16 @@ pub enum TraceEvent {
     Crash,
     /// A fault plan restarted the processor.
     Restart,
+    /// A failure detector began suspecting a peer (`detail` names it).
+    Suspect,
+    /// A failure detector heard from a suspected peer again.
+    Alive,
+    /// A recovery orchestrator quarantined a suspected peer (relays to it
+    /// are suppressed and queued for anti-entropy).
+    Quarantine,
+    /// A restarted processor re-entered the replication (§4.3 rejoin plus
+    /// anti-entropy catch-up).
+    Rejoin,
 }
 
 impl TraceEvent {
@@ -47,6 +57,10 @@ impl TraceEvent {
             TraceEvent::Duplicate => "duplicate",
             TraceEvent::Crash => "crash",
             TraceEvent::Restart => "restart",
+            TraceEvent::Suspect => "suspect",
+            TraceEvent::Alive => "alive",
+            TraceEvent::Quarantine => "quarantine",
+            TraceEvent::Rejoin => "rejoin",
         }
     }
 }

@@ -115,6 +115,45 @@ fn representative_trace() -> Trace {
         None,
         "",
     ));
+    // The failure detector on processor 0 suspecting the crashed processor,
+    // the recovery layer quarantining it, its rejoin on restart, and the
+    // detector clearing the suspicion once it is heard from again.
+    t.record(entry(
+        22,
+        ProcId(0),
+        ProcId(0),
+        TraceEvent::Suspect,
+        "detector.transition",
+        None,
+        "P2 silent past threshold",
+    ));
+    t.record(entry(
+        22,
+        ProcId(0),
+        ProcId(0),
+        TraceEvent::Quarantine,
+        "recovery.quarantine",
+        None,
+        "P2",
+    ));
+    t.record(entry(
+        30,
+        ProcId(2),
+        ProcId(2),
+        TraceEvent::Rejoin,
+        "recovery.rejoin",
+        Some(42),
+        "pull sync from copies",
+    ));
+    t.record(entry(
+        31,
+        ProcId(0),
+        ProcId(0),
+        TraceEvent::Alive,
+        "detector.transition",
+        None,
+        "P2 heard from again",
+    ));
     // A reply leaving the system, with characters the export must escape.
     t.record(entry(
         33,
@@ -248,6 +287,10 @@ fn every_event_label_appears_in_the_golden_file() {
         TraceEvent::Duplicate,
         TraceEvent::Crash,
         TraceEvent::Restart,
+        TraceEvent::Suspect,
+        TraceEvent::Alive,
+        TraceEvent::Quarantine,
+        TraceEvent::Rejoin,
     ] {
         let needle = format!("\"event\":\"{}\"", ev.as_str());
         assert!(GOLDEN.contains(&needle), "golden file lacks {needle}");
