@@ -6,13 +6,15 @@
 //! non-zero on any regression.
 //!
 //! ```text
-//! benchsuite [--smoke] [--out PATH] [--folded DIR]
+//! benchsuite [--smoke] [--only SUBSTR] [--out PATH] [--folded DIR]
 //!            [--check] [--baseline PATH] [--update-baseline PATH]
 //!            [--gate-rel F] [--gate-abs F]
 //! ```
 //!
 //! * `--smoke` — the reduced CI matrix: simulator cells only (deterministic,
 //!   so tight tolerances survive noisy runners), smaller op counts.
+//! * `--only SUBSTR` — run only cells whose id contains the substring
+//!   (e.g. `--only scale` for the throughput cell alone).
 //! * `--folded DIR` — also write per-cell folded-stack exports
 //!   (`<id>.paths.folded`, `<id>.waits.folded`) for flamegraph tooling.
 //! * `--check` — compare against `--baseline` (default
@@ -30,6 +32,7 @@ use bench::{f1, f2};
 
 struct Args {
     smoke: bool,
+    only: Option<String>,
     out: PathBuf,
     folded: Option<PathBuf>,
     check: bool,
@@ -41,6 +44,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        only: None,
         out: PathBuf::from("BENCH.json"),
         folded: None,
         check: false,
@@ -53,6 +57,7 @@ fn parse_args() -> Args {
         let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--only" => args.only = Some(val("--only")),
             "--check" => args.check = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             "--folded" => args.folded = Some(PathBuf::from(val("--folded"))),
@@ -70,7 +75,11 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let specs = matrix(args.smoke);
+    let mut specs = matrix(args.smoke);
+    if let Some(only) = &args.only {
+        specs.retain(|s| s.id.contains(only.as_str()));
+        assert!(!specs.is_empty(), "--only {only:?} matched no cell");
+    }
     section(
         "BENCH",
         if args.smoke {
@@ -90,6 +99,7 @@ fn main() -> ExitCode {
         "hops",
         "msgs/op",
         "msgs/split (paper)",
+        "Mev/s",
         "queue/transit/serve/stall",
     ]);
     for spec in &specs {
@@ -105,6 +115,11 @@ fn main() -> ExitCode {
             f2(r.hops_mean),
             f2(r.msgs_per_op),
             format!("{} ({})", f2(r.msgs_per_split), r.paper_msgs_per_split),
+            if r.events_per_sec > 0.0 {
+                f2(r.events_per_sec / 1e6)
+            } else {
+                "-".to_string()
+            },
             if r.profiled > 0 {
                 format!(
                     "{:.0}/{:.0}/{:.0}/{:.0}%",

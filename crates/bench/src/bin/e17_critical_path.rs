@@ -51,6 +51,7 @@ fn cell(id: &'static str, protocol: Proto) -> CellSpec {
         // Healthy processors only submit; P3 is the degraded replica.
         origins: 3,
         mix: Mix::INSERT_ONLY,
+        profile: true,
     }
 }
 

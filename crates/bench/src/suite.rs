@@ -200,6 +200,10 @@ pub struct CellSpec {
     pub origins: u32,
     /// Search/insert mix.
     pub mix: Mix,
+    /// Record a causal trace and run the critical-path profiler. Scale
+    /// cells turn this off: tracing every delivery of a 256-processor run
+    /// would measure the trace buffer, not the simulator.
+    pub profile: bool,
 }
 
 /// Everything a cell run produces: the flat result row plus the two
@@ -290,6 +294,14 @@ pub struct CellResult {
     pub prof_skipped: u64,
     /// Profiled ops whose segments do not telescope exactly.
     pub prof_inexact: u64,
+    /// Simulator events delivered during the drive (deterministic; gated —
+    /// an event-count blowup is a protocol or simulator regression).
+    pub events_total: u64,
+    /// Wall-clock simulator throughput: events delivered per second of
+    /// host time. Informational only: never gated, and masked out of the
+    /// byte-determinism comparisons (it is the one wall-clock field a sim
+    /// cell carries).
+    pub events_per_sec: f64,
 }
 
 const KEY_SPACE: u64 = 20_000;
@@ -320,6 +332,7 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
         mix: Mix {
             search_fraction: 0.25,
         },
+        profile: true,
     };
     let dhash = CellSpec {
         structure: Structure::Dhash,
@@ -382,6 +395,26 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
             ops: n(250, 80),
             ..dhash.clone()
         },
+        // Simulator-throughput cell: a 256-processor clean run with
+        // tracing and the service-time model off, so virtually all of the
+        // wall clock is the event core itself (heap, dispatch, channel
+        // bookkeeping). Its sim metrics are deterministic and gated like
+        // any other cell; `events_per_sec` is the one wall-clock reading.
+        CellSpec {
+            id: "blink-sim-scale-tput",
+            drive: DriveMode::Closed(64),
+            ops: n(40000, 15000),
+            seed: 17,
+            n_procs: 256,
+            preload: 4000,
+            service_time: 0,
+            origins: 256,
+            mix: Mix {
+                search_fraction: 0.5,
+            },
+            profile: false,
+            ..blink.clone()
+        },
     ];
     if !smoke {
         cells.extend([
@@ -428,7 +461,7 @@ pub fn run_cell(spec: &CellSpec) -> CellOutput {
 
 fn sim_cfg(spec: &CellSpec) -> SimConfig {
     let mut cfg = SimConfig::jittery(spec.seed, 2, 25);
-    cfg.trace_capacity = TRACE_CAP;
+    cfg.trace_capacity = if spec.profile { TRACE_CAP } else { 0 };
     cfg.service_time = spec.service_time;
     if let Some(o) = spec.service_override {
         cfg.service_overrides.push(o);
@@ -560,16 +593,21 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
         DbCluster::build(&bspec, sim_cfg(spec))
     };
     let before = cluster.sim.stats().clone();
+    let events_before = cluster.sim.events_delivered();
+    let wall = std::time::Instant::now();
     let ops: Vec<ClientOp> = workload_ops(spec).iter().map(to_client).collect();
     let stats = match spec.drive {
         DriveMode::Closed(c) => cluster.run_closed_loop(&ops, c),
         DriveMode::Open(p) => cluster.run_open_loop(&ops, &OpenLoopCfg::fixed(p)),
     };
+    let wall = wall.elapsed();
     let delta = cluster.sim.stats().delta_since(&before);
     let splits = crate::sum_metric(&cluster, |m| m.splits_initiated);
     let split_msgs = delta.remote_matching(|k| k.starts_with("split."));
 
     let mut r = base_result(spec, &timing(&stats));
+    r.events_total = cluster.sim.events_delivered() - events_before;
+    r.events_per_sec = r.events_total as f64 / wall.as_secs_f64().max(1e-9);
     r.msgs_total = delta.total_messages();
     r.msgs_per_op = r.msgs_total as f64 / r.completed.max(1) as f64;
     r.splits = splits;
@@ -581,6 +619,13 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
     // split messages).
     r.paper_msgs_per_split = (spec.copies as u64).saturating_sub(1);
 
+    if !spec.profile {
+        return CellOutput {
+            result: r,
+            folded_paths: String::new(),
+            folded_waits: String::new(),
+        };
+    }
     let obs = cluster.take_obs();
     let prof = Profiler::new(service_times(spec)).profile_stats(&obs.trace, &stats);
     fill_profile(&mut r, &prof);
@@ -639,6 +684,8 @@ fn run_dhash_sim(spec: &CellSpec) -> CellOutput {
         HashCluster::build(&hspec, sim_cfg(spec))
     };
     let before = cluster.sim.stats().clone();
+    let events_before = cluster.sim.events_delivered();
+    let wall = std::time::Instant::now();
     let ops: Vec<HashOp> = workload_ops(spec).iter().map(to_hash).collect();
     let stats = match spec.drive {
         DriveMode::Closed(c) => cluster
@@ -648,11 +695,14 @@ fn run_dhash_sim(spec: &CellSpec) -> CellOutput {
             .try_run_open_loop_stats(&ops, &OpenLoopCfg::fixed(p))
             .expect("dhash cell failed to quiesce"),
     };
+    let wall = wall.elapsed();
     let delta = cluster.sim.stats().delta_since(&before);
     let splits: u64 = cluster.sim.procs().map(|(_, p)| p.metrics.splits).sum();
     let split_msgs = delta.remote_matching(|k| k.starts_with("dir."));
 
     let mut r = base_result(spec, &timing(&stats));
+    r.events_total = cluster.sim.events_delivered() - events_before;
+    r.events_per_sec = r.events_total as f64 / wall.as_secs_f64().max(1e-9);
     r.msgs_total = delta.total_messages();
     r.msgs_per_op = r.msgs_total as f64 / r.completed.max(1) as f64;
     r.splits = splits;
@@ -663,6 +713,13 @@ fn run_dhash_sim(spec: &CellSpec) -> CellOutput {
     r.copies = spec.n_procs as u64;
     r.paper_msgs_per_split = (spec.n_procs as u64).saturating_sub(1);
 
+    if !spec.profile {
+        return CellOutput {
+            result: r,
+            folded_paths: String::new(),
+            folded_waits: String::new(),
+        };
+    }
     let obs = cluster.take_obs();
     let prof = Profiler::new(service_times(spec)).profile_stats(&obs.trace, &stats);
     fill_profile(&mut r, &prof);
@@ -739,7 +796,8 @@ impl CellResult {
              \"hops_mean\":{},\"msgs_total\":{},\"msgs_per_op\":{},\"splits\":{},\
              \"split_msgs\":{},\"msgs_per_split\":{},\"copies\":{},\"paper_msgs_per_split\":{},\
              \"seg_queueing\":{},\"seg_transit\":{},\"seg_service\":{},\"seg_stall\":{},\
-             \"offpath_per_op\":{},\"profiled\":{},\"prof_skipped\":{},\"prof_inexact\":{}}}",
+             \"offpath_per_op\":{},\"profiled\":{},\"prof_skipped\":{},\"prof_inexact\":{},\
+             \"events_total\":{},\"events_per_sec\":{}}}",
             self.id,
             self.structure,
             self.runtime,
@@ -773,6 +831,8 @@ impl CellResult {
             self.profiled,
             self.prof_skipped,
             self.prof_inexact,
+            self.events_total,
+            f(self.events_per_sec),
         )
     }
 
@@ -829,6 +889,8 @@ impl CellResult {
             profiled: num(s, "profiled")?,
             prof_skipped: num(s, "prof_skipped")?,
             prof_inexact: num(s, "prof_inexact")?,
+            events_total: num(s, "events_total")?,
+            events_per_sec: num(s, "events_per_sec")?,
         })
     }
 }
@@ -989,6 +1051,13 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, gate: &GateCfg) ->
         check("lat_p99", cur.lat_p99 as f64, base.lat_p99 as f64, true);
         check("hops_mean", cur.hops_mean, base.hops_mean, true);
         check("msgs_per_op", cur.msgs_per_op, base.msgs_per_op, true);
+        // `events_per_sec` is wall-clock and deliberately ungated.
+        check(
+            "events_total",
+            cur.events_total as f64,
+            base.events_total as f64,
+            true,
+        );
     }
     out
 }

@@ -189,8 +189,10 @@ pub enum Msg {
     /// Install a copy of a node (new sibling's copies, join grants,
     /// migration payloads).
     InstallCopy {
-        /// Full copy state.
-        snapshot: NodeSnapshot,
+        /// Full copy state (boxed: the snapshot dwarfs every other
+        /// message, and installs are rare — boxing keeps `Msg` small for
+        /// the hot descend path).
+        snapshot: Box<NodeSnapshot>,
         /// Why the copy is being installed (affects follow-up actions).
         reason: InstallReason,
         /// History tags the snapshot's value already covers (the backwards
@@ -311,8 +313,9 @@ pub enum Msg {
     SyncState {
         /// The node.
         node: NodeId,
-        /// The sender's full copy state.
-        snapshot: NodeSnapshot,
+        /// The sender's full copy state (boxed, like
+        /// [`Msg::InstallCopy::snapshot`]).
+        snapshot: Box<NodeSnapshot>,
         /// History tags the snapshot's value already covers (the sender's
         /// coverage — relays suppressed during the quarantine are in here,
         /// which is what keeps the history checker's per-copy coverage

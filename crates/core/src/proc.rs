@@ -337,7 +337,7 @@ impl Process for DbProc {
                 snapshot,
                 reason,
                 covered,
-            } => self.handle_install(ctx, snapshot, reason, covered),
+            } => self.handle_install(ctx, *snapshot, reason, covered),
             Msg::NewRoot {
                 root,
                 level,
@@ -382,7 +382,7 @@ impl Process for DbProc {
                 node,
                 snapshot,
                 covered,
-            } => self.handle_sync_state(ctx, node, snapshot, covered),
+            } => self.handle_sync_state(ctx, node, *snapshot, covered),
             Msg::LockReq { node, ticket } => self.handle_lock_req(ctx, from, node, ticket),
             Msg::LockGrant { node, ticket } => self.handle_lock_grant(ctx, node, ticket),
             Msg::ApplyUnlock {

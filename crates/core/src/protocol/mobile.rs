@@ -58,7 +58,7 @@ impl DbProc {
         ctx.send(
             dest,
             Msg::InstallCopy {
-                snapshot: copy.snapshot(),
+                snapshot: Box::new(copy.snapshot()),
                 reason: InstallReason::Migration { from: self.me },
                 covered,
             },

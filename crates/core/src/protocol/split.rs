@@ -89,7 +89,7 @@ impl DbProc {
                 ctx.send(
                     p,
                     Msg::InstallCopy {
-                        snapshot: snapshot.clone(),
+                        snapshot: Box::new(snapshot.clone()),
                         reason: InstallReason::SiblingCopy,
                         covered: Vec::new(),
                     },
@@ -189,7 +189,7 @@ impl DbProc {
             ctx.send(
                 p,
                 Msg::InstallCopy {
-                    snapshot: snapshot.clone(),
+                    snapshot: Box::new(snapshot.clone()),
                     reason: InstallReason::Bootstrap,
                     covered: Vec::new(),
                 },

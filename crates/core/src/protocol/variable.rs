@@ -54,7 +54,7 @@ impl DbProc {
         if copy.copies.contains(&joiner) {
             // Already a member (duplicate join from racing migrations):
             // resend the snapshot so the joiner converges.
-            let snapshot = copy.snapshot();
+            let snapshot = Box::new(copy.snapshot());
             let covered = self.log.lock().copy_coverage(node.raw(), me.0);
             ctx.send(
                 joiner,
@@ -69,7 +69,7 @@ impl DbProc {
         copy.version += 1;
         let version = copy.version;
         copy.add_member(joiner, version);
-        let snapshot = copy.snapshot();
+        let snapshot = Box::new(copy.snapshot());
         let peers: Vec<ProcId> = copy.peers(me).filter(|&p| p != joiner).collect();
 
         let tag = self.issue_tag("join");

@@ -63,7 +63,7 @@ impl DbProc {
         let Some(copy) = self.store.get(node) else {
             return;
         };
-        let snapshot = copy.snapshot();
+        let snapshot = Box::new(copy.snapshot());
         let covered = self.log.lock().copy_coverage(node.raw(), self.me.0);
         self.metrics.sync_pushes += 1;
         ctx.send(

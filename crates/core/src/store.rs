@@ -1,8 +1,19 @@
 //! Per-processor node storage.
+//!
+//! The store is the node manager's hottest data structure: every descent hop
+//! does one `get` by [`NodeId`], and every leaf write does a `get_mut`. It
+//! is laid out as a slab arena — copies live in a dense `Vec` of slots with
+//! a free list, and a hashed side index maps `NodeId -> slot`. Compared to
+//! a plain `HashMap<NodeId, NodeCopy>` this keeps the (large) `NodeCopy`
+//! values in stable, reusable storage, makes iteration allocation-free and
+//! **deterministic** (slot order is a pure function of the install/remove
+//! history, never of hash seeds or capacity), and shrinks the per-lookup
+//! cost to one FxHash probe plus one bounds-checked index.
+//!
+//! Forwarding addresses are rare and small, so they live in a compact
+//! sorted vector probed by binary search rather than a second hash table.
 
-use std::collections::HashMap;
-
-use simnet::ProcId;
+use simnet::{FxHashMap, ProcId};
 
 use crate::node::NodeCopy;
 use crate::types::{Key, NodeId};
@@ -24,8 +35,15 @@ pub struct ForwardAddr {
 /// current root pointer, and (optionally) forwarding addresses.
 #[derive(Debug, Default)]
 pub struct NodeStore {
-    copies: HashMap<NodeId, NodeCopy>,
-    forwards: HashMap<NodeId, ForwardAddr>,
+    /// Slab of node copies. `None` slots are free and listed in `free`.
+    slots: Vec<Option<NodeCopy>>,
+    /// Free slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// `NodeId -> slot` index. Lookup-only: iteration always goes through
+    /// the slab in slot order, never through this map.
+    index: FxHashMap<NodeId, u32>,
+    /// Forwarding addresses, sorted by node id (binary-searched).
+    forwards: Vec<(NodeId, ForwardAddr)>,
     root: Option<NodeId>,
     root_home: Option<ProcId>,
     root_level: u8,
@@ -47,48 +65,74 @@ impl NodeStore {
 
     /// Install (or replace) a copy.
     pub fn install(&mut self, copy: NodeCopy) {
-        self.forwards.remove(&copy.id);
-        self.copies.insert(copy.id, copy);
+        self.drop_forward(copy.id);
+        match self.index.get(&copy.id) {
+            Some(&slot) => self.slots[slot as usize] = Some(copy),
+            None => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        debug_assert!(self.slots[s as usize].is_none());
+                        s
+                    }
+                    None => {
+                        self.slots.push(None);
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(copy.id, slot);
+                self.slots[slot as usize] = Some(copy);
+            }
+        }
     }
 
     /// Remove a copy, returning it.
     pub fn remove(&mut self, id: NodeId) -> Option<NodeCopy> {
-        self.copies.remove(&id)
+        let slot = self.index.remove(&id)?;
+        let copy = self.slots[slot as usize].take();
+        debug_assert!(copy.is_some(), "index pointed at an empty slot");
+        self.free.push(slot);
+        copy
     }
 
     /// Borrow a copy.
+    #[inline]
     pub fn get(&self, id: NodeId) -> Option<&NodeCopy> {
-        self.copies.get(&id)
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Mutably borrow a copy.
+    #[inline]
     pub fn get_mut(&mut self, id: NodeId) -> Option<&mut NodeCopy> {
-        self.copies.get_mut(&id)
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_mut()
     }
 
     /// Does the store hold a copy of `id`?
+    #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.copies.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
-    /// All local copies.
+    /// All local copies, in slot order — a deterministic order that depends
+    /// only on the sequence of installs and removes, never on hashing.
     pub fn iter(&self) -> impl Iterator<Item = &NodeCopy> {
-        self.copies.values()
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
     /// Number of local copies.
     pub fn len(&self) -> usize {
-        self.copies.len()
+        self.index.len()
     }
 
     /// True when no copies are stored.
     pub fn is_empty(&self) -> bool {
-        self.copies.is_empty()
+        self.index.is_empty()
     }
 
     /// Local leaf count (load metric for data balancing).
     pub fn leaf_count(&self) -> usize {
-        self.copies.values().filter(|c| c.is_leaf()).count()
+        self.iter().filter(|c| c.is_leaf()).count()
     }
 
     /// Record the root.
@@ -112,12 +156,24 @@ impl NodeStore {
 
     /// Leave a forwarding address for a departed node.
     pub fn set_forward(&mut self, id: NodeId, addr: ForwardAddr) {
-        self.forwards.insert(id, addr);
+        match self.forwards.binary_search_by_key(&id, |(n, _)| *n) {
+            Ok(i) => self.forwards[i].1 = addr,
+            Err(i) => self.forwards.insert(i, (id, addr)),
+        }
     }
 
     /// Look up a forwarding address.
     pub fn forward_for(&self, id: NodeId) -> Option<ForwardAddr> {
-        self.forwards.get(&id).copied()
+        self.forwards
+            .binary_search_by_key(&id, |(n, _)| *n)
+            .ok()
+            .map(|i| self.forwards[i].1)
+    }
+
+    fn drop_forward(&mut self, id: NodeId) {
+        if let Ok(i) = self.forwards.binary_search_by_key(&id, |(n, _)| *n) {
+            self.forwards.remove(i);
+        }
     }
 
     /// Drop forwarding addresses older than `ttl` at time `now`. Returns the
@@ -125,7 +181,7 @@ impl NodeStore {
     pub fn gc_forwards(&mut self, now: u64, ttl: u64) -> usize {
         let before = self.forwards.len();
         self.forwards
-            .retain(|_, f| now.saturating_sub(f.created_at) < ttl);
+            .retain(|(_, f)| now.saturating_sub(f.created_at) < ttl);
         before - self.forwards.len()
     }
 
@@ -140,17 +196,11 @@ impl NodeStore {
     /// back to the highest-level copy present, then `None` if the store is
     /// empty.
     pub fn closest_for(&self, key: Key) -> Option<NodeId> {
-        self.copies
-            .values()
+        self.iter()
             .filter(|c| c.range.contains(key))
             .min_by_key(|c| (c.level, c.id))
             .map(|c| c.id)
-            .or_else(|| {
-                self.copies
-                    .values()
-                    .max_by_key(|c| (c.level, c.id))
-                    .map(|c| c.id)
-            })
+            .or_else(|| self.iter().max_by_key(|c| (c.level, c.id)).map(|c| c.id))
     }
 }
 
@@ -244,5 +294,32 @@ mod tests {
         let b = s.mint_node_id(ProcId(3));
         assert_ne!(a, b);
         assert_eq!(a.minted_by(), ProcId(3));
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered_and_reuses_slots() {
+        // Satellite invariant: `iter()` order is a pure function of the
+        // install/remove history — pinned here so a refactor that silently
+        // reintroduces hash-ordered iteration fails loudly.
+        let mut s = NodeStore::new();
+        for id in [7u64, 3, 9, 1] {
+            s.install(copy(id, 0, 0, None));
+        }
+        let order = |s: &NodeStore| s.iter().map(|c| c.id.0).collect::<Vec<_>>();
+        assert_eq!(order(&s), vec![7, 3, 9, 1], "insertion order, not id order");
+
+        // Removing frees the slot; the next install reuses it in place.
+        s.remove(NodeId(3));
+        assert_eq!(order(&s), vec![7, 9, 1]);
+        s.install(copy(42, 0, 0, None));
+        assert_eq!(order(&s), vec![7, 42, 9, 1], "slot 1 reused by 42");
+
+        // Replacing an existing id keeps its slot.
+        s.install(copy(9, 1, 0, Some(5)));
+        assert_eq!(order(&s), vec![7, 42, 9, 1]);
+        assert_eq!(s.get(NodeId(9)).unwrap().level, 1);
+
+        // Stable across repeated iteration.
+        assert_eq!(order(&s), order(&s));
     }
 }

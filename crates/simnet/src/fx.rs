@@ -1,0 +1,105 @@
+//! A tiny deterministic multiply-rotate hasher for hot-path maps.
+//!
+//! The simulator's inner loop hits several `HashMap`s once per event
+//! (per-channel FIFO watermarks, the event queue's seq index, the node
+//! store's id table). `SipHash`'s per-lookup cost is measurable there and
+//! buys nothing: the keys are small trusted integers, not attacker input.
+//! This is the classic `FxHash` scheme (multiply by a Mersenne-ish odd
+//! constant after a rotate-xor), which compiles to a couple of ALU ops.
+//!
+//! Determinism note: the hash function is fixed (no per-process random
+//! state, unlike `RandomState`), but callers must still never iterate
+//! these maps in hash order when the order is observable — bucket order
+//! depends on insertion history and capacity. Every map using this hasher
+//! is either lookup-only or sorts before exposing its contents.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by the [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by the [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher (FxHash).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        m.insert((4, 5), 6);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(4, 5)), Some(&6));
+        assert_eq!(m.get(&(2, 1)), None);
+
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0xDEADBEEF);
+        h2.write_u64(0xDEADBEEF);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(h1.finish(), 0);
+    }
+}

@@ -49,8 +49,13 @@
 
 mod context;
 pub mod driver;
-mod event;
+// Public (but doc-hidden) so the event-queue microbench can drive it;
+// not part of the supported API surface.
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub mod event;
 mod fault;
+pub mod fx;
 mod latency;
 mod obs;
 pub mod profile;
@@ -66,6 +71,7 @@ mod trace;
 pub use context::Context;
 pub use driver::{Driver, OpenLoopCfg, RetryPolicy};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use latency::LatencyModel;
 pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
 pub use profile::{

@@ -328,6 +328,12 @@ pub struct SessionProc<P: Process> {
     det_idle: u32,
     /// Inner traffic (data sent or delivered) since the last detector round.
     det_activity: bool,
+    /// Reusable buffer for the inner action's effects, so the per-action
+    /// re-dispatch in [`SessionProc::with_inner`] does not allocate. Taken
+    /// (`mem::take`) for the duration of an action; a re-entrant action
+    /// (e.g. `on_peer_change` fired from within a round) simply starts from
+    /// a fresh empty vector and the outermost restore wins.
+    effects_scratch: Vec<Effect<P::Msg>>,
 }
 
 impl<P: Process> SessionProc<P> {
@@ -343,6 +349,7 @@ impl<P: Process> SessionProc<P> {
             det_armed: false,
             det_idle: 0,
             det_activity: false,
+            effects_scratch: Vec::new(),
         }
     }
 
@@ -383,7 +390,8 @@ impl<P: Process> SessionProc<P> {
         ctx: &mut Context<'_, SessionMsg<P::Msg>>,
         f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
     ) {
-        let mut inner_effects: Vec<Effect<P::Msg>> = Vec::new();
+        let mut inner_effects = std::mem::take(&mut self.effects_scratch);
+        debug_assert!(inner_effects.is_empty());
         {
             let mut inner_ctx = Context {
                 me: ctx.me,
@@ -395,7 +403,7 @@ impl<P: Process> SessionProc<P> {
             };
             f(&mut self.inner, &mut inner_ctx);
         }
-        for effect in inner_effects {
+        for effect in inner_effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => self.send_out(ctx, to, msg),
                 Effect::Timer { delay, token } => {
@@ -412,6 +420,7 @@ impl<P: Process> SessionProc<P> {
                 } => ctx.mark(event, kind, detail),
             }
         }
+        self.effects_scratch = inner_effects;
     }
 
     /// Record traffic with a remote peer: start monitoring it, refresh its

@@ -1,7 +1,5 @@
 //! The discrete-event simulator.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -99,6 +97,36 @@ pub enum RunOutcome {
     TimeLimit,
 }
 
+/// Per-channel FIFO watermarks, stored flat: `internal[src*n + dst]` for
+/// in-cluster channels and `external[to]` for injected client traffic. The
+/// zero-initialized vectors are lazily paged by the allocator, so the
+/// quadratic capacity only materializes for channel pairs actually used.
+struct ChannelClock {
+    n: usize,
+    internal: Vec<SimTime>,
+    external: Vec<SimTime>,
+}
+
+impl ChannelClock {
+    fn new(n: usize) -> Self {
+        ChannelClock {
+            n,
+            internal: vec![SimTime::ZERO; n * n],
+            external: vec![SimTime::ZERO; n],
+        }
+    }
+
+    #[inline]
+    fn internal_mut(&mut self, src: ProcId, dst: ProcId) -> &mut SimTime {
+        &mut self.internal[src.index() * self.n + dst.index()]
+    }
+
+    #[inline]
+    fn external_mut(&mut self, dst: ProcId) -> &mut SimTime {
+        &mut self.external[dst.index()]
+    }
+}
+
 /// A deterministic discrete-event simulation over a set of processes.
 ///
 /// Channel semantics match the paper's §4 assumptions: reliable, exactly-once,
@@ -106,13 +134,19 @@ pub enum RunOutcome {
 /// latency model), which is the behaviour the lazy-update protocols must
 /// tolerate.
 pub struct Simulation<P: Process> {
-    procs: Vec<Option<P>>,
+    /// Boxed so the hot path's take/put around each action moves 8 bytes
+    /// instead of memcpying a potentially kilobyte-sized process struct.
+    procs: Vec<Option<Box<P>>>,
     queue: EventQueue<P::Msg>,
     now: SimTime,
     rng: SmallRng,
     latency: LatencyModel,
     /// Per-channel watermark that enforces FIFO even under jitter.
-    channel_clock: HashMap<(ProcId, ProcId), SimTime>,
+    /// Flattened to `internal[src*n + dst]` (plus one row for injected
+    /// external traffic): one indexed access per send on the hot path, and
+    /// the zero-filled allocation is lazily paged, so untouched channel
+    /// pairs cost nothing even at large `n`.
+    channel_clock: ChannelClock,
     /// Per-processor node-manager busy horizon (service-time model).
     proc_busy: Vec<SimTime>,
     /// Per-processor service time (base + overrides); all zero disables
@@ -157,12 +191,12 @@ impl<P: Process> Simulation<P> {
             service[p.index()] = s;
         }
         let mut sim = Simulation {
-            procs: procs.into_iter().map(Some).collect(),
+            procs: procs.into_iter().map(|p| Some(Box::new(p))).collect(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(config.seed),
             latency: config.latency,
-            channel_clock: HashMap::new(),
+            channel_clock: ChannelClock::new(n),
             proc_busy: vec![SimTime::ZERO; n],
             service,
             stats: NetStats::new(n),
@@ -253,14 +287,14 @@ impl<P: Process> Simulation<P> {
     /// Immutable access to a process, for end-of-run inspection.
     pub fn proc(&self, id: ProcId) -> &P {
         self.procs[id.index()]
-            .as_ref()
+            .as_deref()
             .expect("process is resident between events")
     }
 
     /// Mutable access to a process (e.g. to install checkers between phases).
     pub fn proc_mut(&mut self, id: ProcId) -> &mut P {
         self.procs[id.index()]
-            .as_mut()
+            .as_deref_mut()
             .expect("process is resident between events")
     }
 
@@ -269,7 +303,7 @@ impl<P: Process> Simulation<P> {
         self.procs.iter().enumerate().map(|(i, p)| {
             (
                 ProcId(i as u32),
-                p.as_ref().expect("process is resident between events"),
+                p.as_deref().expect("process is resident between events"),
             )
         })
     }
@@ -284,8 +318,7 @@ impl<P: Process> Simulation<P> {
     /// (clamped to be FIFO with earlier injections to the same processor).
     pub fn inject_at(&mut self, at: SimTime, to: ProcId, msg: P::Msg) {
         let at = at.max(self.now);
-        let channel = (ProcId::EXTERNAL, to);
-        let watermark = self.channel_clock.entry(channel).or_insert(SimTime::ZERO);
+        let watermark = self.channel_clock.external_mut(to);
         let at = at.max(*watermark);
         *watermark = at;
         self.stats.record_send(
@@ -369,13 +402,55 @@ impl<P: Process> Simulation<P> {
             return false;
         };
         debug_assert!(event.at >= self.now, "time runs forward");
+        // A tombstone is a delivery or timer invalidated *eagerly* at its
+        // target's crash (see [`EventQueue::cancel_for`]): the payload is
+        // gone, but the victim still fires at its original time as a drop,
+        // exactly as the older lazy epoch-check-at-pop produced.
+        if let EventKind::Tombstone {
+            from,
+            kind,
+            redelivery,
+            span,
+            is_timer,
+        } = event.kind
+        {
+            self.now = event.at;
+            if is_timer {
+                self.stats.faults_mut().timer_dropped += 1;
+            } else {
+                self.stats.faults_mut().crash_dropped += 1;
+                if self.trace.enabled() {
+                    self.trace.record(TraceEntry {
+                        seq: 0,
+                        at: self.now,
+                        from,
+                        to: event.to,
+                        event: TraceEvent::Drop,
+                        kind,
+                        span,
+                        redelivery,
+                        wait: event.wait,
+                        detail: "crash".into(),
+                        deltas: Vec::new(),
+                    });
+                }
+            }
+            self.stats.observe_inflight(self.queue.len());
+            return true;
+        }
         let is_control = matches!(event.kind, EventKind::Crash | EventKind::Restart);
-        // Fault model: deliveries and timers addressed to a crashed
-        // processor — or scheduled before its last crash (a stale epoch:
-        // the dead incarnation's volatile queue) — are lost.
+        // Fault model: a message sent to a processor *after* its crash
+        // carries the current epoch (so it was not tombstoned) and is lost
+        // only if it arrives while the target is still down. Stale epochs
+        // cannot reach here — the crash already tombstoned them — which is
+        // what the epoch field's backstop assert checks.
         if self.faults_active && !is_control {
             let idx = event.to.index();
-            if self.down[idx] || event.epoch != self.crash_epoch[idx] {
+            debug_assert_eq!(
+                event.epoch, self.crash_epoch[idx],
+                "stale-epoch events are tombstoned at the crash"
+            );
+            if self.down[idx] {
                 self.now = event.at;
                 match &event.kind {
                     EventKind::Deliver { from, msg, span } => {
@@ -457,6 +532,10 @@ impl<P: Process> Simulation<P> {
             EventKind::Crash => {
                 self.down[to.index()] = true;
                 self.crash_epoch[to.index()] += 1;
+                // Eager crash invalidation: everything in flight to the
+                // dead incarnation becomes a tombstone now (payloads freed
+                // at the crash, drops still fire at the original times).
+                self.queue.cancel_for(to);
                 self.stats.faults_mut().crashes += 1;
                 if self.trace.enabled() {
                     self.trace.record(TraceEntry {
@@ -489,8 +568,94 @@ impl<P: Process> Simulation<P> {
                 });
                 self.run_action(to, None, 0, pending, |p, ctx| p.on_restart(ctx));
             }
+            EventKind::Tombstone { .. } => unreachable!("handled above"),
         }
         self.stats.observe_inflight(self.queue.len());
+        true
+    }
+
+    /// Deliver the next event via [`Simulation::step`], then opportunistically
+    /// drain the same-tick burst behind it: while the heap's top is an
+    /// ordinary delivery or timer at the same instant to a zero-service
+    /// processor, fire it without returning to the driver loop, holding each
+    /// target process out of its slot across consecutive actions (one
+    /// dispatch per burst, not one per event). The batch path is taken only
+    /// when it is provably behavior-identical to single-stepping: no
+    /// scheduler (choice points must surface), no active faults (drop and
+    /// liveness checks must run), and it stops at any output (the driver
+    /// polls between steps), at the run limits, and at `bound` (a
+    /// `run_until`/`poll` horizon). Events still fire in exact `(at, seq)`
+    /// order — the burst only skips redundant loop overhead, never reorders.
+    ///
+    /// Returns `false` if the queue was empty.
+    fn step_burst(&mut self, bound: Option<SimTime>) -> bool {
+        if !self.step() {
+            return false;
+        }
+        if self.scheduler.is_some() || self.faults_active {
+            return true;
+        }
+        let at = self.now;
+        let mut held: Option<(ProcId, Box<P>)> = None;
+        loop {
+            if !self.outputs.is_empty()
+                || self.delivered >= self.max_events
+                || self.now > self.max_time
+                || bound.is_some_and(|u| self.now >= u)
+            {
+                break;
+            }
+            let Some(to) = self.queue.peek_plain_at(at) else {
+                break;
+            };
+            if self.service[to.index()] != 0 {
+                break;
+            }
+            if held.as_ref().map(|(h, _)| *h) != Some(to) {
+                if let Some((h, p)) = held.take() {
+                    self.procs[h.index()] = Some(p);
+                }
+                let p = self.procs[to.index()]
+                    .take()
+                    .expect("process is resident between events");
+                held = Some((to, p));
+            }
+            let event = self.queue.pop().expect("peeked event is pending");
+            self.now = event.at;
+            self.delivered += 1;
+            let (_, p) = held.as_mut().expect("held above");
+            match event.kind {
+                EventKind::Deliver { from, msg, span } => {
+                    let pending = self.trace.enabled().then(|| PendingTrace {
+                        event: TraceEvent::Deliver,
+                        from,
+                        kind: msg.kind(),
+                        redelivery: msg.redelivery(),
+                        wait: event.wait,
+                        detail: format!("{msg:?}"),
+                    });
+                    self.run_action_on(p, to, span, 0, pending, |p, ctx| {
+                        p.on_message(ctx, from, msg)
+                    });
+                }
+                EventKind::Timer { token } => {
+                    let pending = self.trace.enabled().then(|| PendingTrace {
+                        event: TraceEvent::Timer,
+                        from: to,
+                        kind: "timer",
+                        redelivery: false,
+                        wait: event.wait,
+                        detail: format!("token={token}"),
+                    });
+                    self.run_action_on(p, to, None, 0, pending, |p, ctx| p.on_timer(ctx, token));
+                }
+                _ => unreachable!("peek_plain_at only yields deliveries and timers"),
+            }
+            self.stats.observe_inflight(self.queue.len());
+        }
+        if let Some((h, p)) = held.take() {
+            self.procs[h.index()] = Some(p);
+        }
         true
     }
 
@@ -500,7 +665,7 @@ impl<P: Process> Simulation<P> {
             if let Some(outcome) = self.limit_exceeded() {
                 return outcome;
             }
-            if !self.step() {
+            if !self.step_burst(None) {
                 return RunOutcome::Quiescent;
             }
         }
@@ -525,7 +690,7 @@ impl<P: Process> Simulation<P> {
     pub fn into_procs(self) -> Vec<P> {
         self.procs
             .into_iter()
-            .map(|p| p.expect("process is resident between events"))
+            .map(|p| *p.expect("process is resident between events"))
             .collect()
     }
 
@@ -535,7 +700,7 @@ impl<P: Process> Simulation<P> {
             if self.now >= until {
                 return RunOutcome::TimeLimit;
             }
-            if !self.step() {
+            if !self.step_burst(Some(until)) {
                 return RunOutcome::Quiescent;
             }
         }
@@ -570,6 +735,24 @@ impl<P: Process> Simulation<P> {
         let mut p = self.procs[id.index()]
             .take()
             .expect("process is resident between events");
+        self.run_action_on(&mut p, id, span, service, pending, f);
+        self.procs[id.index()] = Some(p);
+    }
+
+    /// [`Simulation::run_action`] with the process already taken out of its
+    /// slot — the batched path holds one process across a same-tick burst
+    /// and calls this once per event. Applying effects here is safe while
+    /// the process is out: effects touch the queue, stats, and trace, never
+    /// the process table.
+    fn run_action_on(
+        &mut self,
+        p: &mut P,
+        id: ProcId,
+        span: Option<u64>,
+        service: u64,
+        pending: Option<PendingTrace>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) {
         let before = if pending.is_some() {
             p.metrics()
         } else {
@@ -585,7 +768,7 @@ impl<P: Process> Simulation<P> {
                 rng: &mut self.rng,
                 span,
             };
-            f(&mut p, &mut ctx);
+            f(p, &mut ctx);
         }
         if let Some(pt) = pending {
             self.trace.record(TraceEntry {
@@ -609,7 +792,6 @@ impl<P: Process> Simulation<P> {
                 pairs: p.metrics(),
             });
         }
-        self.procs[id.index()] = Some(p);
         let depart = self.now + service;
         for effect in effects.drain(..) {
             self.apply_effect(id, span, depart, effect);
@@ -688,7 +870,7 @@ impl<P: Process> Simulation<P> {
                 let mut at = depart + latency;
                 // Enforce FIFO per channel: never schedule before an earlier
                 // message on the same channel.
-                let watermark = self.channel_clock.entry((src, to)).or_insert(SimTime::ZERO);
+                let watermark = self.channel_clock.internal_mut(src, to);
                 at = at.max(*watermark);
                 *watermark = at;
                 let wm = *watermark;
@@ -847,7 +1029,7 @@ impl<P: Process> Runtime for Simulation<P> {
             match deadline {
                 Some(d) => match self.next_event_at() {
                     Some(at) if at < d => {
-                        self.step();
+                        self.step_burst(Some(d));
                     }
                     _ => {
                         self.advance_to(d);
@@ -855,7 +1037,7 @@ impl<P: Process> Runtime for Simulation<P> {
                     }
                 },
                 None => {
-                    if !self.step() {
+                    if !self.step_burst(None) {
                         return Poll::Quiescent;
                     }
                 }
@@ -868,7 +1050,7 @@ impl<P: Process> Runtime for Simulation<P> {
             if let Some(outcome) = self.limit_exceeded() {
                 return Err(self.limit_error(outcome));
             }
-            if !self.step() {
+            if !self.step_burst(None) {
                 return Ok(());
             }
         }

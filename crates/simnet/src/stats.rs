@@ -3,7 +3,6 @@
 //! The paper's efficiency claims are message-complexity claims, so the
 //! simulator counts every send: total, by kind, by locality, and by sender.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::fault::FaultStats;
@@ -29,7 +28,13 @@ impl KindStats {
 /// Aggregated network statistics for a run.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
-    by_kind: BTreeMap<&'static str, KindStats>,
+    /// Touched once per send. Kinds are a small closed set of static
+    /// strings and consecutive sends repeat them, so a tiny vector with a
+    /// last-hit cache beats hashing the string every time; every read that
+    /// exposes ordering sorts by kind first.
+    by_kind: Vec<(&'static str, KindStats)>,
+    /// Index into `by_kind` of the most recent hit (0 is safe when empty).
+    last_kind: usize,
     per_proc_sent: Vec<u64>,
     per_proc_received: Vec<u64>,
     max_inflight: usize,
@@ -43,7 +48,8 @@ pub struct NetStats {
 impl NetStats {
     pub(crate) fn new(n_procs: usize) -> Self {
         NetStats {
-            by_kind: BTreeMap::new(),
+            by_kind: Vec::new(),
+            last_kind: 0,
             per_proc_sent: vec![0; n_procs],
             per_proc_received: vec![0; n_procs],
             max_inflight: 0,
@@ -69,7 +75,7 @@ impl NetStats {
         size: usize,
         local: bool,
     ) {
-        let entry = self.by_kind.entry(kind).or_default();
+        let entry = self.kind_slot(kind);
         if local {
             entry.local += 1;
         } else {
@@ -84,33 +90,64 @@ impl NetStats {
         }
     }
 
+    /// The mutable counters for `kind`, found without hashing: pointer
+    /// compare against the last hit first (static strings make that almost
+    /// always correct), then a short content scan, inserting on miss. The
+    /// content fallback keeps duplicate literals with equal text merged.
+    fn kind_slot(&mut self, kind: &'static str) -> &mut KindStats {
+        if let Some((k, _)) = self.by_kind.get(self.last_kind) {
+            if std::ptr::eq(*k, kind) {
+                return &mut self.by_kind[self.last_kind].1;
+            }
+        }
+        let idx = match self
+            .by_kind
+            .iter()
+            .position(|(k, _)| std::ptr::eq(*k, kind) || *k == kind)
+        {
+            Some(i) => i,
+            None => {
+                self.by_kind.push((kind, KindStats::default()));
+                self.by_kind.len() - 1
+            }
+        };
+        self.last_kind = idx;
+        &mut self.by_kind[idx].1
+    }
+
     pub(crate) fn observe_inflight(&mut self, inflight: usize) {
         self.max_inflight = self.max_inflight.max(inflight);
     }
 
     /// All messages sent, local and remote, across all kinds.
     pub fn total_messages(&self) -> u64 {
-        self.by_kind.values().map(KindStats::total).sum()
+        self.by_kind.iter().map(|(_, v)| v.total()).sum()
     }
 
     /// Remote messages only — the paper's cost unit.
     pub fn remote_messages(&self) -> u64 {
-        self.by_kind.values().map(|k| k.remote).sum()
+        self.by_kind.iter().map(|(_, v)| v.remote).sum()
     }
 
     /// Remote bytes (sum of payload size hints).
     pub fn remote_bytes(&self) -> u64 {
-        self.by_kind.values().map(|k| k.remote_bytes).sum()
+        self.by_kind.iter().map(|(_, v)| v.remote_bytes).sum()
     }
 
     /// Counters for one message kind (zeros if never seen).
     pub fn kind(&self, kind: &str) -> KindStats {
-        self.by_kind.get(kind).copied().unwrap_or_default()
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or_default()
     }
 
     /// Iterate `(kind, counters)` in kind order.
     pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
-        self.by_kind.iter().map(|(k, v)| (*k, *v))
+        let mut sorted: Vec<(&'static str, KindStats)> = self.by_kind.clone();
+        sorted.sort_unstable_by_key(|(k, _)| *k);
+        sorted.into_iter()
     }
 
     /// Sum of remote counts over kinds matching the predicate.
@@ -157,8 +194,14 @@ impl NetStats {
             }
             now.saturating_sub(prev)
         };
-        for (kind, prev) in &earlier.by_kind {
-            let e = out.by_kind.entry(kind).or_default();
+        let mut earlier_kinds: Vec<(&'static str, &KindStats)> = earlier
+            .by_kind
+            .iter()
+            .map(|(k, v)| (*k, v))
+            .collect::<Vec<_>>();
+        earlier_kinds.sort_unstable_by_key(|(k, _)| *k);
+        for (kind, prev) in earlier_kinds {
+            let e = out.kind_slot(kind);
             e.remote = sub(e.remote, prev.remote, &|| format!("kind:{kind}.remote"));
             e.local = sub(e.local, prev.local, &|| format!("kind:{kind}.local"));
             e.remote_bytes = sub(e.remote_bytes, prev.remote_bytes, &|| {
@@ -239,7 +282,7 @@ impl fmt::Display for NetStats {
             self.remote_messages(),
             self.remote_bytes()
         )?;
-        for (kind, ks) in &self.by_kind {
+        for (kind, ks) in self.kinds() {
             writeln!(
                 f,
                 "  {:<24} remote {:>8}  local {:>8}",

@@ -255,6 +255,75 @@ fn fault_trace_matches_injected_fault_stats() {
         .any(|e| e.event == TraceEvent::Deliver && !e.redelivery));
 }
 
+/// Cancellation semantics pin: when a processor crashes, the in-flight
+/// deliveries and timers addressed to its dead incarnation must be
+/// *observed* exactly as they always were — a `drop/crash` trace entry at
+/// each event's original fire time, and the same `FaultStats` — no matter
+/// how the event queue implements the invalidation (the original lazy
+/// epoch-scan at pop time, or eager cancellation at crash time). The
+/// constants below were captured from the epoch-scan implementation; a
+/// queue change that shifts a single drop, reorders the trace, or loses a
+/// stat will fail this test.
+#[test]
+fn crash_invalidation_matches_lazy_skip_fingerprint() {
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+    let plan = FaultPlan::lossy(0.10)
+        .with_dup(0.10)
+        .with_crash(CrashEvent {
+            proc: ProcId(2),
+            at: SimTime(500),
+            restart_at: Some(SimTime(2200)),
+        });
+    let mut sim_cfg = faulty_cfg(7, plan);
+    sim_cfg.trace_capacity = 1 << 20; // retain the whole run
+    let preload: Vec<u64> = (0..60).map(|k| k * 50).collect();
+    let spec = BuildSpec::new(preload, N_PROCS, TreeConfig::default());
+    let mut cluster = DbCluster::build(&spec, sim_cfg);
+
+    let origins = [ProcId(0), ProcId(1), ProcId(3)]; // avoid the crasher
+    let ops: Vec<ClientOp> = (0..120u64)
+        .map(|i| ClientOp {
+            origin: origins[i as usize % origins.len()],
+            key: 7 * i + 1,
+            intent: Intent::Insert(i),
+        })
+        .collect();
+    let stats = cluster.run_closed_loop(&ops, 8);
+    assert_eq!(stats.records.len(), ops.len());
+
+    let faults = *cluster.sim.stats().faults();
+    assert!(
+        faults.crash_dropped > 0,
+        "the crash must actually invalidate in-flight deliveries: {faults:?}"
+    );
+    assert_eq!(
+        (
+            faults.dropped,
+            faults.duplicated,
+            faults.partition_dropped,
+            faults.crash_dropped,
+            faults.timer_dropped,
+            faults.crashes,
+            faults.restarts,
+        ),
+        (51, 41, 0, 12, 0, 1, 1),
+        "FaultStats drifted from the pinned lazy-skip run"
+    );
+    assert_eq!(cluster.sim.events_delivered(), 966);
+    let trace_hash = fnv1a(format!("{:?}", cluster.sim.trace()).as_bytes());
+    assert_eq!(
+        trace_hash, 0x4447349B62FE6E88,
+        "trace (drop order/times included) drifted from the pinned run"
+    );
+}
+
 /// Determinism regression: an identical `SimConfig` — fault plan included —
 /// must replay the identical execution: same delivery trace, same op
 /// timings, same final tree, for multiple protocols.
