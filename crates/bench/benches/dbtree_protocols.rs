@@ -56,6 +56,7 @@ fn bench_path_replication(c: &mut Criterion) {
                     400,
                     Mix {
                         search_fraction: 0.8,
+                        ..Mix::INSERT_ONLY
                     },
                     4000,
                     9,

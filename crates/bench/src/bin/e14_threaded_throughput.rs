@@ -30,6 +30,7 @@ fn run(protocol: ProtocolKind, n_procs: u32) -> (f64, f64, u64, usize) {
         KeyDist::Uniform { n: 20_000 },
         Mix {
             search_fraction: 0.5,
+            ..Mix::INSERT_ONLY
         },
         n_procs,
         41 + n_procs as u64,

@@ -153,6 +153,7 @@ fn main() {
         KeyDist::Uniform { n: 4000 },
         Mix {
             search_fraction: 0.5,
+            ..Mix::INSERT_ONLY
         },
         N_PROCS,
         15,

@@ -51,6 +51,9 @@ fn cell(id: &'static str, protocol: Proto) -> CellSpec {
         // Healthy processors only submit; P3 is the degraded replica.
         origins: 3,
         mix: Mix::INSERT_ONLY,
+        key_space: 20_000,
+        merge: false,
+        fanout: 8,
         profile: true,
     }
 }

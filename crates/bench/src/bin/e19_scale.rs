@@ -135,6 +135,7 @@ fn main() {
             },
             Mix {
                 search_fraction: 0.5,
+                ..Mix::INSERT_ONLY
             },
             cell.procs,
             0x19 ^ cell.procs as u64,

@@ -27,6 +27,7 @@ fn run(join_version_relay: bool, seed: u64) -> (usize, usize, u64) {
         KeyDist::Uniform { n: 2000 },
         Mix {
             search_fraction: 0.2,
+            ..Mix::INSERT_ONLY
         },
         4,
         seed,

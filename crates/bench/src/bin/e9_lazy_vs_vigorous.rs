@@ -29,12 +29,14 @@ fn main() {
             "insert-heavy",
             Mix {
                 search_fraction: 0.2,
+                ..Mix::INSERT_ONLY
             },
         ),
         (
             "read-heavy",
             Mix {
                 search_fraction: 0.9,
+                ..Mix::INSERT_ONLY
             },
         ),
     ] {

@@ -12,11 +12,18 @@ pub mod suite;
 
 use std::collections::BTreeSet;
 
-use dbtree::{BuildSpec, ClientOp, DbCluster, DriverStats, Intent, Key, TreeConfig};
+use dbtree::{
+    BuildSpec, ClientOp, DbCluster, DbSubmission, DriverStats, Intent, Key, ScanSpec, TreeConfig,
+};
 use simnet::{ProcId, SimConfig};
 use workload::{KeyDist, Mix, Op, OpKind, WorkloadGen};
 
-/// Convert a workload op into a driver op.
+/// Entries a generated scan asks for (small: scans ride along in mixed
+/// workloads to exercise the leaf-chain walk, not to dump the tree).
+pub const SCAN_LIMIT: u32 = 16;
+
+/// Convert a workload op into a driver op. Scans are a different submission
+/// type — route mixed workloads through [`to_submission`] instead.
 pub fn to_client(op: &Op) -> ClientOp {
     ClientOp {
         origin: ProcId(op.origin),
@@ -24,7 +31,22 @@ pub fn to_client(op: &Op) -> ClientOp {
         intent: match op.kind {
             OpKind::Search => Intent::Search,
             OpKind::Insert => Intent::Insert(op.value),
+            OpKind::Delete => Intent::Delete,
+            OpKind::Scan => unreachable!("scan ops go through to_submission"),
         },
+    }
+}
+
+/// Convert a workload op into a mixed-workload submission (point ops and
+/// range scans both).
+pub fn to_submission(op: &Op) -> DbSubmission {
+    match op.kind {
+        OpKind::Scan => DbSubmission::Scan(ScanSpec {
+            origin: ProcId(op.origin),
+            from: op.key,
+            limit: SCAN_LIMIT,
+        }),
+        _ => DbSubmission::Op(to_client(op)),
     }
 }
 
@@ -61,11 +83,38 @@ pub fn drive(
     let stats = cluster.run_closed_loop(&ops, concurrency);
     let mut expected = preload_keys(preload);
     for r in &stats.records {
-        if let Intent::Insert(_) = r.op.intent {
-            expected.insert(r.op.key);
+        match r.op.intent {
+            Intent::Insert(_) => {
+                expected.insert(r.op.key);
+            }
+            Intent::Delete => {
+                expected.remove(&r.op.key);
+            }
+            Intent::Search => {}
         }
     }
     (stats, expected)
+}
+
+/// Drive a generated mixed workload (point ops *and* scans) closed-loop;
+/// scans complete through the driver's scan channel
+/// ([`DbCluster::take_scans`]) and open window slots like any op.
+pub fn drive_mixed(
+    cluster: &mut DbCluster,
+    n_ops: usize,
+    mix: Mix,
+    key_space: u64,
+    seed: u64,
+    concurrency: usize,
+) -> DriverStats {
+    let mut gen = WorkloadGen::new(
+        KeyDist::Uniform { n: key_space },
+        mix,
+        cluster.n_procs(),
+        seed ^ 0x9E37,
+    );
+    let items: Vec<DbSubmission> = gen.batch(n_ops).iter().map(to_submission).collect();
+    cluster.run_closed_loop_mixed(&items, concurrency)
 }
 
 /// Sum a per-processor metric over the cluster.

@@ -16,7 +16,7 @@
 //! the golden-file test in `tests/suite.rs` — extending the schema is fine,
 //! but do it deliberately and update the golden file in the same commit.
 
-use dbtree::{BuildSpec, ClientOp, DbCluster, Key, ThreadedDbCluster, TreeConfig};
+use dbtree::{BuildSpec, ClientOp, DbCluster, DbSubmission, Key, ThreadedDbCluster, TreeConfig};
 use dhash::{DirProtocol, HKind, HashCluster, HashConfig, HashOp, HashSpec, ThreadedHashCluster};
 use simnet::driver::{DriverStats, OpOutcome};
 use simnet::{
@@ -25,7 +25,7 @@ use simnet::{
 };
 use workload::{KeyDist, Mix, Op, OpKind, WorkloadGen};
 
-use crate::to_client;
+use crate::{to_client, to_submission};
 
 /// Which search structure a cell exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -200,6 +200,15 @@ pub struct CellSpec {
     pub origins: u32,
     /// Search/insert mix.
     pub mix: Mix,
+    /// Key space the workload draws from. Delete-churn cells shrink this
+    /// to the preloaded window so deletes actually empty leaves.
+    pub key_space: u64,
+    /// Enable lazy merge-at-empty (dB-tree only): emptied leaves are
+    /// retired and their arena slots freed during the drive.
+    pub merge: bool,
+    /// Node fanout (dB-tree only). The delete-churn cell shrinks it so
+    /// leaves hold few live keys and uniform deletes actually empty them.
+    pub fanout: usize,
     /// Record a causal trace and run the critical-path profiler. Scale
     /// cells turn this off: tracing every delivery of a 256-processor run
     /// would measure the trace buffer, not the simulator.
@@ -276,6 +285,13 @@ pub struct CellResult {
     pub copies: u64,
     /// The paper's predicted messages per split for this protocol.
     pub paper_msgs_per_split: u64,
+    /// Merge-at-empty commits during the drive (0 when merges are off or
+    /// the structure has none).
+    pub merges: u64,
+    /// Node copies live across the cluster when the drive quiesces. Gated
+    /// higher-is-worse: under delete churn this is the reclamation bound —
+    /// a leak of retired nodes shows up as growth here.
+    pub live_nodes: u64,
     /// Critical-path share of latency spent queueing behind busy node
     /// managers.
     pub seg_queueing: f64,
@@ -331,7 +347,11 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
         origins: 6,
         mix: Mix {
             search_fraction: 0.25,
+            ..Mix::INSERT_ONLY
         },
+        key_space: KEY_SPACE,
+        merge: false,
+        fanout: 8,
         profile: true,
     };
     let dhash = CellSpec {
@@ -395,6 +415,30 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
             ops: n(250, 80),
             ..dhash.clone()
         },
+        // Delete-heavy churn over a narrow key window with lazy
+        // merge-at-empty on: deletes drain the window's leaves to all-
+        // tombstone, merges retire them, and the occasional insert refills.
+        // The mix is deliberately harsher than `Mix::DELETE_CHURN` (85%
+        // deletes vs 45%) and the fanout small, so leaves actually empty
+        // within the pinned op budget. `merges` and `live_nodes` are the
+        // gated reclamation metrics — if retirement stops committing or
+        // stops freeing arena slots, this cell's gate trips. Scans ride
+        // along to exercise the leaf-chain walk across retired nodes.
+        CellSpec {
+            id: "blink-sim-closed-deletes",
+            ops: n(300, 200),
+            seed: 19,
+            mix: Mix {
+                search_fraction: 0.05,
+                delete_fraction: 0.85,
+                scan_fraction: 0.05,
+            },
+            key_space: 200,
+            merge: true,
+            fanout: 4,
+            profile: false,
+            ..blink.clone()
+        },
         // Simulator-throughput cell: a 256-processor clean run with
         // tracing and the service-time model off, so virtually all of the
         // wall clock is the event core itself (heap, dispatch, channel
@@ -411,6 +455,7 @@ pub fn matrix(smoke: bool) -> Vec<CellSpec> {
             origins: 256,
             mix: Mix {
                 search_fraction: 0.5,
+                ..Mix::INSERT_ONLY
             },
             profile: false,
             ..blink.clone()
@@ -491,7 +536,7 @@ fn service_times(spec: &CellSpec) -> ServiceTimes {
 
 fn workload_ops(spec: &CellSpec) -> Vec<Op> {
     WorkloadGen::new(
-        KeyDist::Uniform { n: KEY_SPACE },
+        KeyDist::Uniform { n: spec.key_space },
         spec.mix,
         spec.origins,
         spec.seed ^ 0x9E37,
@@ -506,6 +551,10 @@ fn to_hash(op: &Op) -> HashOp {
         kind: match op.kind {
             OpKind::Search => HKind::Search,
             OpKind::Insert => HKind::Insert(op.value),
+            OpKind::Delete => HKind::Delete,
+            // The hash has no range order, so a scan degenerates to a point
+            // lookup (no pinned dhash cell uses a scan-bearing mix).
+            OpKind::Scan => HKind::Search,
         },
     }
 }
@@ -581,6 +630,8 @@ fn fill_profile(r: &mut CellResult, prof: &simnet::RunProfile) {
 fn run_blink_sim(spec: &CellSpec) -> CellOutput {
     let cfg = TreeConfig {
         record_history: false,
+        merge_at_empty: spec.merge,
+        fanout: spec.fanout,
         ..TreeConfig::fixed_copies(spec.protocol.blink(), spec.copies)
     };
     let keys: Vec<Key> = (0..spec.preload).map(|k| k * 10).collect();
@@ -595,10 +646,22 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
     let before = cluster.sim.stats().clone();
     let events_before = cluster.sim.events_delivered();
     let wall = std::time::Instant::now();
-    let ops: Vec<ClientOp> = workload_ops(spec).iter().map(to_client).collect();
-    let stats = match spec.drive {
-        DriveMode::Closed(c) => cluster.run_closed_loop(&ops, c),
-        DriveMode::Open(p) => cluster.run_open_loop(&ops, &OpenLoopCfg::fixed(p)),
+    // Scan-bearing mixes go through the mixed submission path (scans are a
+    // different submission type); pure point mixes keep the original
+    // closed/open entry points so their pinned measurements don't move.
+    let wl = workload_ops(spec);
+    let stats = if spec.mix.scan_fraction > 0.0 {
+        let items: Vec<DbSubmission> = wl.iter().map(to_submission).collect();
+        match spec.drive {
+            DriveMode::Closed(c) => cluster.run_closed_loop_mixed(&items, c),
+            DriveMode::Open(_) => panic!("open-loop scan cells are not wired up"),
+        }
+    } else {
+        let ops: Vec<ClientOp> = wl.iter().map(to_client).collect();
+        match spec.drive {
+            DriveMode::Closed(c) => cluster.run_closed_loop(&ops, c),
+            DriveMode::Open(p) => cluster.run_open_loop(&ops, &OpenLoopCfg::fixed(p)),
+        }
     };
     let wall = wall.elapsed();
     let delta = cluster.sim.stats().delta_since(&before);
@@ -618,6 +681,8 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
     // copies pays the same relay fan-out (its overhead is locking, not
     // split messages).
     r.paper_msgs_per_split = (spec.copies as u64).saturating_sub(1);
+    r.merges = crate::sum_metric(&cluster, |m| m.merges_completed);
+    r.live_nodes = cluster.sim.procs().map(|(_, p)| p.store.len() as u64).sum();
 
     if !spec.profile {
         return CellOutput {
@@ -639,6 +704,8 @@ fn run_blink_sim(spec: &CellSpec) -> CellOutput {
 fn run_blink_threaded(spec: &CellSpec) -> CellOutput {
     let cfg = TreeConfig {
         record_history: false,
+        merge_at_empty: spec.merge,
+        fanout: spec.fanout,
         ..TreeConfig::fixed_copies(spec.protocol.blink(), spec.copies)
     };
     let keys: Vec<Key> = (0..spec.preload).map(|k| k * 10).collect();
@@ -795,6 +862,7 @@ impl CellResult {
              \"lat_mean\":{},\"lat_p50\":{},\"lat_p95\":{},\"lat_p99\":{},\"lat_max\":{},\
              \"hops_mean\":{},\"msgs_total\":{},\"msgs_per_op\":{},\"splits\":{},\
              \"split_msgs\":{},\"msgs_per_split\":{},\"copies\":{},\"paper_msgs_per_split\":{},\
+             \"merges\":{},\"live_nodes\":{},\
              \"seg_queueing\":{},\"seg_transit\":{},\"seg_service\":{},\"seg_stall\":{},\
              \"offpath_per_op\":{},\"profiled\":{},\"prof_skipped\":{},\"prof_inexact\":{},\
              \"events_total\":{},\"events_per_sec\":{}}}",
@@ -823,6 +891,8 @@ impl CellResult {
             f(self.msgs_per_split),
             self.copies,
             self.paper_msgs_per_split,
+            self.merges,
+            self.live_nodes,
             f(self.seg_queueing),
             f(self.seg_transit),
             f(self.seg_service),
@@ -881,6 +951,8 @@ impl CellResult {
             msgs_per_split: num(s, "msgs_per_split")?,
             copies: num(s, "copies")?,
             paper_msgs_per_split: num(s, "paper_msgs_per_split")?,
+            merges: num(s, "merges")?,
+            live_nodes: num(s, "live_nodes")?,
             seg_queueing: num(s, "seg_queueing")?,
             seg_transit: num(s, "seg_transit")?,
             seg_service: num(s, "seg_service")?,
@@ -1051,6 +1123,16 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, gate: &GateCfg) ->
         check("lat_p99", cur.lat_p99 as f64, base.lat_p99 as f64, true);
         check("hops_mean", cur.hops_mean, base.hops_mean, true);
         check("msgs_per_op", cur.msgs_per_op, base.msgs_per_op, true);
+        // The reclamation bound: node copies live at quiesce may not grow
+        // past tolerance (retired leaves must actually free their slots),
+        // and merge commits may not quietly stop happening.
+        check(
+            "live_nodes",
+            cur.live_nodes as f64,
+            base.live_nodes as f64,
+            true,
+        );
+        check("merges", cur.merges as f64, base.merges as f64, false);
         // `events_per_sec` is wall-clock and deliberately ungated.
         check(
             "events_total",

@@ -41,6 +41,8 @@ fn golden_cell() -> CellResult {
         msgs_per_split: 2.0,
         copies: 3,
         paper_msgs_per_split: 2,
+        merges: 3,
+        live_nodes: 42,
         seg_queueing: 0.5,
         seg_transit: 0.25,
         seg_service: 0.125,
@@ -177,7 +179,11 @@ fn tiny_cell(structure: Structure) -> CellSpec {
         origins: 4,
         mix: Mix {
             search_fraction: 0.25,
+            ..Mix::INSERT_ONLY
         },
+        key_space: 20_000,
+        merge: false,
+        fanout: 8,
         profile: true,
     }
 }

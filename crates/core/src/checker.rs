@@ -27,6 +27,12 @@ pub enum TreeViolation {
         /// The missing key.
         key: Key,
     },
+    /// A deleted key is still findable by root navigation (a lost delete:
+    /// its tombstone was dropped, e.g. by an unsafe merge commit).
+    DeletedKeyVisible {
+        /// The key that should be gone.
+        key: Key,
+    },
     /// The leaf chain does not tile the key space.
     BrokenLeafChain {
         /// Description of the break.
@@ -66,6 +72,9 @@ impl std::fmt::Display for TreeViolation {
                 write!(f, "node {node:?} diverged across copies: {digests:?}")
             }
             TreeViolation::KeyLost { key } => write!(f, "key {key} lost"),
+            TreeViolation::DeletedKeyVisible { key } => {
+                write!(f, "deleted key {key} still visible")
+            }
             TreeViolation::BrokenLeafChain { detail } => write!(f, "broken leaf chain: {detail}"),
             TreeViolation::PathPropertyBroken {
                 proc,
@@ -231,6 +240,20 @@ pub fn check_keys(sim: &DbSim, expected: &BTreeSet<Key>) -> Vec<TreeViolation> {
         .collect()
 }
 
+/// Check that no key in `deleted` is findable by root navigation: its
+/// tombstone (or the absence left by a retired leaf) must shadow every
+/// older value. The complement of [`check_keys`], and the check an unsafe
+/// merge commit fails — dropping a leaf without re-verifying emptiness
+/// discards tombstones, resurrecting the values they shadowed elsewhere.
+pub fn check_deleted_keys(sim: &DbSim, deleted: &BTreeSet<Key>) -> Vec<TreeViolation> {
+    let view = GlobalView::new(sim);
+    deleted
+        .iter()
+        .filter(|&&k| view.find(k).is_some())
+        .map(|&key| TreeViolation::DeletedKeyVisible { key })
+        .collect()
+}
+
 /// Check the level-0 chain tiles `[0, +∞)`.
 pub fn check_leaf_chain(sim: &DbSim) -> Vec<TreeViolation> {
     let view = GlobalView::new(sim);
@@ -329,7 +352,10 @@ pub fn check_stashes(sim: &DbSim) -> Vec<TreeViolation> {
 /// * rule 2 — half-splits never commute with each other: the right-link
 ///   and range depend on application order, so `"split"` vs `"split"`
 ///   always conflicts. This is the claim that splits of one node are
-///   serialized through its PC.
+///   serialized through its PC. The same holds for `"absorb"` (the merge
+///   family's structural action) against itself and against `"split"`:
+///   both rewrite the same right-link/bound state, so any structural pair
+///   is ordered — which the absorb epoch enforces at every copy.
 /// * rules 1, 3 & 4 — lazy writes (leaf writes, child insertions,
 ///   child-home updates, directory patches) commute with each other in any
 ///   form, and with a half-split *as applied pairs*: the non-commuting
@@ -338,12 +364,16 @@ pub fn check_stashes(sim: &DbSim) -> Vec<TreeViolation> {
 ///   copies — the late relay is discarded or re-routed ("rewriting
 ///   history"), which the coverage and value checks judge instead. A pair
 ///   applied under both orders was in range under both orders, and such
-///   writes commute.
+///   writes commute. An absorb against a leaf write commutes for the same
+///   applied-pairs reason: a write applied on both sides of an absorb was
+///   in range on both sides (the absorb only *widens* the range), and
+///   entry-wise the absorb is itself a batch of LWW upserts.
 /// * link-changes form the ordered class (checked by version monotonicity,
 ///   not pairwise), and join/unjoin are replication-set bookkeeping — both
 ///   commute with everything here.
 pub fn db_class_conflicts(a: SeqAction, b: SeqAction) -> bool {
-    a.class == "split" && b.class == "split"
+    let structural = |x: SeqAction| x.class == "split" || x.class == "absorb";
+    structural(a) && structural(b)
 }
 
 /// Run the history sequence oracle (completeness, commuting-reorders-only

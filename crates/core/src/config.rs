@@ -113,6 +113,19 @@ pub struct TreeConfig {
     /// while this processor was suspect) happen regardless; this governs
     /// only the restarting side's pulls.
     pub sync_on_restart: bool,
+    /// Lazy merge-at-empty: when tombstones leave a leaf with no live
+    /// values, its PC asks the parent's PC for a merge grant, retires the
+    /// leaf (forwarding address + parent-edge tombstone) and has the left
+    /// sibling *absorb* its range through the half-split link invariants in
+    /// reverse. `false` preserves the paper's never-merge policy (\[11\]).
+    pub merge_at_empty: bool,
+    /// Deliberately broken merge (the `Naive` analogue for the merge
+    /// family): the grant-commit skips the re-verification that the leaf is
+    /// still empty of live values, so an insert that raced the grant is
+    /// silently dropped with the retired node. Exists only so the explorer
+    /// can demonstrate (and shrink) the merge/insert race the re-verify
+    /// closes; never enable it outside that experiment.
+    pub merge_unsafe_no_reverify: bool,
 }
 
 impl Default for TreeConfig {
@@ -128,6 +141,8 @@ impl Default for TreeConfig {
             join_version_relay: true,
             record_history: true,
             sync_on_restart: true,
+            merge_at_empty: false,
+            merge_unsafe_no_reverify: false,
         }
     }
 }

@@ -70,8 +70,8 @@ pub use proc::DbProc;
 pub use simnet::{OpenLoopCfg, QuiesceError, Runtime};
 pub use store::NodeStore;
 pub use tree::{
-    record_final_digests_from, ClientOp, DbCluster, DbProtocol, DbSim, DriverStats, OpRecord,
-    ScanRecord, ScanSpec, ThreadedDbCluster, ThreadedDbRuntime,
+    record_final_digests_from, ClientOp, DbCluster, DbProtocol, DbSim, DbSubmission, DriverStats,
+    OpRecord, ScanRecord, ScanSpec, ThreadedDbCluster, ThreadedDbRuntime,
 };
 pub use types::{
     ChildRef, Entry, Intent, Key, KeyRange, Link, NodeId, OpId, Outcome, Stamp, Value,

@@ -54,6 +54,24 @@ pub struct ProcMetrics {
     pub sync_pulls: u64,
     /// Anti-entropy snapshots merged that actually changed the local copy.
     pub sync_merges: u64,
+    /// Merge-at-empty requests sent to a parent's PC.
+    pub merges_requested: u64,
+    /// Merge requests declined (no grant, or the grant-commit re-verify
+    /// found the leaf no longer empty).
+    pub merges_declined: u64,
+    /// Merges committed: the emptied leaf was retired and its range handed
+    /// to the left sibling.
+    pub merges_completed: u64,
+    /// Retirement notices applied: a local copy of a merged-away node was
+    /// dropped and replaced by a forwarding address.
+    pub retires_applied: u64,
+    /// Absorb actions applied (initial at the left sibling's PC, or relayed
+    /// at its other copies).
+    pub absorbs_applied: u64,
+    /// Relayed updates addressed to a retired node that were re-issued as
+    /// initial inserts toward the absorbing sibling (never dropped: the
+    /// client already saw the ack).
+    pub relays_rerouted: u64,
 }
 
 impl ProcMetrics {
@@ -84,6 +102,12 @@ impl ProcMetrics {
             ("sync_pushes", self.sync_pushes),
             ("sync_pulls", self.sync_pulls),
             ("sync_merges", self.sync_merges),
+            ("merges_requested", self.merges_requested),
+            ("merges_declined", self.merges_declined),
+            ("merges_completed", self.merges_completed),
+            ("retires_applied", self.retires_applied),
+            ("absorbs_applied", self.absorbs_applied),
+            ("relays_rerouted", self.relays_rerouted),
         ]
     }
 
@@ -111,6 +135,12 @@ impl ProcMetrics {
         self.sync_pushes += other.sync_pushes;
         self.sync_pulls += other.sync_pulls;
         self.sync_merges += other.sync_merges;
+        self.merges_requested += other.merges_requested;
+        self.merges_declined += other.merges_declined;
+        self.merges_completed += other.merges_completed;
+        self.retires_applied += other.retires_applied;
+        self.absorbs_applied += other.absorbs_applied;
+        self.relays_rerouted += other.relays_rerouted;
     }
 }
 

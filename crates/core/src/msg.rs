@@ -8,7 +8,7 @@
 use simnet::{Payload, ProcId};
 
 use crate::node::NodeSnapshot;
-use crate::types::{Intent, Key, NodeId, OpId, Outcome, Value};
+use crate::types::{Entry, Intent, Key, Link, NodeId, OpId, Outcome, Value};
 
 /// The split description a PC relays to the other copies.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +22,32 @@ pub struct SplitInfo {
     /// The sibling's starting version (§4.2/§4.3: one greater than the
     /// half-split node's).
     pub sib_version: u64,
+}
+
+/// Everything the left sibling needs to absorb a retired node's range:
+/// the reverse of a [`SplitInfo`]. Produced once at the merge commit and
+/// carried unchanged by the initial [`Msg::Absorb`] and every
+/// [`Msg::RelayedAbsorb`].
+#[derive(Clone, Debug)]
+pub struct AbsorbInfo {
+    /// The retired node's low key — must equal the absorber's exclusive
+    /// upper bound (the absorb is routed to the leaf owning `low - 1`).
+    pub low: Key,
+    /// The retired node's upper bound: the absorber's new upper bound.
+    pub high: Option<Key>,
+    /// The retired node's right link: the absorber's new right link.
+    pub right: Option<Link>,
+    /// The retired node's right-link version (joins into the absorber's).
+    pub right_link_version: u64,
+    /// Version for the follow-up left-[`Msg::LinkChange`] at the right
+    /// neighbour (one past the retired node's version, so it supersedes
+    /// the link the retired node installed at its own creation).
+    pub link_version: u64,
+    /// The retired node's residual entries — tombstones only, carried so
+    /// later re-inserts still lose/win by stamp against them (LWW).
+    pub entries: Vec<(Key, Entry)>,
+    /// History tag of the absorb action.
+    pub tag: u64,
 }
 
 /// Which link a link-change action targets.
@@ -183,6 +209,62 @@ pub enum Msg {
         info: SplitInfo,
         /// History tag of the split.
         tag: u64,
+    },
+
+    // ---- lazy merge-at-empty --------------------------------------------
+    /// An emptied leaf's PC asks the parent's PC for permission to merge
+    /// away. Routed right if the parent has since split past `low`.
+    MergeReq {
+        /// The parent node (hint; re-routed like other parent actions).
+        node: NodeId,
+        /// The emptied leaf asking to retire.
+        child: NodeId,
+        /// The leaf's low key (its separator in the parent).
+        low: Key,
+        /// The leaf's PC (where the grant/decline goes).
+        reply_to: ProcId,
+    },
+    /// The parent's PC grants the merge: the child edge was verified and a
+    /// live left sibling under the same parent was found.
+    MergeGrant {
+        /// The leaf allowed to retire.
+        child: NodeId,
+        /// The left sibling that will absorb the leaf's range.
+        left: Link,
+    },
+    /// The parent's PC declines (stale hint, no left sibling under this
+    /// parent, or the parent is busy). Unsticks the requester.
+    MergeDecline {
+        /// The leaf whose request was declined.
+        child: NodeId,
+    },
+    /// The retiring leaf's PC tells the other copies: drop your copy, leave
+    /// a forwarding address toward the absorber, reroute anything stashed.
+    RelayedRetire {
+        /// The retired node.
+        node: NodeId,
+        /// The absorbing left sibling.
+        left: Link,
+    },
+    /// Initial absorb: extend the left sibling's range/right link over the
+    /// retired node's, performed at the absorber's PC. Routed by
+    /// `info.low - 1` if the hint is stale.
+    Absorb {
+        /// The absorbing node (hint).
+        node: NodeId,
+        /// The retired node's range, right link, and residual tombstones.
+        info: AbsorbInfo,
+    },
+    /// Relayed absorb: propagate an applied absorb to the other copies,
+    /// ordered per copy by `count`.
+    RelayedAbsorb {
+        /// The absorbing node.
+        node: NodeId,
+        /// The absorb parameters.
+        info: AbsorbInfo,
+        /// The absorber's absorb-sequence number after this absorb (the
+        /// per-copy total order of the absorb class).
+        count: u64,
     },
 
     // ---- copy management ------------------------------------------------
@@ -423,6 +505,12 @@ impl Payload for Msg {
             Msg::SplitAck { .. } => "split.ack",
             Msg::SplitEnd { .. } => "split.end",
             Msg::RelayedSplit { .. } => "split.relay",
+            Msg::MergeReq { .. } => "merge.req",
+            Msg::MergeGrant { .. } => "merge.grant",
+            Msg::MergeDecline { .. } => "merge.decline",
+            Msg::RelayedRetire { .. } => "merge.retire-relay",
+            Msg::Absorb { .. } => "merge.absorb",
+            Msg::RelayedAbsorb { .. } => "merge.absorb-relay",
             Msg::InstallCopy { .. } => "copy.install",
             Msg::NewRoot { .. } => "copy.new-root",
             Msg::Migrate { .. } => "mobility.migrate",
@@ -466,6 +554,9 @@ impl Payload for Msg {
                 snapshot, covered, ..
             } => 64 + snapshot.entries.len() * 24 + covered.len() * 8,
             Msg::RelayBatch(items) => 16 + items.len() * 40,
+            Msg::Absorb { info, .. } | Msg::RelayedAbsorb { info, .. } => {
+                64 + info.entries.len() * 24
+            }
             Msg::Scan { acc, .. } => 48 + acc.len() * 16,
             Msg::ScanResult { items, .. } => 16 + items.len() * 16,
             _ => 48,

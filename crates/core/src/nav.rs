@@ -12,6 +12,15 @@ use crate::msg::Msg;
 use crate::proc::{CoordOp, DbProc, ReplyInfo};
 use crate::types::{Entry, Intent, Key, NodeId, OpId, Outcome};
 
+/// Entries a scan may still collect: `limit` minus what is already
+/// accumulated, saturating at zero. The right-link continuation re-sends the
+/// *original* limit with a pre-filled accumulator, so `collected` can equal
+/// (or, with a duplicated continuation, exceed) `limit` — plain subtraction
+/// would wrap.
+pub(crate) fn scan_budget(limit: u32, collected: usize) -> usize {
+    (limit as usize).saturating_sub(collected)
+}
+
 impl DbProc {
     /// A client operation arrives at its origin processor: start descending
     /// from the local root.
@@ -84,9 +93,20 @@ impl DbProc {
         }
 
         if copy.range.is_right_of(key) {
-            let right = copy
-                .right
-                .expect("key beyond the rightmost node's +inf range");
+            let Some(right) = copy.right else {
+                // A copy claiming the key is beyond its range with no right
+                // link is stale (a zombie outliving a retirement it has not
+                // heard about): restart from the root instead of panicking.
+                self.restart_at_root(ctx, |root| Msg::Descend {
+                    op,
+                    key,
+                    intent,
+                    node: root,
+                    hops: hops + 1,
+                    chases: chases + 1,
+                });
+                return;
+            };
             self.metrics.link_chases += 1;
             let msg = Msg::Descend {
                 op,
@@ -129,9 +149,20 @@ impl DbProc {
         }
 
         if !copy.is_leaf() {
-            let child = copy
-                .child_for(key)
-                .expect("interior node routes all in-range keys");
+            let Some(child) = copy.child_for(key) else {
+                // Every in-range key has a live floor child on a converged
+                // interior copy (the leftmost child is never retired);
+                // transient staleness restarts from the root.
+                self.restart_at_root(ctx, |root| Msg::Descend {
+                    op,
+                    key,
+                    intent,
+                    node: root,
+                    hops: hops + 1,
+                    chases: chases + 1,
+                });
+                return;
+            };
             let msg = Msg::Descend {
                 op,
                 key,
@@ -249,6 +280,7 @@ impl DbProc {
             },
         );
         self.maybe_split(ctx, node);
+        self.maybe_merge(ctx, node);
     }
 
     /// The generic initial insert action: split completions arriving at
@@ -296,9 +328,18 @@ impl DbProc {
             return;
         }
         if copy.range.is_right_of(key) {
-            let right = copy
-                .right
-                .expect("key beyond the rightmost node's +inf range");
+            let Some(right) = copy.right else {
+                // Stale zombie copy (see `handle_descend`): re-descend by
+                // (key, level) from the root.
+                self.restart_at_root(ctx, |root| Msg::InsertAt {
+                    node: root,
+                    level,
+                    key,
+                    entry,
+                    tag,
+                });
+                return;
+            };
             self.metrics.link_chases += 1;
             let msg = Msg::InsertAt {
                 node: right.node,
@@ -316,9 +357,16 @@ impl DbProc {
         );
         if copy.level > level {
             // Stale hint above the target: descend toward the right level.
-            let child = copy
-                .child_for(key)
-                .expect("interior node routes all in-range keys");
+            let Some(child) = copy.child_for(key) else {
+                self.restart_at_root(ctx, |root| Msg::InsertAt {
+                    node: root,
+                    level,
+                    key,
+                    entry,
+                    tag,
+                });
+                return;
+            };
             let msg = Msg::InsertAt {
                 node: child.node,
                 level,
@@ -361,6 +409,9 @@ impl DbProc {
         self.log.lock().observe_initial(node.raw(), self.me.0, tag);
         self.relay_update(ctx, node, key, entry, tag, version);
         self.maybe_split(ctx, node);
+        // Rerouted deletes land here as initial inserts; a tombstone may
+        // have emptied the leaf (no-op on interior nodes).
+        self.maybe_merge(ctx, node);
     }
 
     /// If the copy is mid-AAS and this is an initial insert, block it.
@@ -406,6 +457,19 @@ impl DbProc {
         if !copy.overfull(self.cfg.fanout) {
             return;
         }
+        if !copy.is_leaf()
+            && copy
+                .entries
+                .values()
+                .filter(|e| e.child().is_some())
+                .count()
+                < 2
+        {
+            // Overfull only because retired children left tombstones:
+            // separators must be live child keys, so there is nothing to
+            // split around. Tolerate the overflow like a non-PC copy does.
+            return;
+        }
         if copy.pc != self.me {
             // Non-PC copies tolerate overflow (an implicit overflow bucket);
             // the PC will split once the relays reach it.
@@ -441,9 +505,15 @@ impl DbProc {
         msg: Msg,
     ) {
         if let Some(fwd) = self.store.forward_for(node) {
-            self.metrics.forwards_followed += 1;
-            ctx.send(fwd.to, msg);
-            return;
+            // A forward pointing at this processor (a retirement we
+            // performed: the forward aims at the absorber's *home*, which
+            // may be us) must fall through to a key-based restart, or the
+            // message would loop back here forever.
+            if fwd.to != self.me {
+                self.metrics.forwards_followed += 1;
+                ctx.send(fwd.to, msg);
+                return;
+            }
         }
         self.metrics.missing_node_recoveries += 1;
         match self.store.closest_for(key) {
@@ -488,6 +558,11 @@ impl DbProc {
                             hops: hops + 1,
                         },
                     ),
+                    // An absorb is fully addressed by `info.low` (it targets
+                    // the leaf owning `low - 1`); restart it locally too.
+                    Msg::Absorb { info, .. } => {
+                        ctx.send(self.me, Msg::Absorb { node: local, info })
+                    }
                     other => {
                         let home = self.store.root_home().unwrap_or(self.me);
                         if home == self.me {
@@ -510,6 +585,24 @@ impl DbProc {
                 ctx.send(home, msg);
             }
         }
+    }
+
+    /// Defensive restart for a navigable action whose local copy is too
+    /// stale to route it (a zombie surviving a retirement it has not heard
+    /// about): re-address it to the root. Drops the action only when there
+    /// is no root at all (pre-bootstrap).
+    pub(crate) fn restart_at_root(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        rewrite: impl FnOnce(NodeId) -> Msg,
+    ) {
+        self.metrics.missing_node_recoveries += 1;
+        let Some(root) = self.store.root() else {
+            return;
+        };
+        let home = self.store.root_home().unwrap_or(self.me);
+        let msg = rewrite(root);
+        self.send_to_node(ctx, root, home, msg);
     }
 }
 
@@ -583,9 +676,20 @@ impl DbProc {
             return;
         }
         if copy.range.is_right_of(key) {
-            let right = copy
-                .right
-                .expect("key beyond the rightmost node's +inf range");
+            let Some(right) = copy.right else {
+                // Stale zombie copy (see `handle_descend`): a merge retired
+                // this node's neighbourhood out from under it. Restart from
+                // the root — scans are addressed by `key` like searches.
+                self.restart_at_root(ctx, |root| Msg::Scan {
+                    op,
+                    key,
+                    remaining,
+                    node: root,
+                    acc,
+                    hops: hops + 1,
+                });
+                return;
+            };
             self.metrics.link_chases += 1;
             let msg = Msg::Scan {
                 op,
@@ -618,9 +722,20 @@ impl DbProc {
             return;
         }
         if !copy.is_leaf() {
-            let child = copy
-                .child_for(key)
-                .expect("interior node routes all in-range keys");
+            let Some(child) = copy.child_for(key) else {
+                // Same audit as the right-link chase above: a retired-child
+                // tombstone should always have a live child to its left, but
+                // a stale copy restarts from the root instead of panicking.
+                self.restart_at_root(ctx, |root| Msg::Scan {
+                    op,
+                    key,
+                    remaining,
+                    node: root,
+                    acc,
+                    hops: hops + 1,
+                });
+                return;
+            };
             let msg = Msg::Scan {
                 op,
                 key,
@@ -633,8 +748,11 @@ impl DbProc {
             return;
         }
 
-        // At the right leaf: harvest live entries from `key` onward.
-        let mut left = remaining as usize - acc.len().min(remaining as usize);
+        // At the right leaf: harvest live entries from `key` onward. The
+        // budget and the termination check below share one saturating
+        // helper — the continuation re-sends the original `remaining` with
+        // a pre-filled `acc`, so the two must agree at the boundary.
+        let mut left = scan_budget(remaining, acc.len());
         for (&k, e) in copy.entries.range(key..) {
             if left == 0 {
                 break;
@@ -646,7 +764,7 @@ impl DbProc {
         }
         let next = copy.right;
         let next_low = copy.range.high;
-        if left == 0 || next.is_none() || next_low.is_none() {
+        if scan_budget(remaining, acc.len()) == 0 || next.is_none() || next_low.is_none() {
             ctx.send(
                 ProcId::EXTERNAL,
                 Msg::ScanResult {
@@ -675,4 +793,17 @@ mod tests {
     // Navigation is exercised end-to-end through the cluster tests in
     // `tree.rs` and the integration suite; unit tests here cover the
     // smallest routable pieces via the public build/run API.
+    use super::scan_budget;
+
+    #[test]
+    fn scan_budget_saturates_at_the_limit_boundary() {
+        assert_eq!(scan_budget(5, 0), 5);
+        assert_eq!(scan_budget(5, 3), 2);
+        // The continuation re-sends the original limit with a full
+        // accumulator: exactly at the boundary the budget is zero...
+        assert_eq!(scan_budget(5, 5), 0);
+        // ...and a duplicated continuation that overshot must not wrap.
+        assert_eq!(scan_budget(5, 6), 0);
+        assert_eq!(scan_budget(0, 0), 0);
+    }
 }

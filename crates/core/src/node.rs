@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use history::fnv1a;
 use simnet::ProcId;
 
-use crate::msg::{Msg, SplitInfo};
+use crate::msg::{AbsorbInfo, Msg, SplitInfo};
 use crate::types::{ChildRef, Entry, Key, KeyRange, Link, NodeId};
 
 /// State of an executing split AAS on this copy (§4.1.1).
@@ -80,6 +80,12 @@ pub struct NodeCopy {
     pub left_link_version: u64,
     /// See `right_link_version`.
     pub parent_link_version: u64,
+    /// Absorb epoch: how many retired right neighbours this node has
+    /// absorbed (merge-at-empty). Bumped exactly once per absorb at every
+    /// copy, in the same per-copy order, which is what lets
+    /// [`NodeCopy::merge_from`] order the right link/bound history even
+    /// though absorbs *widen* the bound splits narrow.
+    pub absorb_count: u64,
     /// Active split AAS, if any (§4.1.1).
     pub aas: Option<AasState>,
     /// A split became necessary while another was in flight.
@@ -106,6 +112,7 @@ impl NodeCopy {
             right_link_version: 0,
             left_link_version: 0,
             parent_link_version: 0,
+            absorb_count: 0,
             aas: None,
             split_pending: false,
             lock: None,
@@ -148,17 +155,27 @@ impl NodeCopy {
     }
 
     /// The child responsible for `key` (interior nodes; `key` in range).
+    /// Retired children leave tombstones in interior nodes, so the floor
+    /// scan walks back to the nearest *live* child entry (which then covers
+    /// the retired child's range, having absorbed it).
     pub fn child_for(&self, key: Key) -> Option<ChildRef> {
         debug_assert!(!self.is_leaf());
         self.entries
             .range(..=key)
-            .next_back()
-            .and_then(|(_, e)| e.child())
+            .rev()
+            .find_map(|(_, e)| e.child())
     }
 
-    /// Does the copy need to split?
+    /// Does the copy need to split? Tombstones don't count: they route
+    /// nothing and hold no payload, so splitting around them would recreate
+    /// the very nodes merge-at-empty reclaims (an absorber inherits the
+    /// retired leaf's tombstones and would immediately re-split).
     pub fn overfull(&self, fanout: usize) -> bool {
-        self.entries.len() > fanout
+        self.entries
+            .values()
+            .filter(|e| !matches!(e, Entry::Tomb { .. }))
+            .count()
+            > fanout
     }
 
     /// Perform the local half of a half-split: keep `[low, sep)`, return the
@@ -166,11 +183,25 @@ impl NodeCopy {
     /// caller's (protocol-specific).
     pub fn half_split(&mut self) -> (Key, KeyRange, BTreeMap<Key, Entry>) {
         debug_assert!(self.entries.len() >= 2);
-        let sep = *self
-            .entries
-            .keys()
-            .nth(self.entries.len() / 2)
-            .expect("mid key exists");
+        // Leaves may split at any key; an interior separator must be a
+        // *live* child key (a tombstoned edge cannot route the sibling's
+        // low end).
+        let sep = if self.is_leaf() {
+            *self
+                .entries
+                .keys()
+                .nth(self.entries.len() / 2)
+                .expect("mid key exists")
+        } else {
+            let live: Vec<Key> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.child().is_some())
+                .map(|(k, _)| *k)
+                .collect();
+            debug_assert!(live.len() >= 2, "interior split needs two live children");
+            live[live.len() / 2]
+        };
         let sib_entries = self.entries.split_off(&sep);
         let (low, high) = self.range.split_at(sep);
         self.range = low;
@@ -199,28 +230,54 @@ impl NodeCopy {
 
     /// Insert or merge an entry. Returns the previous entry.
     ///
-    /// Stamped leaf entries (values and tombstones) merge by
-    /// last-writer-wins on the stamp, so concurrent writes to the same key
-    /// commute across copies (whatever order the relays arrive in, every
-    /// copy converges on the greatest stamp). Child entries replace
-    /// directly — the protocols guarantee their uniqueness/ordering.
+    /// Every same-key conflict resolves in the single total order the
+    /// anti-entropy merge uses ([`entry_rank`]): stamped leaf entries
+    /// (values and tombstones) by last-writer-wins on the globally unique
+    /// stamp — a stale write is history-"rewritten" before the newer one,
+    /// a no-op on the value — and child entries by version. Stamps dwarf
+    /// child versions, so a stamped tombstone *retires* a child edge for
+    /// good: a later re-split at the same separator cannot resurrect the
+    /// edge, and navigation reaches the reborn sibling through the left
+    /// child's right link instead. Using one order for initial actions,
+    /// relays, and state merges is what keeps copies convergent whatever
+    /// order updates arrive in.
     pub fn upsert(&mut self, key: Key, entry: Entry) -> Option<Entry> {
         debug_assert!(self.range.contains(key), "upsert out of range");
         match self.entries.get(&key) {
             Some(old) => {
                 let prev = Some(*old);
-                match (old.stamp(), entry.stamp()) {
-                    (Some(old_stamp), Some(new_stamp)) if new_stamp <= old_stamp => {
-                        // Stale write: history is "rewritten" by inserting
-                        // it before the newer one — a no-op on the value.
-                    }
-                    _ => {
-                        self.entries.insert(key, entry);
-                    }
+                if entry_rank(&entry) > entry_rank(old) {
+                    self.entries.insert(key, entry);
                 }
                 prev
             }
             None => self.entries.insert(key, entry),
+        }
+    }
+
+    /// Apply an absorb (the reverse of [`NodeCopy::apply_split`]): extend
+    /// the range and right link over a retired right neighbour's, and take
+    /// over its residual tombstones. Entries join in the LWW order, so a
+    /// racing re-insert that already landed here is not clobbered by an
+    /// older tombstone riding the absorb.
+    pub fn apply_absorb(&mut self, info: &AbsorbInfo, count: u64) {
+        debug_assert_eq!(
+            self.range.high,
+            Some(info.low),
+            "absorb extends the adjacent range"
+        );
+        debug_assert_eq!(count, self.absorb_count + 1, "absorbs apply in order");
+        self.range = KeyRange::new(self.range.low, info.high);
+        self.right = info.right;
+        self.right_link_version = self.right_link_version.max(info.right_link_version);
+        self.absorb_count = count;
+        for (k, e) in &info.entries {
+            match self.entries.get(k) {
+                Some(mine) if entry_rank(mine) >= entry_rank(e) => {}
+                _ => {
+                    self.entries.insert(*k, *e);
+                }
+            }
         }
     }
 
@@ -238,6 +295,11 @@ impl NodeCopy {
         words.push(self.range.low);
         words.push(self.range.high.map_or(u64::MAX, |h| h ^ 0x5555));
         words.push(self.right.map_or(0, |l| l.node.raw()));
+        if self.absorb_count > 0 {
+            // Copies must agree on the absorb epoch too; the word is
+            // omitted at zero so merge-free digests are unchanged.
+            words.push(self.absorb_count ^ 0xaaaa);
+        }
         for (k, e) in &self.entries {
             words.push(*k);
             words.extend(e.digest_words());
@@ -261,13 +323,17 @@ impl NodeCopy {
     /// * **membership** — union, keeping the greater join version per
     ///   member. A departed member resurfacing is harmless: it discards
     ///   relays addressed to it (§4.3).
-    /// * **right link** — from the copy with the *narrower range*: every
-    ///   split shrinks the high bound and installs the new sibling link in
-    ///   the same atomic action, so the bound totally orders the link's
-    ///   split history. (The node's §4.3 `version` cannot order it: splits
-    ///   deliberately leave the version alone, and a stale wide copy pulled
-    ///   during crash catch-up must not undo a split.) Equal bounds fall
-    ///   back to the per-link version, which migrations bump.
+    /// * **right link and upper bound** — from the copy in the higher
+    ///   *absorb epoch*, falling back to the *narrower bound* within an
+    ///   epoch: splits shrink the high bound and absorbs widen it, each
+    ///   installing the matching right link in the same atomic action, and
+    ///   each absorb bumps `absorb_count` exactly once at every copy. So
+    ///   `(absorb_count, narrower bound)` totally orders the link/bound
+    ///   history even though the bound alone moves both ways. (The node's
+    ///   §4.3 `version` cannot order it: splits deliberately leave the
+    ///   version alone, and a stale wide copy pulled during crash catch-up
+    ///   must not undo a split.) Ties fall back to the per-link version,
+    ///   which migrations bump.
     /// * **left/parent links and the PC** — by their own change versions
     ///   (totally tie-broken): successive left-neighbour splits and
     ///   migrations stamp strictly growing versions, and both hints may be
@@ -279,35 +345,48 @@ impl NodeCopy {
         debug_assert_eq!(self.level, other.level);
         let mut changed = false;
 
-        // Right link first, while both high bounds are still visible: the
-        // total order is (narrower bound, link version, link), and the
-        // winning copy's (link, version) pair is taken wholesale so
-        // repeated merges in any grouping land on the same maximum.
-        let right_key = |high: Option<Key>, v: u64, l: Option<Link>| {
+        // Right link and bound first, while both sides are still visible:
+        // the total order is (absorb epoch, narrower bound, link version,
+        // link), and the winning copy's (bound, link, version, epoch)
+        // tuple is taken wholesale so repeated merges in any grouping land
+        // on the same maximum.
+        let right_key = |count: u64, high: Option<Key>, v: u64, l: Option<Link>| {
             (
+                count,
                 u128::MAX - high.map_or(u128::MAX, |h| h as u128),
                 v,
                 link_rank(l),
             )
         };
-        if right_key(other.range.high, other.right_link_version, other.right)
-            > right_key(self.range.high, self.right_link_version, self.right)
-        {
+        let merged_high = if right_key(
+            other.absorb_count,
+            other.range.high,
+            other.right_link_version,
+            other.right,
+        ) > right_key(
+            self.absorb_count,
+            self.range.high,
+            self.right_link_version,
+            self.right,
+        ) {
             if self.right != other.right {
                 self.right = other.right;
                 changed = true;
             }
             self.right_link_version = other.right_link_version;
-        }
+            if self.absorb_count != other.absorb_count {
+                self.absorb_count = other.absorb_count;
+                changed = true;
+            }
+            other.range.high
+        } else {
+            self.range.high
+        };
 
-        // Range: meet (intersection) — both bounds move monotonically.
-        let merged_range = KeyRange::new(
-            self.range.low.max(other.range.low),
-            match (self.range.high, other.range.high) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            },
-        );
+        // Range: low never moves (max is a formality); the high bound is
+        // the right-link winner's — within an epoch that is the meet
+        // (narrower of the two), across epochs the higher epoch's.
+        let merged_range = KeyRange::new(self.range.low.max(other.range.low), merged_high);
         if merged_range != self.range {
             self.range = merged_range;
             changed = true;
@@ -402,13 +481,14 @@ impl NodeCopy {
             right_link_version: self.right_link_version,
             left_link_version: self.left_link_version,
             parent_link_version: self.parent_link_version,
+            absorb_count: self.absorb_count,
         }
     }
 }
 
 /// Wire representation of a full node copy (sibling creation, join grants,
 /// migrations, bootstrap).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct NodeSnapshot {
     /// Node id.
     pub id: NodeId,
@@ -438,6 +518,35 @@ pub struct NodeSnapshot {
     pub left_link_version: u64,
     /// See `right_link_version`.
     pub parent_link_version: u64,
+    /// Absorb epoch (see [`NodeCopy::absorb_count`]).
+    pub absorb_count: u64,
+}
+
+impl std::fmt::Debug for NodeSnapshot {
+    /// Like the derived output, but the absorb epoch appears only once the
+    /// node has actually absorbed — merge-free runs keep the byte-identical
+    /// trace details they always had (the digest makes the same choice).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("NodeSnapshot");
+        d.field("id", &self.id)
+            .field("level", &self.level)
+            .field("range", &self.range)
+            .field("version", &self.version)
+            .field("entries", &self.entries)
+            .field("right", &self.right)
+            .field("left", &self.left)
+            .field("parent", &self.parent)
+            .field("pc", &self.pc)
+            .field("copies", &self.copies)
+            .field("join_versions", &self.join_versions)
+            .field("right_link_version", &self.right_link_version)
+            .field("left_link_version", &self.left_link_version)
+            .field("parent_link_version", &self.parent_link_version);
+        if self.absorb_count > 0 {
+            d.field("absorb_count", &self.absorb_count);
+        }
+        d.finish()
+    }
 }
 
 impl NodeSnapshot {
@@ -458,6 +567,7 @@ impl NodeSnapshot {
             right_link_version: self.right_link_version,
             left_link_version: self.left_link_version,
             parent_link_version: self.parent_link_version,
+            absorb_count: self.absorb_count,
             aas: None,
             split_pending: false,
             lock: None,

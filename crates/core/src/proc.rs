@@ -88,6 +88,16 @@ pub struct DbProc {
     /// Joins requested but not yet granted (dedupes Join messages).
     pub(crate) pending_joins: HashSet<NodeId>,
 
+    // -- lazy merge-at-empty -------------------------------------------------
+    /// Leaves this PC has asked to merge away (dedupes MergeReq until the
+    /// grant or decline arrives).
+    pub(crate) merge_pending: HashSet<NodeId>,
+    /// Nodes retired by a committed merge, mapped to the left sibling that
+    /// absorbed their range. Consulted to reroute in-flight relays, answer
+    /// sync requests from zombie copies, and refuse zombie installs. Lives
+    /// in stable storage with the rest of `DbProc` (survives crashes).
+    pub(crate) retired: HashMap<NodeId, crate::types::Link>,
+
     // -- failure-detector recovery (quarantine & anti-entropy) ---------------
     /// Peers the failure detector currently suspects: relays to them are
     /// suppressed (and recorded in `missed`) instead of piling up in the
@@ -120,6 +130,8 @@ impl DbProc {
             stash: HashMap::new(),
             unjoined: HashSet::new(),
             pending_joins: HashSet::new(),
+            merge_pending: HashSet::new(),
+            retired: HashMap::new(),
             quarantined: BTreeSet::new(),
             missed: BTreeMap::new(),
             next_ticket: 0,
@@ -181,6 +193,14 @@ impl DbProc {
         covered: Vec<u64>,
     ) {
         let id = snapshot.id;
+        if self.retired.contains_key(&id) {
+            // A zombie: the node was merged away while this install (a
+            // sibling copy, migration, or join grant) was in flight.
+            // Installing it would resurrect a leaf whose range the absorber
+            // already owns and break the leaf chain.
+            self.pending_joins.remove(&id);
+            return;
+        }
         if reason == InstallReason::JoinGrant {
             self.pending_joins.remove(&id);
             if self.store.contains(id) {
@@ -332,6 +352,19 @@ impl Process for DbProc {
             Msg::SplitEnd { node, info, tag } => self.handle_split_end(ctx, node, info, tag),
             Msg::RelayedSplit { node, info, tag } => {
                 self.handle_relayed_split(ctx, node, info, tag)
+            }
+            Msg::MergeReq {
+                node,
+                child,
+                low,
+                reply_to,
+            } => self.handle_merge_req(ctx, node, child, low, reply_to),
+            Msg::MergeGrant { child, left } => self.handle_merge_grant(ctx, child, left),
+            Msg::MergeDecline { child } => self.handle_merge_decline(child),
+            Msg::RelayedRetire { node, left } => self.handle_relayed_retire(ctx, node, left),
+            Msg::Absorb { node, info } => self.handle_absorb(ctx, node, info),
+            Msg::RelayedAbsorb { node, info, count } => {
+                self.handle_relayed_absorb(ctx, node, info, count)
             }
             Msg::InstallCopy {
                 snapshot,

@@ -1,0 +1,562 @@
+//! Lazy merge-at-empty: reclaiming leaves that deletes emptied.
+//!
+//! The paper stops at "merging is not considered" ([11] leaves nodes in
+//! place forever); this module adds the missing action family with the same
+//! lazy discipline the half-split uses, inverted:
+//!
+//! * **Grant-then-commit.** The empty leaf's PC asks the *parent's* PC for
+//!   permission ([`Msg::MergeReq`]). The parent verifies — the child edge is
+//!   still present at the separator and a *live* left sibling exists under
+//!   the same parent — and answers [`Msg::MergeGrant`] naming that sibling,
+//!   or [`Msg::MergeDecline`]. The grant is advisory: the child's PC
+//!   re-verifies emptiness at commit time, because any number of client
+//!   inserts can race the round trip. (The `merge_unsafe_no_reverify` knob
+//!   skips exactly that re-check, recreating the Naive protocol's
+//!   check-then-act bug for the explorer to catch.)
+//! * **Retire, don't redistribute.** The commit deletes the copy, leaves a
+//!   forwarding address, and hands the emptied range to the left sibling in
+//!   one [`Msg::Absorb`] — the mirror image of a half-split, and with the
+//!   mirrored link invariant: the absorber's right link jumps *over* the
+//!   retired node, and the right neighbour's left link is swung by an
+//!   ordered [`Msg::LinkChange`]. A search or scan that still reaches the
+//!   retired node chases the forward (or restarts at the root), exactly as
+//!   it would chase a half-split's right link.
+//! * **The parent edge dies lazily.** Retiring the `sep → child` entry is a
+//!   plain stamped tombstone through the ordinary [`Msg::InsertAt`]
+//!   machinery, so it inherits right-routing, relaying, and late-joiner
+//!   re-relays for free. Update stamps dwarf child versions in
+//!   [`entry_rank`](crate::node::entry_rank), so the tombstone permanently
+//!   shadows the retired edge — a node reborn at the same separator is a
+//!   *new* node reached through its left sibling's right link, never through
+//!   the stale slot.
+//!
+//! Why retirement commutes with half-splits: both families publish their
+//! link rewrites as *ordered* per-copy actions ([`Msg::RelayedAbsorb`]
+//! carries the absorb epoch, splits carry entry/link versions), and
+//! [`NodeCopy::merge_from`](crate::NodeCopy::merge_from) orders the right
+//! link/bound by `(absorb epoch, narrowness, link version)` — a total order,
+//! so copies converge no matter how split and absorb relays interleave.
+
+use history::ObserveKind;
+use simnet::{Context, ProcId};
+
+use crate::msg::{AbsorbInfo, LinkDir, Msg};
+use crate::proc::DbProc;
+use crate::store::ForwardAddr;
+use crate::types::{Entry, Key, Link, NodeId};
+
+impl DbProc {
+    /// Opportunistic merge check, called wherever a tombstone may have just
+    /// emptied a leaf (leaf writes, relayed inserts, rerouted inserts,
+    /// anti-entropy merges, and absorbs themselves — cascades).
+    pub(crate) fn maybe_merge(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId) {
+        if !self.cfg.merge_at_empty {
+            return;
+        }
+        let me = self.me;
+        let (low, parent) = {
+            let Some(copy) = self.store.get(node) else {
+                return;
+            };
+            // Only the PC of a quiescent leaf initiates; interior nodes
+            // shrink by losing child edges, never by merging themselves.
+            if !copy.is_leaf() || copy.pc != me {
+                return;
+            }
+            if copy.aas.is_some() || copy.lock.is_some() || copy.split_pending {
+                return;
+            }
+            // The leftmost leaf has no left sibling to absorb its range;
+            // parents decline leftmost children anyway, so skip the round
+            // trip.
+            if copy.range.low == 0 {
+                return;
+            }
+            let Some(parent) = copy.parent else {
+                return;
+            };
+            if copy
+                .entries
+                .values()
+                .any(|e| !matches!(e, Entry::Tomb { .. }))
+            {
+                return;
+            }
+            (copy.range.low, parent)
+        };
+        // One request in flight per node; the decline/grant clears it.
+        if !self.merge_pending.insert(node) {
+            return;
+        }
+        self.metrics.merges_requested += 1;
+        let msg = Msg::MergeReq {
+            node: parent.node,
+            child: node,
+            low,
+            reply_to: me,
+        };
+        self.send_to_node(ctx, parent.node, parent.home, msg);
+    }
+
+    /// The parent side of the grant: verify the edge and name the live left
+    /// sibling. Read-only — the parent commits nothing; its edge dies later
+    /// via the retire tombstone, which re-verifies nothing because the LWW
+    /// stamp makes it unconditionally safe.
+    pub(crate) fn handle_merge_req(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        child: NodeId,
+        low: Key,
+        reply_to: ProcId,
+    ) {
+        let Some(copy) = self.store.get(node) else {
+            // Parent hint went stale (migrated or itself retired). Declining
+            // is always safe: merging is pure opportunism.
+            ctx.send(reply_to, Msg::MergeDecline { child });
+            return;
+        };
+        if copy.is_leaf() {
+            ctx.send(reply_to, Msg::MergeDecline { child });
+            return;
+        }
+        if copy.range.is_right_of(low) {
+            // The parent split; the edge lives in a right sibling now.
+            match copy.right {
+                Some(right) => {
+                    self.metrics.link_chases += 1;
+                    let msg = Msg::MergeReq {
+                        node: right.node,
+                        child,
+                        low,
+                        reply_to,
+                    };
+                    self.send_to_node(ctx, right.node, right.home, msg);
+                }
+                None => ctx.send(reply_to, Msg::MergeDecline { child }),
+            }
+            return;
+        }
+        if copy.range.is_left_of(low) {
+            ctx.send(reply_to, Msg::MergeDecline { child });
+            return;
+        }
+        if copy.pc != self.me {
+            // Grants come from the parent's PC, whose entry map is the most
+            // settled view of the child edges.
+            let pc = copy.pc;
+            ctx.send(
+                pc,
+                Msg::MergeReq {
+                    node,
+                    child,
+                    low,
+                    reply_to,
+                },
+            );
+            return;
+        }
+        if copy.aas.is_some() || copy.lock.is_some() {
+            // Don't thread a merge through a parent mid-split.
+            self.metrics.merges_declined += 1;
+            ctx.send(reply_to, Msg::MergeDecline { child });
+            return;
+        }
+        let edge_ok = copy
+            .entries
+            .get(&low)
+            .and_then(Entry::child)
+            .is_some_and(|c| c.node == child);
+        // The nearest *live* child edge strictly left of the separator. If
+        // none exists the requester is (now) the leftmost child here, and
+        // leftmost children are never granted: the interior node keeps at
+        // least one live child, and every absorber lies strictly left.
+        let left = copy.entries.range(..low).rev().find_map(|(_, e)| e.child());
+        match (edge_ok, left) {
+            (true, Some(lc)) => {
+                let left = Link::new(lc.node, lc.home);
+                ctx.send(reply_to, Msg::MergeGrant { child, left });
+            }
+            _ => {
+                self.metrics.merges_declined += 1;
+                ctx.send(reply_to, Msg::MergeDecline { child });
+            }
+        }
+    }
+
+    /// The parent said no (or a routing dead-end did). Clear the in-flight
+    /// bit; the next tombstone that lands re-triggers [`Self::maybe_merge`].
+    pub(crate) fn handle_merge_decline(&mut self, child: NodeId) {
+        self.merge_pending.remove(&child);
+    }
+
+    /// The commit half: re-verify, then atomically retire the local copy,
+    /// notify the other copies, hand the range to the left sibling, and
+    /// tombstone the parent edge.
+    pub(crate) fn handle_merge_grant(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        child: NodeId,
+        left: Link,
+    ) {
+        self.merge_pending.remove(&child);
+        let me = self.me;
+        // Re-verify at commit time: the grant crossed a full round trip and
+        // any client insert may have raced it. `merge_unsafe_no_reverify`
+        // skips only the emptiness re-check — the injected bug under study —
+        // never the structural ones.
+        let ok = match self.store.get(child) {
+            Some(c) => {
+                c.pc == me
+                    && c.is_leaf()
+                    && c.aas.is_none()
+                    && c.lock.is_none()
+                    && !c.split_pending
+                    && (self.cfg.merge_unsafe_no_reverify
+                        || c.entries.values().all(|e| matches!(e, Entry::Tomb { .. })))
+            }
+            None => false,
+        };
+        if !ok {
+            self.metrics.merges_declined += 1;
+            return;
+        }
+        let (low, parent, peers, info) = {
+            let copy = self.store.get(child).expect("verified above");
+            // Carry the tombstones (and only them — the re-verify just
+            // guaranteed nothing else exists). Under `merge_unsafe_no_
+            // reverify` that guarantee is assumed rather than checked, so a
+            // client insert that raced the grant round-trip dies here with
+            // the node: the check-then-act bug the explorer exists to catch.
+            let entries: Vec<(Key, Entry)> = copy
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e, Entry::Tomb { .. }))
+                .map(|(k, e)| (*k, *e))
+                .collect();
+            let info = AbsorbInfo {
+                low: copy.range.low,
+                high: copy.range.high,
+                right: copy.right,
+                right_link_version: copy.right_link_version,
+                // One past the retired node's version: supersedes any link
+                // change the retired node itself ever published.
+                link_version: copy.version + 1,
+                entries,
+                tag: 0, // issued below, outside the borrow
+            };
+            let peers: Vec<ProcId> = copy.peers(me).collect();
+            (copy.range.low, copy.parent, peers, info)
+        };
+        let info = AbsorbInfo {
+            tag: self.issue_tag("absorb"),
+            ..info
+        };
+
+        // Atomic local retirement: the copy dies, the slot frees, and both
+        // the retirement and its forwarding address go to stable storage
+        // (they survive restarts — a zombie chain must never re-tile the
+        // leaf chain).
+        self.store.remove(child);
+        self.log.lock().copy_deleted(child.raw(), me.0);
+        self.retired.insert(child, left);
+        self.unjoined.insert(child);
+        self.store.set_forward(
+            child,
+            ForwardAddr {
+                to: left.home,
+                version: info.link_version,
+                created_at: ctx.now().ticks(),
+            },
+        );
+        self.metrics.merges_completed += 1;
+
+        // Tell the other copies (quarantined peers get the notice from the
+        // rehabilitation push instead — `push_sync` answers for retired
+        // nodes with the same message).
+        for peer in peers {
+            if !self.suppress_if_quarantined(peer, child) {
+                ctx.send(peer, Msg::RelayedRetire { node: child, left });
+            }
+        }
+        // Anything stashed for the dead node can never be replayed by an
+        // install; reroute it now.
+        self.reroute_retired_stash(ctx, child, left);
+
+        // Hand the emptied range (and its tombstones — they still shadow
+        // older values at the absorber) to the left sibling.
+        let msg = Msg::Absorb {
+            node: left.node,
+            info,
+        };
+        self.send_to_node(ctx, left.node, left.home, msg);
+
+        // Retire the parent edge: a stamped tombstone through the ordinary
+        // insert machinery (level 1 = parent of a leaf). Stamps dwarf child
+        // versions, so the edge can never resurface.
+        let stamp = self.next_stamp();
+        if let Some(parent) = parent {
+            let tag = self.issue_tag("retire-child");
+            let msg = Msg::InsertAt {
+                node: parent.node,
+                level: 1,
+                key: low,
+                entry: Entry::Tomb { stamp },
+                tag,
+            };
+            self.send_to_node(ctx, parent.node, parent.home, msg);
+        }
+    }
+
+    /// A peer copy learns of the retirement: drop the copy, remember the
+    /// absorber, and reroute any relays stranded in the stash.
+    pub(crate) fn handle_relayed_retire(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        left: Link,
+    ) {
+        self.retired.insert(node, left);
+        self.unjoined.insert(node);
+        self.pending_joins.remove(&node);
+        if self.store.remove(node).is_some() {
+            self.log.lock().copy_deleted(node.raw(), self.me.0);
+            self.metrics.retires_applied += 1;
+        }
+        self.store.set_forward(
+            node,
+            ForwardAddr {
+                to: left.home,
+                version: 0,
+                created_at: ctx.now().ticks(),
+            },
+        );
+        self.reroute_retired_stash(ctx, node, left);
+    }
+
+    /// Relays stashed for a now-retired node (they raced an install that
+    /// will never come). Inserts are rewritten toward the absorber — they
+    /// were applied and possibly client-acknowledged at a live copy, so they
+    /// must not be dropped. Splits and absorbs *of the dead node* are moot:
+    /// the state they describe died with it.
+    fn reroute_retired_stash(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, left: Link) {
+        let Some(items) = self.stash.remove(&node) else {
+            return;
+        };
+        for m in items {
+            match m {
+                Msg::RelayedInsert {
+                    key, entry, tag, ..
+                } => {
+                    self.metrics.relays_rerouted += 1;
+                    let msg = Msg::InsertAt {
+                        node: left.node,
+                        level: 0,
+                        key,
+                        entry,
+                        tag,
+                    };
+                    self.send_to_node(ctx, left.node, left.home, msg);
+                }
+                _ => {
+                    self.metrics.relays_discarded += 1;
+                }
+            }
+        }
+    }
+
+    /// Route an absorb to the leaf that owns `low - 1` and apply it there.
+    ///
+    /// The navigation mirrors [`Msg::Descend`]'s: chase rights, drop into
+    /// children, recover via forwards, restart at the root on a zombie — an
+    /// absorb must land no matter how many splits, migrations, or further
+    /// merges raced it.
+    pub(crate) fn handle_absorb(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        info: AbsorbInfo,
+    ) {
+        // Grants require a live left sibling, so the retired range never
+        // starts at 0.
+        debug_assert!(info.low >= 1, "leftmost leaves never retire");
+        let key = info.low - 1;
+        let Some(copy) = self.store.get(node) else {
+            self.recover_missing_node(ctx, node, key, Msg::Absorb { node, info });
+            return;
+        };
+        if copy.lock.is_some() {
+            self.queue_behind_lock(ctx, node, Msg::Absorb { node, info });
+            return;
+        }
+        if copy.range.is_right_of(key) {
+            let Some(right) = copy.right else {
+                self.restart_at_root(ctx, |root| Msg::Absorb { node: root, info });
+                return;
+            };
+            self.metrics.link_chases += 1;
+            let msg = Msg::Absorb {
+                node: right.node,
+                info,
+            };
+            self.send_to_node(ctx, right.node, right.home, msg);
+            return;
+        }
+        if copy.range.is_left_of(key) {
+            // Overshot (a stale left-pointing hop): climb back through the
+            // parent, or restart if the copy is a disconnected zombie.
+            let Some(up) = copy.parent.or(copy.left) else {
+                self.restart_at_root(ctx, |root| Msg::Absorb { node: root, info });
+                return;
+            };
+            self.metrics.link_chases += 1;
+            let msg = Msg::Absorb {
+                node: up.node,
+                info,
+            };
+            self.send_to_node(ctx, up.node, up.home, msg);
+            return;
+        }
+        if !copy.is_leaf() {
+            let Some(child) = copy.child_for(key) else {
+                self.restart_at_root(ctx, |root| Msg::Absorb { node: root, info });
+                return;
+            };
+            let msg = Msg::Absorb {
+                node: child.node,
+                info,
+            };
+            self.send_to_node(ctx, child.node, child.home, msg);
+            return;
+        }
+        // At the leaf owning `low - 1`. The leaf chain tiles, so the leaf
+        // left of a retired `[low, high)` has `high == Some(low)` — unless
+        // this absorb already applied (a recovery restart can fork the
+        // message), in which case the bound moved past `low`: drop the
+        // duplicate.
+        if copy.range.high != Some(info.low) {
+            return;
+        }
+        if copy.pc != self.me {
+            // Initial absorbs apply at the PC, which relays them.
+            let pc = copy.pc;
+            ctx.send(pc, Msg::Absorb { node, info });
+            return;
+        }
+        if self.block_if_aas(
+            ctx,
+            node,
+            Msg::Absorb {
+                node,
+                info: info.clone(),
+            },
+        ) {
+            return;
+        }
+        self.apply_absorb_initial(ctx, node, info);
+    }
+
+    /// Apply an absorb at the absorber's PC: widen the range, splice the
+    /// right link over the dead node, relay to peers, and swing the right
+    /// neighbour's left link.
+    fn apply_absorb_initial(&mut self, ctx: &mut Context<'_, Msg>, node: NodeId, info: AbsorbInfo) {
+        let me = self.me;
+        let (count, peers) = {
+            let copy = self.store.get_mut(node).expect("caller ensured resident");
+            let count = copy.absorb_count + 1;
+            copy.apply_absorb(&info, count);
+            (count, copy.peers(me).collect::<Vec<_>>())
+        };
+        self.metrics.absorbs_applied += 1;
+        {
+            let mut log = self.log.lock();
+            log.observe_initial(node.raw(), me.0, info.tag);
+            log.ordered_applied(node.raw(), me.0, "absorb", count);
+        }
+        for peer in peers {
+            if !self.suppress_if_quarantined(peer, node) {
+                ctx.send(
+                    peer,
+                    Msg::RelayedAbsorb {
+                        node,
+                        info: info.clone(),
+                        count,
+                    },
+                );
+            }
+        }
+        // The right neighbour's left link still points at the dead node;
+        // swing it here. `link_version` supersedes anything the retired node
+        // published, so the ordered link-change machinery accepts it.
+        if let Some(right) = info.right {
+            let tag = self.issue_tag("link-change");
+            let msg = Msg::LinkChange {
+                node: right.node,
+                dir: LinkDir::Left,
+                link: Link::new(node, me),
+                version: info.link_version,
+                tag,
+                relayed: false,
+                supersedes: true,
+            };
+            self.send_to_node(ctx, right.node, right.home, msg);
+        }
+        // The absorbed tombstones may warrant a cascade (the absorber may
+        // itself now be all-tomb), and in principle the widened entry map
+        // could be overfull.
+        self.maybe_split(ctx, node);
+        self.maybe_merge(ctx, node);
+    }
+
+    /// A peer copy of the absorber applies the relayed absorb, ordered by
+    /// the absorb epoch — exactly once, in issue order.
+    pub(crate) fn handle_relayed_absorb(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        node: NodeId,
+        info: AbsorbInfo,
+        count: u64,
+    ) {
+        let me = self.me;
+        let Some(copy) = self.store.get_mut(node) else {
+            if self.retired.contains_key(&node) || self.unjoined.contains(&node) {
+                self.metrics.relays_discarded += 1;
+            } else {
+                // Install in flight: replay on arrival.
+                self.stash
+                    .entry(node)
+                    .or_default()
+                    .push(Msg::RelayedAbsorb { node, info, count });
+            }
+            return;
+        };
+        if copy.absorb_count >= count {
+            // Duplicate: an anti-entropy snapshot already carried this
+            // epoch.
+            self.metrics.relays_discarded += 1;
+            self.log
+                .lock()
+                .observe(node.raw(), me.0, info.tag, ObserveKind::Discarded);
+            return;
+        }
+        if copy.absorb_count == count - 1 && copy.range.high == Some(info.low) {
+            copy.apply_absorb(&info, count);
+            self.metrics.absorbs_applied += 1;
+            let mut log = self.log.lock();
+            log.observe(node.raw(), me.0, info.tag, ObserveKind::Applied);
+            log.ordered_applied(node.raw(), me.0, "absorb", count);
+            return;
+        }
+        // An epoch gap (an earlier relay was suppressed, or this copy was
+        // synced sideways past an intermediate state). One anti-entropy pull
+        // heals it: the snapshot's merge is ordered by the same epoch.
+        let pc = copy.pc;
+        self.metrics.relays_discarded += 1;
+        self.log
+            .lock()
+            .observe(node.raw(), me.0, info.tag, ObserveKind::Discarded);
+        if pc != me {
+            ctx.send(pc, Msg::SyncReq { node });
+        }
+    }
+}

@@ -184,11 +184,16 @@ impl DbProc {
             // link changes refresh routing hints, which misnavigation
             // recovery tolerates being stale (§4.2: forwarding addresses
             // "are not required for correctness").
-            if let Some(fwd) = self.store.forward_for(node) {
-                self.metrics.forwards_followed += 1;
-                ctx.send(fwd.to, remake(relayed));
-            } else {
-                self.log.lock().observe_global(tag);
+            // A retirement's forward aims at the absorber's *home*, which
+            // may be this processor — following it would loop the message
+            // back here forever. The retired node's links are moot anyway,
+            // so a self-forward drops like a missing forward.
+            match self.store.forward_for(node) {
+                Some(fwd) if fwd.to != self.me => {
+                    self.metrics.forwards_followed += 1;
+                    ctx.send(fwd.to, remake(relayed));
+                }
+                _ => self.log.lock().observe_global(tag),
             }
             return;
         }

@@ -10,8 +10,12 @@
 //! * [`variable`] — §4.3 variable copies: join/unjoin with version-numbered
 //!   membership.
 //! * [`avail`] — the vigorous available-copies baseline ([2]).
+//! * [`merge`] — lazy merge-at-empty: grant-then-commit retirement of
+//!   emptied leaves, with the absorb/retire relay family (beyond the paper,
+//!   which leaves merging as future work).
 
 pub mod avail;
+pub mod merge;
 pub mod mobile;
 pub mod semisync;
 pub mod split;

@@ -58,9 +58,15 @@ impl DbProc {
     }
 
     /// Send one full-state sync for `node` to `peer`, if we still hold a
-    /// copy (we may have unjoined or migrated it away in the meantime).
+    /// copy (we may have unjoined or migrated it away in the meantime). A
+    /// node we *retired* gets a retirement notice instead: the peer is
+    /// holding a zombie copy (a stale restart survivor or a quarantine
+    /// straggler) that must die, or it would tile the leaf chain twice.
     pub(crate) fn push_sync(&mut self, ctx: &mut Context<'_, Msg>, peer: ProcId, node: NodeId) {
         let Some(copy) = self.store.get(node) else {
+            if let Some(&left) = self.retired.get(&node) {
+                ctx.send(peer, Msg::RelayedRetire { node, left });
+            }
             return;
         };
         let snapshot = Box::new(copy.snapshot());
@@ -111,8 +117,10 @@ impl DbProc {
         self.log.lock().copy_created(node.raw(), self.me.0, covered);
         let is_pc = self.store.get(node).map(|c| c.pc) == Some(self.me);
         if is_pc {
-            // Merged-in entries may have pushed the copy over the fanout.
+            // Merged-in entries may have pushed the copy over the fanout —
+            // or merged-in tombstones may have emptied the leaf.
             self.maybe_split(ctx, node);
+            self.maybe_merge(ctx, node);
         }
     }
 

@@ -122,6 +122,26 @@ impl DbProc {
     /// A relayed insert arrives at this processor.
     pub(crate) fn handle_relayed_insert(&mut self, ctx: &mut Context<'_, Msg>, item: RelayedItem) {
         if !self.store.contains(item.node) {
+            if let Some(&left) = self.retired.get(&item.node) {
+                // The node was merged away while this relay was in flight.
+                // The write it carries was applied (and client-acknowledged)
+                // at some copy before the retirement, so it must not be
+                // dropped: re-issue it as an initial insert toward the
+                // absorbing left sibling — the same history rewrite the
+                // semisync protocol applies to out-of-range relays. The LWW
+                // stamp keeps duplicates (several copies rerouting the same
+                // relay) idempotent.
+                self.metrics.relays_rerouted += 1;
+                let msg = Msg::InsertAt {
+                    node: left.node,
+                    level: 0,
+                    key: item.key,
+                    entry: item.entry,
+                    tag: item.tag,
+                };
+                self.send_to_node(ctx, left.node, left.home, msg);
+                return;
+            }
             if self.unjoined.contains(&item.node) {
                 // §4.3: a departed member discards relayed actions.
                 self.metrics.relays_discarded += 1;
@@ -200,6 +220,8 @@ impl DbProc {
             }
             if is_pc {
                 self.maybe_split(ctx, node);
+                // A relayed tombstone may have emptied the leaf at its PC.
+                self.maybe_merge(ctx, node);
             }
             return;
         }

@@ -125,6 +125,13 @@ impl NodeStore {
         self.index.len()
     }
 
+    /// Slots in the slab, live *and* free — the arena's high-water mark.
+    /// When churn reuses freed slots this stays near the live-set peak
+    /// instead of growing with cumulative installs.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// True when no copies are stored.
     pub fn is_empty(&self) -> bool {
         self.index.is_empty()

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use history::HistoryLog;
 use parking_lot::Mutex;
-use simnet::driver::{ClientProtocol, Completion, Driver, OpOutcome};
+use simnet::driver::{ClientProtocol, Completion, Driver, OpOutcome, Submission};
 use simnet::{
     threaded, Obs, ObsConfig, OpenLoopCfg, ProcId, QuiesceError, Runtime, SessionConfig,
     SessionMsg, SessionProc, SimConfig, SimTime, Simulation,
@@ -131,6 +131,10 @@ impl OpOutcome for Outcome {
         self.chases
     }
 }
+
+/// One mixed-workload item: a point op or a range scan (typed for the
+/// dB-tree; see [`DbCluster::run_closed_loop_mixed`]).
+pub type DbSubmission = Submission<ClientOp, ScanSpec>;
 
 /// A completed operation with its timing (shared driver record, typed for
 /// the dB-tree).
@@ -343,6 +347,18 @@ where
     /// (see [`DbCluster::try_run_closed_loop`]).
     pub fn run_closed_loop(&mut self, ops: &[ClientOp], concurrency: usize) -> DriverStats {
         self.driver.run_closed_loop(&mut self.sim, ops, concurrency)
+    }
+
+    /// Drive a mixed stream of point ops and range scans closed-loop (scan
+    /// completions open window slots like op completions; results come back
+    /// via [`DbCluster::take_scans`]), then run to quiescence.
+    pub fn run_closed_loop_mixed(
+        &mut self,
+        items: &[DbSubmission],
+        concurrency: usize,
+    ) -> DriverStats {
+        self.driver
+            .run_closed_loop_mixed(&mut self.sim, items, concurrency)
     }
 
     /// Closed-loop driving with limits reported as values instead of

@@ -86,8 +86,11 @@ pub struct ChildRef {
 /// entry with the greatest stamp, whatever order the relays arrive in
 /// (a last-writer-wins register, the natural way to extend the paper's
 /// "inserts commute" rule to overwrites and deletes). Deletes are stamped
-/// tombstones: the never-merge policy (\[11\]) means emptied nodes persist,
-/// so a tombstone simply shadows the key until overwritten.
+/// tombstones that shadow the key until overwritten. By default nodes they
+/// empty persist (the \[11\] never-merge policy the paper adopts); with
+/// [`TreeConfig::merge_at_empty`](crate::TreeConfig::merge_at_empty) an
+/// all-tombstone leaf is lazily retired and its range absorbed by the left
+/// sibling (the `protocol::merge` action family).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub enum Entry {
     /// Leaf payload with its update stamp.
@@ -164,7 +167,8 @@ pub enum Intent {
     Search,
     /// Insert `value` at the key's leaf.
     Insert(Value),
-    /// Delete the key (a lazy tombstone write; never-merge policy \[11\]).
+    /// Delete the key (a lazy tombstone write; nodes merge away only under
+    /// the opt-in `merge_at_empty` policy, else \[11\]'s never-merge).
     Delete,
 }
 

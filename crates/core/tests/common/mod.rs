@@ -16,6 +16,8 @@ pub fn to_client(op: &Op) -> ClientOp {
         intent: match op.kind {
             OpKind::Search => Intent::Search,
             OpKind::Insert => Intent::Insert(op.value),
+            OpKind::Delete => Intent::Delete,
+            OpKind::Scan => unreachable!("these tests drive point-op mixes"),
         },
     }
 }

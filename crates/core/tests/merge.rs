@@ -1,0 +1,221 @@
+//! Lazy merge-at-empty, end to end: deletes empty leaves, emptied leaves
+//! retire, their ranges flow left, and every global invariant (convergence,
+//! leaf chain, history sequences) holds with reclamation switched on.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use dbtree::checker;
+use dbtree::{BuildSpec, ClientOp, DbCluster, Intent, Key, ProtocolKind, TreeConfig};
+use simnet::{ProcId, SimConfig};
+
+const N_PROCS: u32 = 4;
+
+fn merge_cfg(protocol: ProtocolKind) -> TreeConfig {
+    TreeConfig {
+        merge_at_empty: true,
+        ..TreeConfig::with_protocol(protocol)
+    }
+}
+
+fn build(protocol: ProtocolKind, preload: u64, seed: u64) -> (DbCluster, Vec<Key>) {
+    let keys: Vec<Key> = (0..preload).map(|k| k * 10).collect();
+    let spec = BuildSpec::new(keys.clone(), N_PROCS, merge_cfg(protocol));
+    let cluster = DbCluster::build(&spec, SimConfig::jittery(seed, 2, 25));
+    (cluster, keys)
+}
+
+fn delete_ops(keys: &[Key]) -> Vec<ClientOp> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &key)| ClientOp {
+            origin: ProcId(i as u32 % N_PROCS),
+            key,
+            intent: Intent::Delete,
+        })
+        .collect()
+}
+
+fn total_metric(cluster: &DbCluster, f: impl Fn(&dbtree::ProcMetrics) -> u64) -> u64 {
+    cluster.sim.procs().map(|(_, p)| f(&p.metrics)).sum()
+}
+
+fn total_slots(cluster: &DbCluster) -> usize {
+    cluster.sim.procs().map(|(_, p)| p.store.len()).sum()
+}
+
+/// Deleting every key collapses the leaf level: emptied leaves retire (all
+/// but the leftmost), arena slots free, and the oracle stack stays clean.
+#[test]
+fn mass_delete_collapses_leaf_level() {
+    for protocol in [ProtocolKind::SemiSync, ProtocolKind::Sync] {
+        let (mut cluster, keys) = build(protocol, 200, 7);
+        let leaves_before = cluster.leaves().len();
+        let slots_before = total_slots(&cluster);
+        assert!(leaves_before > 10, "preload must spread over many leaves");
+
+        let stats = cluster.run_closed_loop(&delete_ops(&keys), 4);
+        assert_eq!(stats.records.len(), keys.len(), "every delete completes");
+
+        let merges = total_metric(&cluster, |m| m.merges_completed);
+        assert!(merges > 0, "{protocol:?}: no merges committed");
+        let leaves_after = cluster.leaves().len();
+        assert!(
+            leaves_after < leaves_before / 2,
+            "{protocol:?}: leaf count {leaves_before} -> {leaves_after}, \
+             expected a collapse"
+        );
+        assert!(
+            total_slots(&cluster) < slots_before,
+            "{protocol:?}: retirement must free arena slots"
+        );
+        assert!(
+            total_metric(&cluster, |m| m.absorbs_applied) >= merges,
+            "every committed merge lands an absorb"
+        );
+
+        // Full oracle stack on the reclaimed tree, plus the delete-specific
+        // check: no deleted key may be findable.
+        common::assert_clean(&mut cluster, &BTreeSet::new());
+        let deleted: BTreeSet<Key> = keys.iter().copied().collect();
+        let visible = checker::check_deleted_keys(&cluster.sim, &deleted);
+        assert!(visible.is_empty(), "{protocol:?}: {visible:?}");
+    }
+}
+
+/// A range whose leaf was merged away is still writable: new inserts
+/// navigate through the absorber (or its descendants after a re-split) and
+/// are findable afterwards.
+#[test]
+fn reinsert_into_merged_range_lands() {
+    let (mut cluster, keys) = build(ProtocolKind::SemiSync, 120, 11);
+    cluster.run_closed_loop(&delete_ops(&keys), 4);
+    assert!(total_metric(&cluster, |m| m.merges_completed) > 0);
+
+    // Re-insert across the whole (now mostly merged-away) key space, at
+    // fresh keys and at previously deleted ones.
+    let reinserts: Vec<ClientOp> = (0..120u64)
+        .map(|i| ClientOp {
+            origin: ProcId(i as u32 % N_PROCS),
+            key: i * 10 + (i % 2), // half exactly on deleted keys
+            intent: Intent::Insert(i + 1),
+        })
+        .collect();
+    let stats = cluster.run_closed_loop(&reinserts, 4);
+    assert_eq!(stats.records.len(), reinserts.len());
+
+    let expected: BTreeSet<Key> = reinserts.iter().map(|o| o.key).collect();
+    common::assert_clean(&mut cluster, &expected);
+}
+
+/// Deletes racing inserts into the same leaves: the commit-time re-verify
+/// must refuse any merge that would drop a live entry, whatever interleaving
+/// the schedule produces.
+#[test]
+fn merge_races_concurrent_inserts_safely() {
+    for seed in 0..5u64 {
+        let (mut cluster, keys) = build(ProtocolKind::SemiSync, 100, 100 + seed);
+        // Interleave: delete every preloaded key, insert a neighbour key in
+        // the same leaf right behind it.
+        let mut ops = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            ops.push(ClientOp {
+                origin: ProcId(i as u32 % N_PROCS),
+                key,
+                intent: Intent::Delete,
+            });
+            if i % 3 == 0 {
+                ops.push(ClientOp {
+                    origin: ProcId((i as u32 + 1) % N_PROCS),
+                    key: key + 1,
+                    intent: Intent::Insert(key + 1),
+                });
+            }
+        }
+        let stats = cluster.run_closed_loop(&ops, 6);
+        assert_eq!(stats.records.len(), ops.len(), "seed {seed}");
+
+        let expected: BTreeSet<Key> = ops
+            .iter()
+            .filter_map(|o| matches!(o.intent, Intent::Insert(_)).then_some(o.key))
+            .collect();
+        common::assert_clean(&mut cluster, &expected);
+        let deleted: BTreeSet<Key> = keys.iter().copied().collect();
+        let visible = checker::check_deleted_keys(&cluster.sim, &deleted);
+        assert!(visible.is_empty(), "seed {seed}: {visible:?}");
+    }
+}
+
+/// Scans walk the leaf chain across a merged-away boundary: the absorber's
+/// right link jumps over retired nodes, tombstones are skipped, and the
+/// collected window is exactly the live keys in order.
+#[test]
+fn scan_crosses_merged_boundary_and_skips_tombstones() {
+    let (mut cluster, keys) = build(ProtocolKind::SemiSync, 150, 13);
+    // Delete a contiguous middle band — enough whole leaves to merge.
+    let band: Vec<Key> = keys
+        .iter()
+        .copied()
+        .filter(|&k| (400..=900).contains(&k))
+        .collect();
+    cluster.run_closed_loop(&delete_ops(&band), 4);
+    assert!(
+        total_metric(&cluster, |m| m.merges_completed) > 0,
+        "deleting a 50-key band must merge at least one leaf"
+    );
+
+    // Scan from inside the live prefix, across the deleted band, into the
+    // live suffix.
+    cluster.scan(ProcId(0), 350, 20);
+    cluster.run_to_quiescence();
+    let scans = cluster.take_scans();
+    assert_eq!(scans.len(), 1);
+    let got: Vec<Key> = scans[0].items.iter().map(|(k, _)| *k).collect();
+    let want: Vec<Key> = keys
+        .iter()
+        .copied()
+        .filter(|&k| k >= 350 && !(400..=900).contains(&k))
+        .take(20)
+        .collect();
+    assert_eq!(got, want, "scan window must skip the merged-away band");
+
+    let expected: BTreeSet<Key> = keys
+        .iter()
+        .copied()
+        .filter(|k| !(400..=900).contains(k))
+        .collect();
+    common::assert_clean(&mut cluster, &expected);
+}
+
+/// The mixed closed loop drives deletes and scans through the same windows
+/// as point ops (the driver's scan completions refill slots), with merges
+/// enabled and the oracle stack green afterwards.
+#[test]
+fn mixed_closed_loop_with_deletes_and_scans() {
+    use dbtree::{DbSubmission, ScanSpec};
+    let (mut cluster, keys) = build(ProtocolKind::SemiSync, 80, 17);
+    let mut items: Vec<DbSubmission> = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        items.push(DbSubmission::Op(ClientOp {
+            origin: ProcId(i as u32 % N_PROCS),
+            key,
+            intent: Intent::Delete,
+        }));
+        if i % 10 == 0 {
+            items.push(DbSubmission::Scan(ScanSpec {
+                origin: ProcId((i as u32 + 2) % N_PROCS),
+                from: key,
+                limit: 8,
+            }));
+        }
+    }
+    let stats = cluster.run_closed_loop_mixed(&items, 4);
+    let n_scans = items
+        .iter()
+        .filter(|i| matches!(i, DbSubmission::Scan(_)))
+        .count();
+    assert_eq!(stats.records.len(), items.len() - n_scans);
+    assert_eq!(cluster.take_scans().len(), n_scans, "every scan completes");
+    common::assert_clean(&mut cluster, &BTreeSet::new());
+}

@@ -19,7 +19,7 @@ const NODE: NodeId = NodeId(7);
 /// version is what matters), so it canonicalizes to a sorted map.
 type Canon = (
     KeyRange,
-    u64,
+    (u64, u64),
     Vec<(Key, Entry)>,
     [(Option<Link>, u64); 3],
     ProcId,
@@ -36,7 +36,7 @@ fn canon(c: &NodeCopy) -> Canon {
     members.sort_unstable_by_key(|(p, _)| *p);
     (
         c.range,
-        c.version,
+        (c.version, c.absorb_count),
         c.entries.iter().map(|(k, e)| (*k, *e)).collect(),
         [
             (c.right, c.right_link_version),
@@ -117,6 +117,66 @@ fn arb_copy() -> impl Strategy<Value = NodeCopy> {
         )
 }
 
+/// Copies drawn from one *structural timeline* with merge-at-empty in play:
+///
+/// ```text
+/// stage 0  [0, ∞)    epoch 0   pre-split
+/// stage 1  [0, 60)   epoch 0   split at 60
+/// stage 2  [0, 90)   epoch 1   absorbed the emptied [60, 90) sibling
+/// stage 3  [0, ∞)    epoch 2   absorbed the emptied [90, ∞) sibling
+/// ```
+///
+/// The coupling the free generator above cannot express: a copy whose range
+/// *re-admits* a region (epoch ≥ 1) carries the retirement's tombstones —
+/// with stamps dominating every value any staler copy holds there — because
+/// a leaf only retires once fully tombed and the absorb ships those tombs.
+/// Without that, "range widened" + "no dominating entry" lets a stale value
+/// resurrect in one merge order but not another, and the lattice laws fail.
+fn arb_epoch_copies() -> impl Strategy<Value = Vec<NodeCopy>> {
+    (
+        proptest::collection::vec((0u64..120, 1u64..40, 0u64..1_000), 1..14),
+        proptest::collection::vec((0usize..4, any::<u32>()), 3..4),
+    )
+        .prop_map(|(pool, picks)| {
+            // One write per key (first wins): the pool is the set of leaf
+            // writes the structure ever saw, each relayed to some copies.
+            let mut writes: Vec<(Key, u64, u64)> = Vec::new();
+            for (k, stamp, value) in pool {
+                if !writes.iter().any(|(wk, ..)| *wk == k) {
+                    writes.push((k, stamp, value));
+                }
+            }
+            picks
+                .into_iter()
+                .map(|(stage, mask)| {
+                    let (high, epoch) = match stage {
+                        0 => (None, 0),
+                        1 => (Some(60), 0),
+                        2 => (Some(90), 1),
+                        _ => (None, 2),
+                    };
+                    let range = KeyRange::new(0, high);
+                    let mut c = NodeCopy::new(NODE, 0, range, ProcId(0));
+                    c.absorb_count = epoch;
+                    for (i, &(k, stamp, value)) in writes.iter().enumerate() {
+                        if mask >> (i % 32) & 1 == 1 && range.contains(k) {
+                            c.upsert(k, Entry::Val { value, stamp });
+                        }
+                    }
+                    // The carried tombstones of each absorb this stage saw.
+                    for &(k, ..) in &writes {
+                        let readmitted =
+                            (epoch >= 1 && (60..90).contains(&k)) || (epoch >= 2 && k >= 90);
+                        if readmitted {
+                            c.upsert(k, Entry::Tomb { stamp: 49 });
+                        }
+                    }
+                    c
+                })
+                .collect()
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
@@ -147,6 +207,28 @@ proptest! {
         let left = merged(&merged(&a, &b), &c);
         let right = merged(&a, &merged(&b, &c));
         prop_assert_eq!(canon(&left), canon(&right));
+    }
+
+    /// The lattice laws extended over merge-at-empty epochs: copies drawn
+    /// from an absorb-bearing structural timeline (with the tombstone
+    /// coupling retirement guarantees) still join commutatively,
+    /// associatively, and idempotently — the epoch counter orders the
+    /// structural part wholesale and the carried tombs make the re-admitted
+    /// regions converge by rank.
+    #[test]
+    fn merge_laws_hold_across_absorb_epochs(fam in arb_epoch_copies()) {
+        let (a, b, c) = (&fam[0], &fam[1], &fam[2]);
+
+        let mut self_merge = a.clone();
+        self_merge.merge_from(&a.snapshot());
+        prop_assert_eq!(canon(&self_merge), canon(a));
+
+        prop_assert_eq!(canon(&merged(a, b)), canon(&merged(b, a)));
+
+        let left = merged(&merged(a, b), c);
+        let right = merged(a, &merged(b, c));
+        prop_assert_eq!(canon(&left), canon(&right));
+        prop_assert_eq!(left.digest(), right.digest());
     }
 
     /// Op-replay and state-merge converge: one replica applies the full
@@ -226,6 +308,81 @@ fn stale_presplit_snapshot_cannot_undo_a_split() {
     stale.merge_from(&post.snapshot());
     assert_eq!(stale.right, post.right);
     assert_eq!(stale.digest(), healed.digest());
+}
+
+/// The merge-at-empty mirror of the stale-presplit case: an absorber that
+/// applied an absorb (epoch bumped, range widened, right link adopted) must
+/// not be dragged back by a stale pre-absorb snapshot — the epoch counter
+/// orders the join wholesale, because unlike splits the range's high bound
+/// *grew*, so the narrower-range-wins tie-break alone would pick the wrong
+/// side.
+#[test]
+fn stale_preabsorb_snapshot_cannot_undo_an_absorb() {
+    // Post-absorb copy: widened to [20,40), adopted right = n9, epoch 1.
+    let mut post = NodeCopy::new(NODE, 0, KeyRange::new(20, Some(40)), ProcId(1));
+    post.right = Some(Link::new(NodeId(9), ProcId(2)));
+    post.right_link_version = 2;
+    post.absorb_count = 1;
+    // Stale pre-absorb snapshot: [20,30), right = the retired neighbour.
+    let mut stale = NodeCopy::new(NODE, 0, KeyRange::new(20, Some(30)), ProcId(1));
+    stale.right = Some(Link::new(NodeId(11), ProcId(1)));
+    stale.right_link_version = 1;
+
+    let mut healed = post.clone();
+    healed.merge_from(&stale.snapshot());
+    assert_eq!(healed.range, post.range, "stale snapshot undid the absorb");
+    assert_eq!(healed.right, post.right);
+    assert_eq!(healed.absorb_count, 1);
+
+    stale.merge_from(&post.snapshot());
+    assert_eq!(stale.range, post.range);
+    assert_eq!(stale.right, post.right);
+    assert_eq!(stale.digest(), healed.digest());
+}
+
+/// Delete → re-insert overwrite stamps survive the state merge: a replica
+/// that saw only the tombstone joins with one that saw the later re-insert,
+/// and the re-insert wins in both merge orders (stamps totally order the
+/// Val/Tomb lattice); symmetrically a later tombstone beats an earlier Val.
+#[test]
+fn overwrite_stamps_survive_merge() {
+    let base = NodeCopy::new(NODE, 0, KeyRange::new(0, None), ProcId(0));
+
+    // A: delete (stamp 5) then re-insert (stamp 9). B: only the delete.
+    let mut a = base.clone();
+    a.upsert(10, Entry::Tomb { stamp: 5 });
+    a.upsert(
+        10,
+        Entry::Val {
+            value: 77,
+            stamp: 9,
+        },
+    );
+    let mut b = base.clone();
+    b.upsert(10, Entry::Tomb { stamp: 5 });
+
+    let mut ba = b.clone();
+    ba.merge_from(&a.snapshot());
+    assert_eq!(
+        ba.entries.get(&10),
+        Some(&Entry::Val {
+            value: 77,
+            stamp: 9
+        }),
+        "re-insert after delete lost to the tombstone"
+    );
+    let mut ab = a.clone();
+    ab.merge_from(&b.snapshot());
+    assert_eq!(ab.digest(), ba.digest());
+
+    // And the dual: a later tombstone shadows an earlier value.
+    let mut c = base.clone();
+    c.upsert(10, Entry::Val { value: 3, stamp: 2 });
+    let mut d = base.clone();
+    d.upsert(10, Entry::Val { value: 3, stamp: 2 });
+    d.upsert(10, Entry::Tomb { stamp: 6 });
+    c.merge_from(&d.snapshot());
+    assert_eq!(c.entries.get(&10), Some(&Entry::Tomb { stamp: 6 }));
 }
 
 /// The reverse-order replay above silently skips out-of-range keys; this

@@ -35,6 +35,7 @@ fn run_with_migrations(
         KeyDist::Uniform { n: 2000 },
         Mix {
             search_fraction: 0.3,
+            ..Mix::INSERT_ONLY
         },
         n_procs,
         seed,

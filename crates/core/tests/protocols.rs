@@ -31,6 +31,7 @@ fn semisync_mixed_workload_many_seeds() {
             400,
             Mix {
                 search_fraction: 0.5,
+                ..Mix::INSERT_ONLY
             },
             seed,
         );
@@ -180,6 +181,7 @@ fn available_copies_queues_actions_behind_locks() {
         800,
         Mix {
             search_fraction: 0.5,
+            ..Mix::INSERT_ONLY
         },
         5,
     );
@@ -244,6 +246,7 @@ fn runs_are_deterministic_given_seed() {
             300,
             Mix {
                 search_fraction: 0.3,
+                ..Mix::INSERT_ONLY
             },
             77,
         );

@@ -37,8 +37,8 @@ pub mod shrink;
 pub use explorer::{explore, splitmix64, Budget, Report};
 pub use repro::{emit_test, format_repro, parse_repro, run_repro};
 pub use scenario::{
-    blink_scenario, crash_faults, hash_scenario, light_faults, replay_run, run_recorded, run_under,
-    ExOp, Proto, RunReport, Scenario,
+    blink_scenario, crash_faults, hash_scenario, light_faults, merge_race_scenario, merge_scenario,
+    replay_run, run_recorded, run_under, ExKind, ExOp, MergeMode, Proto, RunReport, Scenario,
 };
 pub use sched::{Recording, Replay, Strategy};
 pub use shrink::{shrink, Failure, ShrinkStats};

@@ -18,7 +18,7 @@ use std::time::Duration;
 use dbtree::ProtocolKind;
 use explore::{
     blink_scenario, crash_faults, emit_test, explore, format_repro, hash_scenario, light_faults,
-    Budget, Scenario,
+    merge_race_scenario, merge_scenario, Budget, MergeMode, Scenario,
 };
 use simnet::FaultPlan;
 
@@ -34,7 +34,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: explore [--iters N] [--secs S] [--seed S] [--ops N] \
-         [--scenario all|blink|hash|crash|naive] [--out DIR]\n\
+         [--scenario all|blink|hash|crash|merge|unsafe-merge|naive] [--out DIR]\n\
          \n\
          Explores schedules for the canned scenarios, checking every run\n\
          against the structural and history-theory oracles. Writes shrunk\n\
@@ -101,6 +101,21 @@ fn scenarios(which: &str, seed: u64, ops: usize) -> Vec<(&'static str, Scenario)
         "naive" => {
             out.push(("naive", blink(ProtocolKind::Naive, FaultPlan::none())));
         }
+        "merge" => {
+            out.push((
+                "merge-semisync",
+                merge_scenario(ProtocolKind::SemiSync, seed, ops, light_faults()),
+            ));
+            out.push((
+                "merge-crash",
+                merge_scenario(ProtocolKind::SemiSync, seed, ops, crash_faults(1)),
+            ));
+        }
+        "unsafe-merge" => {
+            // The injected check-then-act bug — like `naive`, exists to
+            // watch the explorer catch and shrink a real violation.
+            out.push(("unsafe-merge", merge_race_scenario(MergeMode::Unsafe)));
+        }
         "all" => {
             out.push((
                 "blink-semisync",
@@ -110,6 +125,14 @@ fn scenarios(which: &str, seed: u64, ops: usize) -> Vec<(&'static str, Scenario)
             out.push((
                 "blink-crash",
                 blink(ProtocolKind::SemiSync, crash_faults(1)),
+            ));
+            out.push((
+                "merge-semisync",
+                merge_scenario(ProtocolKind::SemiSync, seed, ops, light_faults()),
+            ));
+            out.push((
+                "merge-crash",
+                merge_scenario(ProtocolKind::SemiSync, seed, ops, crash_faults(1)),
             ));
             out.push(("hash", hash_scenario(seed, ops, light_faults())));
             out.push(("hash-crash", hash_scenario(seed, ops, crash_faults(1))));

@@ -40,7 +40,7 @@ use std::fmt::Write as _;
 use dbtree::ProtocolKind;
 use simnet::{CrashEvent, FaultPlan, ProcId, SimTime};
 
-use crate::scenario::{replay_run, ExOp, Proto, RunReport, Scenario};
+use crate::scenario::{replay_run, ExKind, ExOp, MergeMode, Proto, RunReport, Scenario};
 use crate::shrink::Failure;
 
 const HEADER: &str = "# explore repro v1";
@@ -78,10 +78,25 @@ pub fn format_repro(failure: &Failure) -> Result<String, String> {
     let _ = writeln!(out, "strategy {}", failure.strategy);
     let _ = writeln!(out, "sched-seed {}", failure.sched_seed);
     match &s.proto {
-        Proto::Blink { protocol, fanout } => {
+        Proto::Blink {
+            protocol,
+            fanout,
+            merge,
+        } => {
             let _ = writeln!(out, "proto blink");
             let _ = writeln!(out, "protocol {}", protocol_name(*protocol));
             let _ = writeln!(out, "fanout {fanout}");
+            // Only a non-default merge mode is written, so pre-merge repro
+            // files stay canonical byte-for-byte.
+            match merge {
+                MergeMode::Off => {}
+                MergeMode::Safe => {
+                    let _ = writeln!(out, "merge safe");
+                }
+                MergeMode::Unsafe => {
+                    let _ = writeln!(out, "merge unsafe");
+                }
+            }
         }
         Proto::Hash { capacity } => {
             let _ = writeln!(out, "proto hash");
@@ -105,12 +120,15 @@ pub fn format_repro(failure: &Failure) -> Result<String, String> {
     let preload: Vec<String> = s.preload.iter().map(u64::to_string).collect();
     let _ = writeln!(out, "preload {}", preload.join(" "));
     for op in &s.ops {
-        match op.value {
-            Some(v) => {
+        match op.kind {
+            ExKind::Insert(v) => {
                 let _ = writeln!(out, "op {} {} insert {v}", op.origin, op.key);
             }
-            None => {
+            ExKind::Search => {
                 let _ = writeln!(out, "op {} {} search", op.origin, op.key);
+            }
+            ExKind::Delete => {
+                let _ = writeln!(out, "op {} {} delete", op.origin, op.key);
             }
         }
     }
@@ -140,6 +158,8 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
     let mut proto: Option<&str> = None;
     let mut protocol = None;
     let mut fanout = 4usize;
+    let mut merge = MergeMode::Off;
+    let mut saw_merge = false;
     let mut capacity = 4usize;
     let mut n_procs = 0u32;
     let mut seed = 0u64;
@@ -168,6 +188,14 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
                     Some(protocol_from_name(rest).ok_or(format!("unknown protocol {rest:?}"))?)
             }
             "fanout" => fanout = rest.parse().map_err(|_| "bad fanout")?,
+            "merge" => {
+                merge = match rest {
+                    "safe" => MergeMode::Safe,
+                    "unsafe" => MergeMode::Unsafe,
+                    _ => return Err(format!("merge wants `safe|unsafe`: {line:?}")),
+                };
+                saw_merge = true;
+            }
             "capacity" => capacity = rest.parse().map_err(|_| "bad capacity")?,
             "n-procs" => n_procs = rest.parse().map_err(|_| "bad n-procs")?,
             "seed" => seed = rest.parse().map_err(|_| "bad seed")?,
@@ -191,15 +219,22 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
             "preload" => preload = parse_nums(rest, "preload key")?,
             "op" => {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
-                let value = match parts.as_slice() {
-                    [_, _, "search"] => None,
-                    [_, _, "insert", v] => Some(v.parse().map_err(|_| "bad insert value")?),
-                    _ => return Err(format!("op wants `origin key insert v|search`: {line:?}")),
+                let kind = match parts.as_slice() {
+                    [_, _, "search"] => ExKind::Search,
+                    [_, _, "delete"] => ExKind::Delete,
+                    [_, _, "insert", v] => {
+                        ExKind::Insert(v.parse().map_err(|_| "bad insert value")?)
+                    }
+                    _ => {
+                        return Err(format!(
+                            "op wants `origin key insert v|search|delete`: {line:?}"
+                        ))
+                    }
                 };
                 ops.push(ExOp {
                     origin: parts[0].parse().map_err(|_| "bad op origin")?,
                     key: parts[1].parse().map_err(|_| "bad op key")?,
-                    value,
+                    kind,
                 });
             }
             "choices" => choices = parse_nums(rest, "choice")?,
@@ -209,10 +244,18 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
     }
 
     let proto = match proto.ok_or("missing proto line")? {
-        "hash" => Proto::Hash { capacity },
+        "hash" => {
+            if saw_merge {
+                // Accepting it would parse, then re-format without the line —
+                // breaking the format's canonical round-trip.
+                return Err("merge is a blink setting; hash repros may not carry it".into());
+            }
+            Proto::Hash { capacity }
+        }
         _ => Proto::Blink {
             protocol: protocol.ok_or("blink repro missing protocol line")?,
             fanout,
+            merge,
         },
     };
     if n_procs == 0 {
@@ -270,6 +313,7 @@ mod tests {
                 proto: Proto::Blink {
                     protocol: ProtocolKind::Naive,
                     fanout: 4,
+                    merge: MergeMode::Off,
                 },
                 n_procs: 3,
                 seed: 42,
@@ -278,12 +322,12 @@ mod tests {
                     ExOp {
                         origin: 0,
                         key: 17,
-                        value: Some(1017),
+                        kind: ExKind::Insert(1017),
                     },
                     ExOp {
                         origin: 2,
                         key: 88,
-                        value: None,
+                        kind: ExKind::Search,
                     },
                 ],
                 faults: FaultPlan::lossy(0.05).with_dup(0.1).with_crash(CrashEvent {
@@ -316,6 +360,41 @@ mod tests {
         failure.scenario.proto = Proto::Hash { capacity: 6 };
         let text = format_repro(&failure).unwrap();
         assert_eq!(parse_repro(&text).unwrap(), failure);
+    }
+
+    #[test]
+    fn merge_and_delete_round_trip() {
+        let mut failure = sample_failure();
+        failure.scenario.proto = Proto::Blink {
+            protocol: ProtocolKind::SemiSync,
+            fanout: 4,
+            merge: MergeMode::Unsafe,
+        };
+        failure.scenario.ops.push(ExOp {
+            origin: 1,
+            key: 10,
+            kind: ExKind::Delete,
+        });
+        let text = format_repro(&failure).unwrap();
+        assert!(text.contains("merge unsafe"));
+        assert!(text.contains("op 1 10 delete"));
+        let parsed = parse_repro(&text).unwrap();
+        assert_eq!(parsed, failure);
+        assert_eq!(format_repro(&parsed).unwrap(), text, "canonical");
+    }
+
+    #[test]
+    fn merge_off_is_not_written_and_old_files_still_parse() {
+        // The sample is MergeMode::Off: the line must be absent, and a file
+        // written before the merge family existed parses to Off.
+        let text = format_repro(&sample_failure()).unwrap();
+        assert!(!text.contains("merge "));
+        match parse_repro(&text).unwrap().scenario.proto {
+            Proto::Blink { merge, .. } => assert_eq!(merge, MergeMode::Off),
+            other => panic!("expected blink, got {other:?}"),
+        }
+        // And a hash repro smuggling a merge line is rejected outright.
+        assert!(parse_repro("# explore repro v1\nproto hash\nmerge safe\nn-procs 3\n").is_err());
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub enum Proto {
         protocol: ProtocolKind,
         /// Node fanout (small values force splits early).
         fanout: usize,
+        /// Lazy merge-at-empty policy (off, safe, or deliberately broken).
+        merge: MergeMode,
     },
     /// The lazy-directory distributed hash table.
     Hash {
@@ -51,18 +53,46 @@ pub enum Proto {
     },
 }
 
-/// One client operation in explorer form: `value = Some(v)` is an insert,
-/// `None` a search. (Deletes are deliberately absent: a schedule-dependent
-/// delete would make the expected final contents schedule-dependent too,
-/// and the oracle needs them exact.)
+/// What one explorer operation does to its key.
+///
+/// Deletes need care to keep the oracle exact: a delete racing an insert of
+/// the *same* key would make the expected final contents schedule-dependent.
+/// The canned generators therefore keep the two key sets disjoint (deletes
+/// target preloaded keys, inserts fresh ones), and the oracle conservatively
+/// skips any key a hand-written scenario contests both ways.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExKind {
+    /// Insert the value at the key.
+    Insert(u64),
+    /// Point lookup.
+    Search,
+    /// Tombstone the key (and, with merging enabled, maybe empty a leaf).
+    Delete,
+}
+
+/// One client operation in explorer form.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExOp {
     /// Submitting processor (taken modulo the scenario's processor count).
     pub origin: u32,
     /// Target key.
     pub key: u64,
-    /// Insert value, or `None` for a search.
-    pub value: Option<u64>,
+    /// What to do at the key.
+    pub kind: ExKind,
+}
+
+/// Whether (and how honestly) a blink scenario runs lazy merge-at-empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Merging disabled — the paper's never-merge baseline.
+    Off,
+    /// Merging with the commit-time emptiness re-verify (the shipped
+    /// protocol).
+    Safe,
+    /// Merging with the re-verify skipped: the injected check-then-act bug
+    /// (an insert that raced the grant round-trip dies with the node),
+    /// there for the explorer to catch and shrink.
+    Unsafe,
 }
 
 /// Everything about a run except the schedule. See the module docs.
@@ -128,7 +158,11 @@ impl Scenario {
 /// Run `scenario` under `scheduler` and apply the oracle stack.
 pub fn run_under(scenario: &Scenario, scheduler: Box<dyn Scheduler>) -> RunReport {
     match &scenario.proto {
-        Proto::Blink { protocol, fanout } => run_blink(scenario, *protocol, *fanout, scheduler),
+        Proto::Blink {
+            protocol,
+            fanout,
+            merge,
+        } => run_blink(scenario, *protocol, *fanout, *merge, scheduler),
         Proto::Hash { capacity } => run_hash(scenario, *capacity, scheduler),
     }
 }
@@ -156,10 +190,13 @@ fn run_blink(
     scenario: &Scenario,
     protocol: ProtocolKind,
     fanout: usize,
+    merge: MergeMode,
     scheduler: Box<dyn Scheduler>,
 ) -> RunReport {
     let cfg = TreeConfig {
         fanout,
+        merge_at_empty: merge != MergeMode::Off,
+        merge_unsafe_no_reverify: merge == MergeMode::Unsafe,
         ..TreeConfig::fixed_copies(protocol, 3)
     };
     let spec = BuildSpec::new(scenario.preload.clone(), scenario.n_procs, cfg);
@@ -170,9 +207,10 @@ fn run_blink(
         cluster.submit(ClientOp {
             origin: ProcId(op.origin % scenario.n_procs),
             key: op.key,
-            intent: match op.value {
-                Some(v) => Intent::Insert(v),
-                None => Intent::Search,
+            intent: match op.kind {
+                ExKind::Insert(v) => Intent::Insert(v),
+                ExKind::Search => Intent::Search,
+                ExKind::Delete => Intent::Delete,
             },
         });
     }
@@ -181,18 +219,46 @@ fn run_blink(
     let completed = match cluster.try_run_to_quiescence() {
         Ok(records) => {
             check_completion(scenario, records.len(), &mut violations);
-            // Expected keys: the preload plus every *acknowledged* insert.
-            // (With crashes in the plan an unacknowledged insert may or may
-            // not have landed; the checkers only owe us the acknowledged
-            // ones.)
+            // Expected keys: the preload plus every *acknowledged* insert,
+            // minus every key any delete targets. (With crashes in the plan
+            // an unacknowledged op may or may not have landed, so presence
+            // is only owed for acknowledged inserts, and absence only for
+            // acknowledged deletes.) A key both inserted and deleted is
+            // schedule-dependent either way — the canned generators never
+            // produce one, and the oracle claims nothing about it.
+            let inserted: BTreeSet<u64> = scenario
+                .ops
+                .iter()
+                .filter(|op| matches!(op.kind, ExKind::Insert(_)))
+                .map(|op| op.key)
+                .collect();
+            let delete_targets: BTreeSet<u64> = scenario
+                .ops
+                .iter()
+                .filter(|op| op.kind == ExKind::Delete)
+                .map(|op| op.key)
+                .collect();
             let mut expected: BTreeSet<u64> = scenario.preload.iter().copied().collect();
+            let mut deleted: BTreeSet<u64> = BTreeSet::new();
             for rec in &records {
-                if let Intent::Insert(_) = rec.op.intent {
-                    expected.insert(rec.op.key);
+                match rec.op.intent {
+                    Intent::Insert(_) => {
+                        expected.insert(rec.op.key);
+                    }
+                    Intent::Delete if !inserted.contains(&rec.op.key) => {
+                        deleted.insert(rec.op.key);
+                    }
+                    _ => {}
                 }
             }
+            expected.retain(|k| !delete_targets.contains(k));
             violations.extend(
                 checker::check_all(&mut cluster, &expected)
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
+            violations.extend(
+                checker::check_deleted_keys(&cluster.sim, &deleted)
                     .iter()
                     .map(|v| v.to_string()),
             );
@@ -226,9 +292,10 @@ fn run_hash(scenario: &Scenario, capacity: usize, scheduler: Box<dyn Scheduler>)
         let origin = ProcId(op.origin % scenario.n_procs);
         // Values derive from keys so concurrent duplicate-key inserts agree
         // on the final value whatever the schedule.
-        let kind = match op.value {
-            Some(_) => HKind::Insert(op.key + 1),
-            None => HKind::Search,
+        let kind = match op.kind {
+            ExKind::Insert(_) => HKind::Insert(op.key + 1),
+            ExKind::Search => HKind::Search,
+            ExKind::Delete => HKind::Delete,
         };
         cluster.submit(origin, op.key, kind);
     }
@@ -243,8 +310,14 @@ fn run_hash(scenario: &Scenario, capacity: usize, scheduler: Box<dyn Scheduler>)
             let mut expected: BTreeMap<u64, u64> =
                 scenario.preload.iter().map(|&k| (k, k)).collect();
             for op in &scenario.ops {
-                if op.value.is_some() {
-                    expected.insert(op.key, op.key + 1);
+                match op.kind {
+                    ExKind::Insert(_) => {
+                        expected.insert(op.key, op.key + 1);
+                    }
+                    ExKind::Delete => {
+                        expected.remove(&op.key);
+                    }
+                    ExKind::Search => {}
                 }
             }
             violations.extend(
@@ -320,24 +393,131 @@ pub fn blink_scenario(
                 origin = (origin + 1) % n_procs;
             }
             let key = rng.gen_range(0..70u64);
-            let value = if rng.gen_bool(0.75) {
-                Some(1_000 + i as u64)
+            let kind = if rng.gen_bool(0.75) {
+                ExKind::Insert(1_000 + i as u64)
             } else {
-                None
+                ExKind::Search
             };
-            ExOp { origin, key, value }
+            ExOp { origin, key, kind }
         })
         .collect();
     Scenario {
         proto: Proto::Blink {
             protocol,
             fanout: 4,
+            merge: MergeMode::Off,
         },
         n_procs,
         seed,
         preload,
         ops,
         faults,
+    }
+}
+
+/// A canned merge-enabled dB-tree scenario: deletes cluster on the upper
+/// preloaded leaves (so some leaf usually empties and retires), inserts
+/// stay on fresh keys (so the expected final contents are exact whatever
+/// the schedule), and every run goes through the full oracle stack plus
+/// the deleted-key check. Deterministic in its arguments.
+pub fn merge_scenario(
+    protocol: ProtocolKind,
+    seed: u64,
+    n_ops: usize,
+    faults: FaultPlan,
+) -> Scenario {
+    let n_procs = 3;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4E26);
+    // Eight preloaded keys over fanout 4: two-plus leaves, and the delete
+    // band (the upper four keys) covers the rightmost leaf entirely, so a
+    // handful of deletes reliably empties it and the merge family actually
+    // runs under exploration.
+    let preload: Vec<u64> = (0..8).map(|k| k * 10).collect();
+    let band: Vec<u64> = preload[4..].to_vec();
+    let crashers: Vec<u32> = faults.crashes.iter().map(|c| c.proc.0).collect();
+    let ops = (0..n_ops)
+        .map(|i| {
+            let mut origin = rng.gen_range(0..n_procs);
+            while crashers.contains(&origin) {
+                origin = (origin + 1) % n_procs;
+            }
+            let roll: f64 = rng.gen();
+            let (key, kind) = if roll < 0.45 {
+                // Delete a band key (repeats are fine: a second tombstone
+                // of the same key is just a later stamp).
+                (band[rng.gen_range(0..band.len())], ExKind::Delete)
+            } else if roll < 0.8 {
+                // Insert a fresh key: off the preload grid, some inside the
+                // deleted band's range so re-admission races absorbs.
+                let mut key = rng.gen_range(1..80u64);
+                if key % 10 == 0 {
+                    key += 1;
+                }
+                (key, ExKind::Insert(1_000 + i as u64))
+            } else {
+                (rng.gen_range(0..80u64), ExKind::Search)
+            };
+            ExOp { origin, key, kind }
+        })
+        .collect();
+    Scenario {
+        proto: Proto::Blink {
+            protocol,
+            fanout: 4,
+            merge: MergeMode::Safe,
+        },
+        n_procs,
+        seed,
+        preload,
+        ops,
+        faults,
+    }
+}
+
+/// The injected merge/insert race, distilled: the four-key preload builds
+/// one root over leaves `[0,20)` and `[20,∞)` — siblings under the *same*
+/// parent, so the right one is grantable (a leftmost child never is). The
+/// two deletes empty the right leaf while one insert targets a key inside
+/// it. Under [`MergeMode::Unsafe`] the commit skips the emptiness
+/// re-verify, so a schedule that lands the insert inside the grant round
+/// trip loses it — the check-then-act bug the explorer must catch and
+/// shrink. The same scenario under [`MergeMode::Safe`] must survive every
+/// schedule.
+pub fn merge_race_scenario(merge: MergeMode) -> Scenario {
+    let preload: Vec<u64> = (0..4).map(|k| k * 10).collect();
+    let ops = vec![
+        ExOp {
+            origin: 0,
+            key: 20,
+            kind: ExKind::Delete,
+        },
+        ExOp {
+            origin: 1,
+            key: 30,
+            kind: ExKind::Delete,
+        },
+        ExOp {
+            origin: 2,
+            key: 25,
+            kind: ExKind::Insert(1_025),
+        },
+        ExOp {
+            origin: 1,
+            key: 25,
+            kind: ExKind::Search,
+        },
+    ];
+    Scenario {
+        proto: Proto::Blink {
+            protocol: ProtocolKind::SemiSync,
+            fanout: 4,
+            merge,
+        },
+        n_procs: 3,
+        seed: 5,
+        preload,
+        ops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -355,12 +535,12 @@ pub fn hash_scenario(seed: u64, n_ops: usize, faults: FaultPlan) -> Scenario {
                 origin = (origin + 1) % n_procs;
             }
             let key = rng.gen_range(0..96u64);
-            let value = if rng.gen_bool(0.75) {
-                Some(key + 1)
+            let kind = if rng.gen_bool(0.75) {
+                ExKind::Insert(key + 1)
             } else {
-                None
+                ExKind::Search
             };
-            ExOp { origin, key, value }
+            ExOp { origin, key, kind }
         })
         .collect();
     Scenario {

@@ -5,7 +5,7 @@
 use dbtree::ProtocolKind;
 use explore::{
     blink_scenario, crash_faults, emit_test, explore, format_repro, hash_scenario, light_faults,
-    run_repro, Budget, Proto,
+    merge_race_scenario, merge_scenario, run_repro, Budget, MergeMode, Proto,
 };
 use simnet::FaultPlan;
 
@@ -113,6 +113,92 @@ fn hash_faulty_oracles_hold_over_300_schedules() {
 #[test]
 fn hash_crash_oracles_hold_over_225_schedules() {
     assert_clean(&hash_scenario(14, 10, crash_faults(2)), 4, 225);
+}
+
+// The merge-enabled legs: same oracle stack plus the deleted-key check,
+// over scenarios whose deletes empty (and retire) leaves mid-schedule.
+// 300 + 225 + 225 = 750 more fault-enabled schedules on top of the 1050
+// above.
+
+#[test]
+fn merge_semisync_faulty_oracles_hold_over_300_schedules() {
+    assert_clean(
+        &merge_scenario(ProtocolKind::SemiSync, 21, 12, light_faults()),
+        5,
+        300,
+    );
+}
+
+#[test]
+fn merge_sync_faulty_oracles_hold_over_225_schedules() {
+    assert_clean(
+        &merge_scenario(ProtocolKind::Sync, 22, 12, light_faults()),
+        6,
+        225,
+    );
+}
+
+#[test]
+fn merge_crash_oracles_hold_over_225_schedules() {
+    assert_clean(
+        &merge_scenario(ProtocolKind::SemiSync, 23, 12, crash_faults(1)),
+        7,
+        225,
+    );
+}
+
+/// The distilled merge/insert race under the *safe* protocol: every
+/// schedule must pass, including the ones that land the insert inside the
+/// merge's grant round-trip (the commit-time re-verify declines those).
+#[test]
+fn safe_merge_survives_the_race_schedules() {
+    assert_clean(&merge_race_scenario(MergeMode::Safe), 8, 200);
+}
+
+/// Acceptance: the injected check-then-act merge bug (commit skips the
+/// emptiness re-verify, discarding an insert that raced the grant) is
+/// caught, shrunk to a ≤10-op repro, and the repro file replays to a
+/// violation.
+#[test]
+fn unsafe_merge_race_is_caught_and_shrunk() {
+    let scenario = merge_race_scenario(MergeMode::Unsafe);
+    let budget = Budget {
+        iterations: 200,
+        ..Budget::default()
+    };
+    let report = explore(&scenario, 9, &budget);
+    assert_eq!(
+        report.failures.len(),
+        1,
+        "the unsafe merge must be caught within the budget"
+    );
+    let failure = &report.failures[0];
+    assert!(!failure.violations.is_empty());
+    assert!(
+        failure.scenario.ops.len() <= 10,
+        "shrunk to {} ops, wanted <= 10",
+        failure.scenario.ops.len()
+    );
+    assert!(
+        matches!(
+            failure.scenario.proto,
+            Proto::Blink {
+                merge: MergeMode::Unsafe,
+                ..
+            }
+        ),
+        "shrinking must not change the merge mode under test"
+    );
+
+    // The repro file round-trips and still reproduces.
+    let text = format_repro(failure).unwrap();
+    assert!(text.contains("merge unsafe"), "mode is in the file");
+    assert!(text.contains("delete"), "the repro keeps a delete");
+    let replayed = run_repro(&text).expect("repro parses");
+    assert!(
+        !replayed.violations.is_empty(),
+        "shrunk repro no longer reproduces"
+    );
 }
 
 /// Acceptance: the deliberately broken protocol is caught, shrunk to a

@@ -72,6 +72,37 @@ pub enum Action {
         /// Initial or relayed form.
         initial: bool,
     },
+    /// `R(fwd)` / `r(fwd)` — retire: collapse the range to empty and point
+    /// `right` at the forwarding target `fwd` (the left absorber).
+    ///
+    /// The *initial* form models the grant-then-commit re-verify: it is a
+    /// no-op unless the node is empty (a live key at commit time declines
+    /// the merge). The *relayed* form applies unconditionally — by the time
+    /// a peer sees it the primary has already committed — and any keys a
+    /// stale copy still holds are discarded (the stamps that emptied the
+    /// node dominate them).
+    Retire {
+        /// Uniform identity of this update.
+        tag: u64,
+        /// Name of the left absorber the right link forwards to.
+        fwd: u64,
+        /// Initial or relayed form.
+        initial: bool,
+    },
+    /// `A(to, right)` / `a(to, right)` — absorb: widen the range upward to
+    /// `to` (the retired neighbour's high bound) and adopt its right
+    /// sibling `right`. The mirror image of a half-split: where `S` shrinks
+    /// `[low, high)` to `[low, at)`, `A` grows it to `[low, to)`.
+    Absorb {
+        /// Uniform identity of this update.
+        tag: u64,
+        /// New (exclusive) high bound — the retired node's high.
+        to: u64,
+        /// The retired node's right sibling (0 = none).
+        right: u64,
+        /// Initial or relayed form.
+        initial: bool,
+    },
 }
 
 impl Action {
@@ -79,14 +110,20 @@ impl Action {
     /// the paper).
     pub fn tag(&self) -> u64 {
         match *self {
-            Action::Insert { tag, .. } | Action::HalfSplit { tag, .. } => tag,
+            Action::Insert { tag, .. }
+            | Action::HalfSplit { tag, .. }
+            | Action::Retire { tag, .. }
+            | Action::Absorb { tag, .. } => tag,
         }
     }
 
     /// Is this the initial (capital) form?
     pub fn is_initial(&self) -> bool {
         match *self {
-            Action::Insert { initial, .. } | Action::HalfSplit { initial, .. } => initial,
+            Action::Insert { initial, .. }
+            | Action::HalfSplit { initial, .. }
+            | Action::Retire { initial, .. }
+            | Action::Absorb { initial, .. } => initial,
         }
     }
 
@@ -125,6 +162,24 @@ impl Action {
                 }
                 v.high = Some(at.min(v.high.unwrap_or(u64::MAX)));
                 v.right = sib;
+            }
+            Action::Retire { fwd, initial, .. } => {
+                if initial && !v.keys.is_empty() {
+                    // Commit-time re-verify: a live key declines the merge.
+                } else {
+                    fx.discarded.extend(std::mem::take(&mut v.keys));
+                    v.high = Some(v.low);
+                    v.right = fwd;
+                }
+            }
+            Action::Absorb { to, right, .. } => {
+                // Widening only: an unbounded range stays unbounded, a
+                // bounded one never shrinks (absorbs arrive ordered by
+                // epoch, so a late absorb with a smaller bound is stale).
+                v.high = v.high.map(|h| h.max(to));
+                if right != 0 {
+                    v.right = right;
+                }
             }
         }
         (v, fx)
@@ -286,6 +341,17 @@ mod tests {
             initial,
         }
     }
+    fn retire(tag: u64, fwd: u64, initial: bool) -> Action {
+        Action::Retire { tag, fwd, initial }
+    }
+    fn absorb(tag: u64, to: u64, right: u64, initial: bool) -> Action {
+        Action::Absorb {
+            tag,
+            to,
+            right,
+            initial,
+        }
+    }
 
     /// Fig 3: two copies of a parent receive inserts for new siblings A' and
     /// B' in opposite orders; the copies converge.
@@ -398,6 +464,98 @@ mod tests {
         h1.push(ins(7, 3, true));
         h2.push(ins(7, 3, false));
         assert_eq!(h1.uniform(), h2.uniform());
+    }
+
+    /// Grant-then-commit, in the model: an initial retire against a node
+    /// that regained a key is a no-op — the commit re-verify declines.
+    #[test]
+    fn initial_retire_declines_on_live_keys() {
+        let mut v = NodeValue::new(10, Some(20));
+        v.keys.insert(15);
+        let (after, fx) = retire(1, 7, true).apply(&v);
+        assert_eq!(after, v, "re-verify must refuse to drop a live key");
+        assert_eq!(fx, Effects::default());
+    }
+
+    /// A committed retire collapses the range and forwards right; a relayed
+    /// retire at a stale copy additionally discards whatever the copy still
+    /// held (tombstone stamps dominate those entries).
+    #[test]
+    fn retire_collapses_range_and_forwards() {
+        let v = NodeValue::new(10, Some(20));
+        let (after, _) = retire(1, 7, true).apply(&v);
+        assert_eq!(after.high, Some(10));
+        assert_eq!(after.right, 7);
+
+        let mut stale = NodeValue::new(10, Some(20));
+        stale.keys.insert(12);
+        let (after, fx) = retire(1, 7, false).apply(&stale);
+        assert!(after.keys.is_empty());
+        assert!(fx.discarded.contains(&12));
+    }
+
+    /// The merge pair in sequence: the absorber's range grows to exactly
+    /// cover what the retired neighbour gave up, and it adopts the retired
+    /// node's right sibling — the leaf chain stays a tiling.
+    #[test]
+    fn retire_then_absorb_tiles_the_chain() {
+        let mut left = NodeValue::new(0, Some(10));
+        left.right = 5; // the neighbour about to retire
+        let neighbour = NodeValue::new(10, Some(20));
+        let (n_after, _) = retire(1, /* fwd = left */ 4, true).apply(&neighbour);
+        assert_eq!(n_after.high, Some(n_after.low), "retired range is empty");
+        let (l_after, _) = absorb(2, 20, /* neighbour.right */ 9, true).apply(&left);
+        assert_eq!(l_after.high, Some(20), "absorber covers the gap");
+        assert_eq!(l_after.right, 9, "absorber adopts the retired right link");
+    }
+
+    /// Relayed retires commute with relayed inserts — both orders leave an
+    /// empty, forwarded node — which is why retirement can ride the lazy
+    /// relay stream without an AAS.
+    #[test]
+    fn relayed_retire_commutes_with_relayed_insert() {
+        let base = NodeValue::new(0, Some(100));
+        let mut h1 = History::new(base.clone());
+        let mut h2 = History::new(base);
+        h1.push(ins(1, 3, false));
+        h1.push(retire(2, 7, false));
+        h2.push(retire(2, 7, false));
+        h2.push(ins(1, 3, false));
+        h1.compatible(&h2).expect("r and i commute");
+    }
+
+    /// Absorbs do not commute with each other: like half-splits, the final
+    /// right pointer depends on order. This is why relayed absorbs carry an
+    /// epoch counter and apply in sequence.
+    #[test]
+    fn absorbs_do_not_commute() {
+        let base = NodeValue::new(0, Some(10));
+        let mut h1 = History::new(base.clone());
+        let mut h2 = History::new(base);
+        h1.push(absorb(1, 20, 100, true));
+        h1.push(absorb(2, 30, 200, false));
+        h2.push(absorb(2, 30, 200, true));
+        h2.push(absorb(1, 20, 100, false));
+        let err = h1.compatible(&h2).unwrap_err();
+        assert!(matches!(err, CompatibleError::FinalValue { .. }));
+    }
+
+    /// Absorb commutes with in-range inserts: it only ever *widens* the
+    /// range, so no insert's routing decision can change across it. This is
+    /// the model-level form of "retirement commutes with leaf writes".
+    #[test]
+    fn absorb_commutes_with_inserts() {
+        let mut base = NodeValue::new(0, Some(10));
+        base.keys.insert(3);
+        for initial in [true, false] {
+            let mut h1 = History::new(base.clone());
+            let mut h2 = History::new(base.clone());
+            h1.push(ins(1, 5, initial));
+            h1.push(absorb(2, 20, 100, false));
+            h2.push(absorb(2, 20, 100, false));
+            h2.push(ins(1, 5, initial));
+            h1.compatible(&h2).expect("absorb is range-widening only");
+        }
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub fn check_pair_over<'a>(
     PairVerdict::Commutes
 }
 
-/// The four §4.1 action shapes, for table derivation.
+/// The §4.1 action shapes, for table derivation: the paper's four
+/// insert/half-split shapes plus the merge family's retire and absorb
+/// (beyond the paper, which leaves merging as future work).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Shape {
     /// Initial insert `I`.
@@ -97,18 +99,32 @@ pub enum Shape {
     SplitInitial,
     /// Relayed half-split `s`.
     SplitRelayed,
+    /// Initial (commit-time) retire `R`.
+    RetireInitial,
+    /// Relayed retire `r`.
+    RetireRelayed,
+    /// Initial absorb `A`.
+    AbsorbInitial,
+    /// Relayed absorb `a`.
+    AbsorbRelayed,
 }
 
 impl Shape {
-    /// All four shapes.
-    pub const ALL: [Shape; 4] = [
+    /// All eight shapes.
+    pub const ALL: [Shape; 8] = [
         Shape::InsertInitial,
         Shape::InsertRelayed,
         Shape::SplitInitial,
         Shape::SplitRelayed,
+        Shape::RetireInitial,
+        Shape::RetireRelayed,
+        Shape::AbsorbInitial,
+        Shape::AbsorbRelayed,
     ];
 
-    /// Instantiate with concrete parameters.
+    /// Instantiate with concrete parameters. `param` is the key, split
+    /// point, or absorb bound; `sib` is the sibling, forward target, or
+    /// adopted right link.
     pub fn instantiate(self, tag: u64, param: u64, sib: u64) -> Action {
         match self {
             Shape::InsertInitial => Action::Insert {
@@ -133,6 +149,28 @@ impl Shape {
                 sib,
                 initial: false,
             },
+            Shape::RetireInitial => Action::Retire {
+                tag,
+                fwd: sib,
+                initial: true,
+            },
+            Shape::RetireRelayed => Action::Retire {
+                tag,
+                fwd: sib,
+                initial: false,
+            },
+            Shape::AbsorbInitial => Action::Absorb {
+                tag,
+                to: param,
+                right: sib,
+                initial: true,
+            },
+            Shape::AbsorbRelayed => Action::Absorb {
+                tag,
+                to: param,
+                right: sib,
+                initial: false,
+            },
         }
     }
 
@@ -143,6 +181,10 @@ impl Shape {
             Shape::InsertRelayed => "i",
             Shape::SplitInitial => "S",
             Shape::SplitRelayed => "s",
+            Shape::RetireInitial => "R",
+            Shape::RetireRelayed => "r",
+            Shape::AbsorbInitial => "A",
+            Shape::AbsorbRelayed => "a",
         }
     }
 }
@@ -238,6 +280,60 @@ mod tests {
         // either does or does not make it into the new sibling).
         assert!(!lookup(&t, SplitInitial, InsertRelayed));
         assert!(!lookup(&t, InsertRelayed, SplitInitial));
+    }
+
+    /// The merge family's rows of the derived table, which is what lets
+    /// retirement ride the existing machinery:
+    /// 1. relayed retires commute with relayed inserts (they ride the lazy
+    ///    relay stream like any leaf write);
+    /// 2. absorbs commute with inserts in every combination (absorb only
+    ///    widens the range, so no routing decision changes);
+    /// 3. initial retires conflict with initial inserts (the grant-time and
+    ///    commit-time emptiness checks exist exactly for this);
+    /// 4. structural actions — splits, retires, absorbs — all conflict with
+    ///    each other (right-pointer and bound order dependence), so relayed
+    ///    absorbs carry an epoch counter and apply in sequence.
+    #[test]
+    fn derived_table_covers_the_merge_family() {
+        let t = derive_table(4);
+        use Shape::*;
+
+        // Rule 1: r/i commute both ways.
+        assert!(lookup(&t, RetireRelayed, InsertRelayed));
+        assert!(lookup(&t, InsertRelayed, RetireRelayed));
+        // Rule 2: absorbs commute with all inserts.
+        for a in [AbsorbInitial, AbsorbRelayed] {
+            for b in [InsertInitial, InsertRelayed] {
+                assert!(lookup(&t, a, b), "{}/{} must commute", a.label(), b.label());
+                assert!(lookup(&t, b, a), "{}/{} must commute", b.label(), a.label());
+            }
+        }
+        // Rule 3: initial retire vs initial insert conflicts (the re-verify
+        // outcome depends on order), and a relayed retire vs an *initial*
+        // insert conflicts too (the insert's routing changes) — the
+        // reroute-don't-discard path in the relay layer handles this.
+        assert!(!lookup(&t, RetireInitial, InsertInitial));
+        assert!(!lookup(&t, InsertInitial, RetireInitial));
+        assert!(!lookup(&t, RetireRelayed, InsertInitial));
+        // Rule 4: every structural pair conflicts.
+        let structural = [
+            SplitInitial,
+            SplitRelayed,
+            RetireInitial,
+            RetireRelayed,
+            AbsorbInitial,
+            AbsorbRelayed,
+        ];
+        for a in structural {
+            for b in structural {
+                assert!(
+                    !lookup(&t, a, b),
+                    "{}/{} must conflict",
+                    a.label(),
+                    b.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,21 @@ pub enum Completion<O, S> {
 #[derive(Clone, Copy, Debug)]
 pub enum NoScan {}
 
+/// One item of a mixed closed-loop workload: a point operation or a range
+/// scan, driven through the same per-origin windows (see
+/// [`Driver::run_closed_loop_mixed`]).
+#[derive(Clone, Copy, Debug)]
+pub enum Submission<Op, Scan> {
+    /// A point operation.
+    Op(Op),
+    /// A range scan.
+    Scan(Scan),
+}
+
+/// Per-origin submission queues of a mixed closed-loop run.
+type SubmissionQueues<C> =
+    BTreeMap<ProcId, VecDeque<Submission<<C as ClientProtocol>::Op, <C as ClientProtocol>::Scan>>>;
+
 /// Uniform accessors over protocol-specific outcomes, so [`DriverStats`]
 /// can aggregate hops/chases/losses without knowing the structure.
 /// Implemented for `()` so outcome-less protocols (driver tests, synthetic
@@ -832,6 +847,176 @@ impl<C: ClientProtocol> Driver<C> {
             Ok(stats) => stats,
             Err(e) => panic!(
                 "run_closed_loop: {e} before the workload drained \
+                 ({} ops still pending)",
+                self.pending_ops()
+            ),
+        }
+    }
+
+    /// Submit one mixed-workload item.
+    fn submit_item<R>(&mut self, rt: &mut R, item: Submission<C::Op, C::Scan>)
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        match item {
+            Submission::Op(op) => {
+                self.submit(rt, op);
+            }
+            Submission::Scan(scan) => {
+                self.submit_scan(rt, scan);
+            }
+        }
+    }
+
+    /// Mixed-workload refill: scan completions open window slots exactly as
+    /// point-op completions do. Without this a scan-bearing closed loop
+    /// starves — scans complete into `self.scans`, not `records`, so the
+    /// op-only refill never sees them.
+    fn refill_mixed<R>(
+        &mut self,
+        rt: &mut R,
+        queues: &mut SubmissionQueues<C>,
+        records: &[OpRecord<C::Op, C::Outcome>],
+        ops_from: usize,
+        scans_from: usize,
+    ) where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let mut origins: Vec<ProcId> = records[ops_from..]
+            .iter()
+            .map(|r| C::origin(&r.op))
+            .collect();
+        origins.extend(
+            self.scans[scans_from..]
+                .iter()
+                .map(|s| C::scan_origin(&s.scan)),
+        );
+        for origin in origins {
+            if let Some(item) = queues.get_mut(&origin).and_then(|q| q.pop_front()) {
+                self.submit_item(rt, item);
+            }
+        }
+    }
+
+    /// Drive a mixed stream of point ops and range scans closed-loop with
+    /// `concurrency` outstanding items per origin, then run to quiescence.
+    ///
+    /// Point-op results land in the returned stats; scan results accumulate
+    /// for [`Driver::take_scans`]. Scans are not retried by the retry layer
+    /// (they are idempotent reads — the caller can resubmit), and a lost
+    /// scan behaves like a lost op: its window slot never refills and the
+    /// run still terminates.
+    pub fn try_run_closed_loop_mixed<R>(
+        &mut self,
+        rt: &mut R,
+        items: &[Submission<C::Op, C::Scan>],
+        concurrency: usize,
+    ) -> Result<DriverStats<C::Op, C::Outcome>, QuiesceError>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        let concurrency = concurrency.max(1);
+        let mut queues: SubmissionQueues<C> = BTreeMap::new();
+        for item in items {
+            let origin = match item {
+                Submission::Op(op) => C::origin(op),
+                Submission::Scan(scan) => C::scan_origin(scan),
+            };
+            queues.entry(origin).or_default().push_back(item.clone());
+        }
+        let start = rt.now();
+        for q in queues.values_mut() {
+            for _ in 0..concurrency {
+                if let Some(item) = q.pop_front() {
+                    self.submit_item(rt, item);
+                }
+            }
+        }
+        let mut records: Vec<OpRecord<C::Op, C::Outcome>> = Vec::new();
+        let mut idle = 0u32;
+        loop {
+            if self.pending.is_empty()
+                && self.pending_scans.is_empty()
+                && self.backlog.is_empty()
+                && queues.values().all(|q| q.is_empty())
+            {
+                rt.settle().map_err(|e| self.stamp(e))?;
+                self.drain_into(rt, &mut records);
+                break;
+            }
+            match rt.poll(self.next_wake()) {
+                Poll::Outputs => {
+                    idle = 0;
+                    let ops_before = records.len();
+                    let scans_before = self.scans.len();
+                    self.drain_into(rt, &mut records);
+                    self.refill_mixed(rt, &mut queues, &records, ops_before, scans_before);
+                    self.service_retries(rt);
+                }
+                Poll::Deadline => {
+                    self.service_retries(rt);
+                }
+                Poll::Quiescent => {
+                    let ops_before = records.len();
+                    let scans_before = self.scans.len();
+                    self.drain_into(rt, &mut records);
+                    self.refill_mixed(rt, &mut queues, &records, ops_before, scans_before);
+                    self.service_retries(rt);
+                    if self.next_wake().is_none() {
+                        break;
+                    }
+                }
+                Poll::Idle => {
+                    idle += 1;
+                    if idle <= IDLE_PROBE_AFTER {
+                        continue;
+                    }
+                    rt.settle().map_err(|e| self.stamp(e))?;
+                    let ops_before = records.len();
+                    let scans_before = self.scans.len();
+                    self.drain_into(rt, &mut records);
+                    let done = records.len() - ops_before + (self.scans.len() - scans_before);
+                    self.refill_mixed(rt, &mut queues, &records, ops_before, scans_before);
+                    if done == 0 {
+                        break;
+                    }
+                    idle = 0;
+                }
+                Poll::Limit(e) => {
+                    self.drain_into(rt, &mut records);
+                    return Err(self.stamp(e));
+                }
+            }
+        }
+        let mut last = start;
+        for r in &records {
+            last = last.max(r.completed);
+        }
+        for s in &self.scans {
+            last = last.max(s.completed);
+        }
+        Ok(self.stats_from(records, last - start))
+    }
+
+    /// Mixed closed-loop driving; panics if a limit trips (see
+    /// [`Driver::try_run_closed_loop_mixed`]).
+    pub fn run_closed_loop_mixed<R>(
+        &mut self,
+        rt: &mut R,
+        items: &[Submission<C::Op, C::Scan>],
+        concurrency: usize,
+    ) -> DriverStats<C::Op, C::Outcome>
+    where
+        R: Runtime,
+        R::Proc: Process<Msg = C::Msg>,
+    {
+        match self.try_run_closed_loop_mixed(rt, items, concurrency) {
+            Ok(stats) => stats,
+            Err(e) => panic!(
+                "run_closed_loop_mixed: {e} before the workload drained \
                  ({} ops still pending)",
                 self.pending_ops()
             ),

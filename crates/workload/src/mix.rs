@@ -11,8 +11,13 @@ use crate::dist::KeyDist;
 pub enum OpKind {
     /// Point lookup.
     Search,
-    /// Insert (the only update the paper's algorithms support).
+    /// Insert (the paper's primary update).
     Insert,
+    /// Delete (a lazy tombstone write; exercises merge-at-empty when the
+    /// tree enables it).
+    Delete,
+    /// Range scan starting at the key (the leaf-chain walk).
+    Scan,
 }
 
 /// One client operation.
@@ -28,26 +33,48 @@ pub struct Op {
     pub origin: u32,
 }
 
-/// Search/insert ratio.
+/// Operation-kind ratios. One uniform draw per op is partitioned
+/// search → delete → scan → insert, so a mix with zero delete and scan
+/// fractions generates the byte-identical stream it did before those kinds
+/// existed (same RNG consumption, same boundaries).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Mix {
-    /// Probability an operation is a search (the rest are inserts).
+    /// Probability an operation is a search.
     pub search_fraction: f64,
+    /// Probability an operation is a delete (the merge-at-empty driver).
+    #[serde(default)]
+    pub delete_fraction: f64,
+    /// Probability an operation is a range scan.
+    #[serde(default)]
+    pub scan_fraction: f64,
 }
 
 impl Mix {
     /// All inserts.
     pub const INSERT_ONLY: Mix = Mix {
         search_fraction: 0.0,
+        delete_fraction: 0.0,
+        scan_fraction: 0.0,
     };
     /// All searches.
     pub const SEARCH_ONLY: Mix = Mix {
         search_fraction: 1.0,
+        delete_fraction: 0.0,
+        scan_fraction: 0.0,
     };
     /// The read-mostly mix the dB-tree targets (interior nodes rarely
     /// updated, leaves mostly updated).
     pub const READ_HEAVY: Mix = Mix {
         search_fraction: 0.9,
+        delete_fraction: 0.0,
+        scan_fraction: 0.0,
+    };
+    /// Insert/delete churn with a sprinkle of reads and scans: the
+    /// delete-heavy regime where lazy merge-at-empty must reclaim nodes.
+    pub const DELETE_CHURN: Mix = Mix {
+        search_fraction: 0.05,
+        delete_fraction: 0.45,
+        scan_fraction: 0.05,
     };
 }
 
@@ -76,8 +103,14 @@ impl WorkloadGen {
     /// Next operation.
     pub fn next_op(&mut self) -> Op {
         let key = self.dist.next_key(&mut self.rng);
-        let kind = if self.rng.gen::<f64>() < self.mix.search_fraction {
+        let r = self.rng.gen::<f64>();
+        let m = self.mix;
+        let kind = if r < m.search_fraction {
             OpKind::Search
+        } else if r < m.search_fraction + m.delete_fraction {
+            OpKind::Delete
+        } else if r < m.search_fraction + m.delete_fraction + m.scan_fraction {
+            OpKind::Scan
         } else {
             OpKind::Insert
         };
@@ -126,6 +159,32 @@ mod tests {
     fn insert_only_mix() {
         let mut gen = WorkloadGen::new(KeyDist::Uniform { n: 10 }, Mix::INSERT_ONLY, 1, 0);
         assert!(gen.batch(100).iter().all(|o| o.kind == OpKind::Insert));
+    }
+
+    #[test]
+    fn churn_mix_draws_all_kinds() {
+        let mut gen = WorkloadGen::new(KeyDist::Uniform { n: 100 }, Mix::DELETE_CHURN, 2, 3);
+        let ops = gen.batch(10_000);
+        let count = |k: OpKind| ops.iter().filter(|o| o.kind == k).count();
+        assert!(
+            (4_000..5_000).contains(&count(OpKind::Delete)),
+            "deletes: {}",
+            count(OpKind::Delete)
+        );
+        assert!(count(OpKind::Scan) > 0);
+        assert!(count(OpKind::Search) > 0);
+        assert!(count(OpKind::Insert) > 0);
+    }
+
+    #[test]
+    fn zero_fractions_never_emit_new_kinds() {
+        // Mixes predating delete/scan must generate the identical stream:
+        // one draw per op, partitioned, with both new regions empty.
+        let mut gen = WorkloadGen::new(KeyDist::Uniform { n: 100 }, Mix::READ_HEAVY, 4, 9);
+        assert!(gen
+            .batch(5_000)
+            .iter()
+            .all(|o| matches!(o.kind, OpKind::Search | OpKind::Insert)));
     }
 
     #[test]

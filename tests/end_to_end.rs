@@ -163,6 +163,7 @@ fn workload_trace_replay_is_reproducible() {
         KeyDist::Uniform { n: 500 },
         Mix {
             search_fraction: 0.4,
+            ..Mix::INSERT_ONLY
         },
         3,
         8,
@@ -181,6 +182,8 @@ fn workload_trace_replay_is_reproducible() {
                 intent: match op.kind {
                     workload::OpKind::Search => Intent::Search,
                     workload::OpKind::Insert => Intent::Insert(op.value),
+                    workload::OpKind::Delete => Intent::Delete,
+                    workload::OpKind::Scan => unreachable!("point-op mix"),
                 },
             })
             .collect();
