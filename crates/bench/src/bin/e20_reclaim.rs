@@ -5,7 +5,8 @@
 //! entries are all tombstones is retired, its parent edge is stamped dead,
 //! its range is absorbed by the left sibling, and its **arena slot is
 //! freed and reused** by the next split. Two workloads probe the claim
-//! from both sides.
+//! from both sides (the workloads themselves live in [`bench::reclaim`] so
+//! the deterministic row output can be digest-pinned by tests).
 //!
 //! **Part A — wrapping churn, the boundedness claim.** A retention window
 //! slides over a *fixed* domain of four key bands, wrapping around: each
@@ -29,92 +30,9 @@
 //! binary asserts the merged run carries at least 2× fewer leaf copies
 //! than the unmerged run and reports the skeleton explicitly.
 
+use bench::f1;
+use bench::reclaim::{run_sliding, run_wrapping, Row, DOMAIN_BANDS, SMOKE_LAPS, SMOKE_PHASES};
 use bench::report::{note, section, Table};
-use bench::{f1, sum_metric, to_client};
-use dbtree::{BuildSpec, ClientOp, DbCluster, Key, ProtocolKind, TreeConfig};
-use simnet::SimConfig;
-use workload::{Op, OpKind};
-
-/// Keys per band.
-const BAND: u64 = 48;
-/// Key stride inside a band (matches the standard preload spacing).
-const STRIDE: u64 = 10;
-/// Bands in Part A's fixed domain.
-const DOMAIN_BANDS: u64 = 4;
-
-fn tree_cfg(merge: bool) -> TreeConfig {
-    TreeConfig {
-        record_history: false,
-        merge_at_empty: merge,
-        fanout: 4,
-        ..TreeConfig::fixed_copies(ProtocolKind::SemiSync, 3)
-    }
-}
-
-fn band_keys(band: u64) -> impl Iterator<Item = Key> {
-    (0..BAND).map(move |i| (band * BAND + i) * STRIDE)
-}
-
-fn delete_op(k: Key) -> Op {
-    Op {
-        kind: OpKind::Delete,
-        key: k,
-        value: 0,
-        origin: (k / STRIDE % 6) as u32,
-    }
-}
-
-fn insert_op(k: Key) -> Op {
-    Op {
-        kind: OpKind::Insert,
-        key: k,
-        value: k.wrapping_mul(31).wrapping_add(7),
-        origin: (k / STRIDE % 6) as u32,
-    }
-}
-
-/// Cluster-wide (leaf copies, interior copies, live slots, slab capacity).
-fn census(cluster: &DbCluster) -> (usize, usize, usize, usize) {
-    let mut leaves = 0;
-    let mut interiors = 0;
-    let mut slots = 0;
-    let mut capacity = 0;
-    for (_, p) in cluster.sim.procs() {
-        slots += p.store.len();
-        capacity += p.store.slot_capacity();
-        for c in p.store.iter() {
-            if c.is_leaf() {
-                leaves += 1;
-            } else {
-                interiors += 1;
-            }
-        }
-    }
-    (leaves, interiors, slots, capacity)
-}
-
-struct Row {
-    ops_total: usize,
-    leaves: usize,
-    interiors: usize,
-    slots: usize,
-    capacity: usize,
-    merges: u64,
-    splits: u64,
-}
-
-fn measure(cluster: &DbCluster, ops_total: usize) -> Row {
-    let (leaves, interiors, slots, capacity) = census(cluster);
-    Row {
-        ops_total,
-        leaves,
-        interiors,
-        slots,
-        capacity,
-        merges: sum_metric(cluster, |m| m.merges_completed),
-        splits: sum_metric(cluster, |m| m.splits_initiated),
-    }
-}
 
 fn print_rows(label: &str, unit: &str, rows: &[Row]) {
     let mut t = Table::new(&[
@@ -143,68 +61,10 @@ fn print_rows(label: &str, unit: &str, rows: &[Row]) {
     t.print();
 }
 
-/// Part A: a retention window sliding over a *wrapping* fixed domain,
-/// merging on. Phase `p` ingests band `p mod DOMAIN_BANDS`, expires the
-/// band behind it, and re-sweeps the one behind that (the merge-retry
-/// trigger). The first lap is a plain sliding window: fresh keys, split
-/// storms, then merges collapse each expired band to its interior
-/// skeleton. Every later lap re-ingests a band that was merged away — the
-/// inserts overwrite the tombstones carried into the skeleton leaves,
-/// revive them past the fanout, and the re-splits install fresh node ids
-/// into the slots the merges freed. The fixed domain keeps the interior
-/// skeleton bounded, so the whole arena reaches a steady state.
-fn run_wrapping(phases: u64) -> Vec<Row> {
-    let keys: Vec<Key> = band_keys(0).collect();
-    let spec = BuildSpec::new(keys, 6, tree_cfg(true));
-    let mut cluster = DbCluster::build(&spec, SimConfig::jittery(31, 2, 25));
-
-    let mut rows = Vec::new();
-    let mut ops_total = 0usize;
-    for phase in 1..=phases {
-        let ingest = phase % DOMAIN_BANDS;
-        let expire = (phase + DOMAIN_BANDS - 1) % DOMAIN_BANDS;
-        let sweep = (phase + DOMAIN_BANDS - 2) % DOMAIN_BANDS;
-        let ops: Vec<ClientOp> = band_keys(ingest)
-            .map(insert_op)
-            .chain(band_keys(expire).map(delete_op))
-            .chain(band_keys(sweep).map(delete_op))
-            .map(|op| to_client(&op))
-            .collect();
-        ops_total += ops.len();
-        cluster.run_closed_loop(&ops, 8);
-        rows.push(measure(&cluster, ops_total));
-    }
-    rows
-}
-
-/// Part B: sliding-window retention churn, merge off or on.
-fn run_sliding(merge: bool, phases: u64) -> Vec<Row> {
-    let keys: Vec<Key> = band_keys(0).collect();
-    let spec = BuildSpec::new(keys, 6, tree_cfg(merge));
-    let mut cluster = DbCluster::build(&spec, SimConfig::jittery(29, 2, 25));
-
-    let mut rows = Vec::new();
-    let mut ops_total = 0usize;
-    for phase in 1..=phases {
-        // Ingest the new band, expire the previous one, and sweep the one
-        // before that a second time (the merge-retry trigger).
-        let ops: Vec<ClientOp> = band_keys(phase)
-            .map(insert_op)
-            .chain(band_keys(phase - 1).map(delete_op))
-            .chain(band_keys(phase.saturating_sub(2)).map(delete_op))
-            .map(|op| to_client(&op))
-            .collect();
-        ops_total += ops.len();
-        cluster.run_closed_loop(&ops, 8);
-        rows.push(measure(&cluster, ops_total));
-    }
-    rows
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let laps: u64 = if smoke { 3 } else { 6 };
-    let phases: u64 = if smoke { 6 } else { 16 };
+    let laps: u64 = if smoke { SMOKE_LAPS } else { 6 };
+    let phases: u64 = if smoke { SMOKE_PHASES } else { 16 };
     section(
         "E20",
         "node reclamation: merge-at-empty frees and reuses arena slots",

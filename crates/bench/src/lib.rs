@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod reclaim;
 pub mod report;
 pub mod suite;
 

@@ -292,6 +292,33 @@ fn cell_profile_is_consistent() {
     }
 }
 
+/// The delete-heavy reclamation cell from the real smoke matrix — merge
+/// races, retirements, scans across retired nodes and all — is
+/// byte-identical across two in-process runs: every field of the row
+/// except the wall-clock `events_per_sec`, and the complete folded
+/// profiler outputs. This is the cell the regression gate leans on for
+/// reclamation metrics, so its determinism is what makes that gate
+/// noise-proof on shared runners.
+#[test]
+fn smoke_delete_cell_is_byte_identical_across_runs() {
+    let specs = matrix(true);
+    let spec = specs
+        .iter()
+        .find(|s| s.id == "blink-sim-closed-deletes")
+        .expect("smoke matrix carries the delete-churn cell");
+    let a = run_cell(spec);
+    let b = run_cell(spec);
+    assert!(a.result.deterministic, "sim cells are deterministic");
+    assert_eq!(
+        masked(a.result.clone()).to_json(),
+        masked(b.result.clone()).to_json(),
+        "delete-churn cell rows must reproduce byte-for-byte"
+    );
+    assert_eq!(a.folded_paths, b.folded_paths);
+    assert_eq!(a.folded_waits, b.folded_waits);
+    assert!(a.result.merges > 0, "the cell must exercise merge-at-empty");
+}
+
 /// The committed smoke baseline matches the smoke matrix cell-for-cell.
 #[test]
 fn committed_baseline_covers_the_smoke_matrix() {

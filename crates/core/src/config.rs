@@ -126,6 +126,15 @@ pub struct TreeConfig {
     /// can demonstrate (and shrink) the merge/insert race the re-verify
     /// closes; never enable it outside that experiment.
     pub merge_unsafe_no_reverify: bool,
+    /// Deliberately wedged merge (a seeded *liveness* bug, the counterpart
+    /// of `merge_unsafe_no_reverify`'s safety bug): the parent's PC
+    /// silently drops every `MergeReq`, so a quiescent all-tombstone leaf
+    /// keeps its merge pending forever, and leaf writes that arrive while
+    /// the merge is pending are parked awaiting a grant that never comes.
+    /// Exists only so the model checker's liveness oracle has a
+    /// reproducible livelock to catch; never enable it outside that
+    /// experiment.
+    pub merge_wedge_grants: bool,
 }
 
 impl Default for TreeConfig {
@@ -143,6 +152,7 @@ impl Default for TreeConfig {
             sync_on_restart: true,
             merge_at_empty: false,
             merge_unsafe_no_reverify: false,
+            merge_wedge_grants: false,
         }
     }
 }

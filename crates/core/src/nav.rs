@@ -208,6 +208,21 @@ impl DbProc {
         hops: u32,
         chases: u32,
     ) {
+        if self.cfg.merge_wedge_grants && self.merge_pending.contains(&node) {
+            // Seeded livelock (`merge_wedge_grants`): a merge is pending on
+            // this leaf and the grant will never come, so the write parks
+            // forever — the client op never completes. The liveness oracle
+            // counts these through `DbProc::parked_write_count`.
+            self.parked_writes.push(Msg::Descend {
+                op,
+                key,
+                intent,
+                node,
+                hops,
+                chases,
+            });
+            return;
+        }
         let copy = self.store.get(node).expect("checked by caller");
         let replicated = copy.copies.len() > 1;
         let pc = copy.pc;

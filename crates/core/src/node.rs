@@ -307,6 +307,62 @@ impl NodeCopy {
         fnv1a(words)
     }
 
+    /// Hash the copy's full protocol-visible state into `h` — the model
+    /// checker's per-node state fingerprint. Unlike [`NodeCopy::digest`]
+    /// (the end-of-run *value* digest), this covers every field that can
+    /// influence future behavior: links and their change versions,
+    /// membership, split/lock progress, and in-flight blocked messages.
+    /// The wall-clock ticks stored alongside blocked/queued messages are
+    /// deliberately excluded — two schedules that park the same messages at
+    /// different virtual times behave identically from here on, and the
+    /// fingerprint must collide for them. Membership is hashed sorted so
+    /// the arrival order of joins does not leak in.
+    pub fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.id.raw().hash(h);
+        self.level.hash(h);
+        self.range.low.hash(h);
+        self.range.high.hash(h);
+        self.version.hash(h);
+        format!("{:?}", self.entries).hash(h);
+        for link in [self.right, self.left, self.parent] {
+            link_rank(link).hash(h);
+        }
+        self.pc.0.hash(h);
+        let mut members: Vec<(u32, u64)> = self
+            .copies
+            .iter()
+            .map(|p| p.0)
+            .zip(self.join_versions.iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.hash(h);
+        self.right_link_version.hash(h);
+        self.left_link_version.hash(h);
+        self.parent_link_version.hash(h);
+        self.absorb_count.hash(h);
+        self.split_pending.hash(h);
+        match &self.aas {
+            None => 0u8.hash(h),
+            Some(aas) => {
+                1u8.hash(h);
+                aas.acks_pending.hash(h);
+                for (_tick, msg) in &aas.blocked {
+                    format!("{msg:?}").hash(h);
+                }
+            }
+        }
+        match &self.lock {
+            None => 0u8.hash(h),
+            Some(lock) => {
+                1u8.hash(h);
+                for (_tick, msg) in &lock.queued {
+                    format!("{msg:?}").hash(h);
+                }
+            }
+        }
+    }
+
     /// State-based anti-entropy (crash catch-up): merge another copy's
     /// snapshot into this one. The merge is a join-semilattice on copy
     /// state — commutative, associative, and idempotent — so pushes and

@@ -92,6 +92,10 @@ pub struct DbProc {
     /// Leaves this PC has asked to merge away (dedupes MergeReq until the
     /// grant or decline arrives).
     pub(crate) merge_pending: HashSet<NodeId>,
+    /// Client writes parked behind a pending merge under the seeded
+    /// `merge_wedge_grants` livelock. Never drained — the grant never
+    /// comes — so the liveness oracle can count them.
+    pub(crate) parked_writes: Vec<Msg>,
     /// Nodes retired by a committed merge, mapped to the left sibling that
     /// absorbed their range. Consulted to reroute in-flight relays, answer
     /// sync requests from zombie copies, and refuse zombie installs. Lives
@@ -131,6 +135,7 @@ impl DbProc {
             unjoined: HashSet::new(),
             pending_joins: HashSet::new(),
             merge_pending: HashSet::new(),
+            parked_writes: Vec::new(),
             retired: HashMap::new(),
             quarantined: BTreeSet::new(),
             missed: BTreeMap::new(),
@@ -139,6 +144,86 @@ impl DbProc {
             coord_busy: HashSet::new(),
             coord_q: HashMap::new(),
         }
+    }
+
+    /// Leaves this processor has asked (and is still waiting) to merge away.
+    /// A liveness-oracle probe: under fair scheduling with no wedge bug the
+    /// count returns to zero once the cluster quiesces.
+    pub fn merge_pending_count(&self) -> usize {
+        self.merge_pending.len()
+    }
+
+    /// Client writes parked behind a never-granted merge (only ever nonzero
+    /// under the seeded `merge_wedge_grants` livelock). A liveness-oracle
+    /// probe: each parked write is a submitted op that will never complete.
+    pub fn parked_write_count(&self) -> usize {
+        self.parked_writes.len()
+    }
+
+    /// Hash this processor's full protocol-visible state into `h` — the
+    /// model checker's per-processor state fingerprint. Every collection is
+    /// hashed in key order (never hash-map iteration order), and no virtual
+    /// time ever enters the hash, so two schedules that produced the same
+    /// state by different routes collide. The shared history log's tag
+    /// watermark is folded in: it is global minting state, and merging two
+    /// branches that issued different action counts would be unsound.
+    pub fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.me.0.hash(h);
+        self.stamp_counter.hash(h);
+        self.store.fingerprint_into(h);
+        for (dst, items) in &self.relay_buf {
+            dst.0.hash(h);
+            format!("{items:?}").hash(h);
+        }
+        self.relay_timer_armed.hash(h);
+        let mut stash: Vec<(&NodeId, &Vec<Msg>)> = self.stash.iter().collect();
+        stash.sort_unstable_by_key(|(n, _)| **n);
+        for (n, msgs) in stash {
+            n.raw().hash(h);
+            format!("{msgs:?}").hash(h);
+        }
+        for set in [&self.unjoined, &self.pending_joins, &self.merge_pending] {
+            let mut ids: Vec<u64> = set.iter().map(|n| n.raw()).collect();
+            ids.sort_unstable();
+            ids.hash(h);
+        }
+        format!("{:?}", self.parked_writes).hash(h);
+        let mut retired: Vec<(u64, u64, u32)> = self
+            .retired
+            .iter()
+            .map(|(n, l)| (n.raw(), l.node.raw(), l.home.0))
+            .collect();
+        retired.sort_unstable();
+        retired.hash(h);
+        for p in &self.quarantined {
+            p.0.hash(h);
+        }
+        for (p, nodes) in &self.missed {
+            p.0.hash(h);
+            for n in nodes {
+                n.raw().hash(h);
+            }
+        }
+        self.next_ticket.hash(h);
+        let mut locks: Vec<(u64, String)> = self
+            .pending_locks
+            .iter()
+            .map(|(t, l)| (*t, format!("{l:?}")))
+            .collect();
+        locks.sort_unstable();
+        locks.hash(h);
+        let mut busy: Vec<u64> = self.coord_busy.iter().map(|n| n.raw()).collect();
+        busy.sort_unstable();
+        busy.hash(h);
+        let mut queues: Vec<(u64, String)> = self
+            .coord_q
+            .iter()
+            .map(|(n, q)| (n.raw(), format!("{q:?}")))
+            .collect();
+        queues.sort_unstable();
+        queues.hash(h);
+        self.log.lock().tag_watermark().hash(h);
     }
 
     /// Every other processor in the cluster.
@@ -508,6 +593,12 @@ impl Process for DbProc {
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         self.metrics.named()
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = simnet::FxHasher::default();
+        self.fingerprint_into(&mut h);
+        Some(std::hash::Hasher::finish(&h))
     }
 }
 

@@ -110,6 +110,12 @@ impl DbProc {
         low: Key,
         reply_to: ProcId,
     ) {
+        if self.cfg.merge_wedge_grants {
+            // Seeded livelock (`merge_wedge_grants`): swallow the request.
+            // The requester's `merge_pending` bit never clears and any leaf
+            // writes it parks stay parked — the liveness oracle's prey.
+            return;
+        }
         let Some(copy) = self.store.get(node) else {
             // Parent hint went stale (migrated or itself retired). Declining
             // is always safe: merging is pure opportunism.

@@ -197,6 +197,30 @@ impl NodeStore {
         self.forwards.len()
     }
 
+    /// Hash the store's protocol-visible state into `h`. Copies are hashed
+    /// sorted by node id, so the fingerprint depends only on *what* is
+    /// stored, never on the slab's install/remove history (slot order).
+    /// Forwarding addresses are hashed without their `created_at` GC
+    /// timestamps — two schedules that left the same address at different
+    /// virtual times route identically from here on.
+    pub fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut copies: Vec<&NodeCopy> = self.iter().collect();
+        copies.sort_unstable_by_key(|c| c.id);
+        copies.len().hash(h);
+        for c in copies {
+            c.fingerprint_into(h);
+        }
+        self.forwards.len().hash(h);
+        for (id, f) in &self.forwards {
+            (id.raw(), f.to.0, f.version).hash(h);
+        }
+        self.root.map(NodeId::raw).hash(h);
+        self.root_home.map(|p| p.0).hash(h);
+        self.root_level.hash(h);
+        self.next_node_counter.hash(h);
+    }
+
     /// Misnavigation recovery (§4.2 "missing node"): the best local node to
     /// restart an action for `key` from — the *lowest-level* local copy
     /// whose range contains the key (closest to the destination), falling

@@ -22,23 +22,33 @@
 //! * **Repro files** — [`repro`] serializes the shrunk case to a
 //!   self-contained text file; replaying it reproduces the execution
 //!   byte-for-byte, and [`repro::emit_test`] renders it as a `#[test]`.
+//! * **Model checker** — [`dpor`] replaces sampling with bounded-exhaustive
+//!   enumeration for small configs: depth-first search over the same
+//!   choice points, dynamic partial-order reduction whose independence
+//!   relation is the history taxonomy's commutation table, state-digest
+//!   pruning, and liveness oracles under a fair-schedule bound.
+//!   [`frontier`] checkpoints a search to disk so long runs resume.
 //!
 //! The `explore` binary (`cargo run -p explore -- --help`) wraps all of it
 //! with iteration/time budgets for CI smoke jobs and desk debugging.
 
 #![warn(missing_docs)]
 
+pub mod dpor;
 pub mod explorer;
+pub mod frontier;
 pub mod repro;
 pub mod scenario;
 pub mod sched;
 pub mod shrink;
 
+pub use dpor::{check, CheckOptions, CheckReport, CheckState};
 pub use explorer::{explore, splitmix64, Budget, Report};
-pub use repro::{emit_test, format_repro, parse_repro, run_repro};
+pub use repro::{emit_test, format_repro, format_repro_lossy, parse_repro, run_repro};
 pub use scenario::{
     blink_scenario, crash_faults, hash_scenario, light_faults, merge_race_scenario, merge_scenario,
-    replay_run, run_recorded, run_under, ExKind, ExOp, MergeMode, Proto, RunReport, Scenario,
+    replay_run, run_recorded, run_under, wedged_merge_scenario, ExKind, ExOp, MergeMode, Proto,
+    RunReport, Scenario,
 };
 pub use sched::{Recording, Replay, Strategy};
 pub use shrink::{shrink, Failure, ShrinkStats};

@@ -96,6 +96,9 @@ pub fn format_repro(failure: &Failure) -> Result<String, String> {
                 MergeMode::Unsafe => {
                     let _ = writeln!(out, "merge unsafe");
                 }
+                MergeMode::Wedged => {
+                    let _ = writeln!(out, "merge wedged");
+                }
             }
         }
         Proto::Hash { capacity } => {
@@ -140,6 +143,30 @@ pub fn format_repro(failure: &Failure) -> Result<String, String> {
     Ok(out)
 }
 
+/// [`format_repro`] that never fails: an unrepresentable failure (timed
+/// partitions) degrades to a commented-out file that still records the
+/// scenario debug form and the violations, so the CLI always has *bytes
+/// to write* even when it can't produce a replayable repro. The comment
+/// body deliberately fails [`parse_repro`]'s header check — nobody can
+/// mistake it for a replayable file.
+pub fn format_repro_lossy(failure: &Failure) -> String {
+    match format_repro(failure) {
+        Ok(text) => text,
+        Err(why) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "# explore repro (NOT replayable: {why})");
+            let _ = writeln!(out, "# strategy {}", failure.strategy);
+            let _ = writeln!(out, "# sched-seed {}", failure.sched_seed);
+            let _ = writeln!(out, "# scenario {:?}", failure.scenario);
+            let _ = writeln!(out, "# choices {:?}", failure.choices);
+            for v in &failure.violations {
+                let _ = writeln!(out, "# violation {}", v.replace('\n', " "));
+            }
+            out
+        }
+    }
+}
+
 fn parse_nums<T: std::str::FromStr>(rest: &str, what: &str) -> Result<Vec<T>, String> {
     rest.split_whitespace()
         .map(|t| t.parse().map_err(|_| format!("bad {what}: {t:?}")))
@@ -177,9 +204,16 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
         let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
         match key {
             "strategy" => {
-                strategy = crate::sched::Strategy::from_name(rest)
-                    .map(|s| s.name())
-                    .unwrap_or("replay");
+                strategy = match rest {
+                    // The model checker's strategies aren't in the random
+                    // explorer's rotation; preserve their names anyway so
+                    // a re-formatted repro says where it came from.
+                    "exhaustive" => "exhaustive",
+                    "dpor" => "dpor",
+                    _ => crate::sched::Strategy::from_name(rest)
+                        .map(|s| s.name())
+                        .unwrap_or("replay"),
+                };
             }
             "sched-seed" => sched_seed = rest.parse().map_err(|_| "bad sched-seed")?,
             "proto" => proto = Some(if rest == "hash" { "hash" } else { "blink" }),
@@ -192,7 +226,8 @@ pub fn parse_repro(text: &str) -> Result<Failure, String> {
                 merge = match rest {
                     "safe" => MergeMode::Safe,
                     "unsafe" => MergeMode::Unsafe,
-                    _ => return Err(format!("merge wants `safe|unsafe`: {line:?}")),
+                    "wedged" => MergeMode::Wedged,
+                    _ => return Err(format!("merge wants `safe|unsafe|wedged`: {line:?}")),
                 };
                 saw_merge = true;
             }
@@ -341,6 +376,56 @@ mod tests {
             strategy: "lifo",
             sched_seed: 7,
         }
+    }
+
+    /// The three merge modes round-trip, and the model checker's strategy
+    /// names survive a reparse instead of degrading to `replay`.
+    #[test]
+    fn wedged_mode_and_checker_strategies_round_trip() {
+        let mut failure = sample_failure();
+        failure.strategy = "dpor";
+        let Proto::Blink { merge, .. } = &mut failure.scenario.proto else {
+            unreachable!()
+        };
+        *merge = MergeMode::Wedged;
+        let text = format_repro(&failure).expect("representable");
+        assert!(text.contains("merge wedged"));
+        assert!(text.contains("strategy dpor"));
+        let back = parse_repro(&text).expect("parse");
+        assert_eq!(back, failure);
+        failure.strategy = "exhaustive";
+        let back = parse_repro(&format_repro(&failure).unwrap()).unwrap();
+        assert_eq!(back.strategy, "exhaustive");
+    }
+
+    /// Regression: a liveness failure whose fault plan carries a timed
+    /// partition is not representable as a replayable repro — the CLI used
+    /// to panic on it mid-report. The lossy formatter must always return
+    /// bytes that carry the violations, and those bytes must *not* parse
+    /// back as a replayable file.
+    #[test]
+    fn lossy_formatter_degrades_unrepresentable_failures() {
+        let mut failure = sample_failure();
+        failure.violations = vec!["liveness: proc 1 holds 1 merge request(s) pending forever \
+             (no grant or decline ever arrived)"
+            .into()];
+        failure.scenario.faults = failure.scenario.faults.with_partition(simnet::Partition {
+            start: SimTime(100),
+            end: SimTime(200),
+            side_a: vec![ProcId(0)],
+            side_b: vec![ProcId(1)],
+        });
+        assert!(format_repro(&failure).is_err(), "still unrepresentable");
+        let lossy = format_repro_lossy(&failure);
+        assert!(lossy.contains("NOT replayable"));
+        assert!(lossy.contains("liveness: proc 1"));
+        assert!(
+            parse_repro(&lossy).is_err(),
+            "must not masquerade as a repro"
+        );
+        // And on a representable failure the lossy path is the real format.
+        let ok = sample_failure();
+        assert_eq!(format_repro_lossy(&ok), format_repro(&ok).unwrap());
     }
 
     #[test]

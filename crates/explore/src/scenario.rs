@@ -93,6 +93,12 @@ pub enum MergeMode {
     /// (an insert that raced the grant round-trip dies with the node),
     /// there for the explorer to catch and shrink.
     Unsafe,
+    /// Merging with every `MergeReq` silently dropped by the parent: the
+    /// injected *liveness* bug (`merge_wedge_grants`). A quiescent
+    /// all-tombstone leaf keeps its merge pending forever and leaf writes
+    /// park behind the grant that never comes — there for the liveness
+    /// oracle to catch and shrink.
+    Wedged,
 }
 
 /// Everything about a run except the schedule. See the module docs.
@@ -186,22 +192,25 @@ pub fn replay_run(scenario: &Scenario, choices: &[u32]) -> RunReport {
     run_under(scenario, Box::new(Replay::new(choices.to_vec())))
 }
 
-fn run_blink(
+/// Build the dB-tree cluster for a blink scenario and submit its workload
+/// (open loop). Shared between [`run_under`]'s one-shot path and the model
+/// checker ([`crate::dpor`]), which steps the simulator manually between
+/// state fingerprints.
+pub(crate) fn build_blink(
     scenario: &Scenario,
     protocol: ProtocolKind,
     fanout: usize,
     merge: MergeMode,
-    scheduler: Box<dyn Scheduler>,
-) -> RunReport {
+) -> DbCluster {
     let cfg = TreeConfig {
         fanout,
         merge_at_empty: merge != MergeMode::Off,
         merge_unsafe_no_reverify: merge == MergeMode::Unsafe,
+        merge_wedge_grants: merge == MergeMode::Wedged,
         ..TreeConfig::fixed_copies(protocol, 3)
     };
     let spec = BuildSpec::new(scenario.preload.clone(), scenario.n_procs, cfg);
     let mut cluster = DbCluster::build_with_session(&spec, scenario.sim_cfg(), scenario.session());
-    cluster.sim.set_scheduler(scheduler);
 
     for op in &scenario.ops {
         cluster.submit(ClientOp {
@@ -214,7 +223,12 @@ fn run_blink(
             },
         });
     }
+    cluster
+}
 
+/// Drain the driver and apply the full oracle stack to a blink cluster
+/// whose schedule has run its course. Shared with [`crate::dpor`].
+pub(crate) fn finish_blink(scenario: &Scenario, cluster: &mut DbCluster) -> RunReport {
     let mut violations = Vec::new();
     let completed = match cluster.try_run_to_quiescence() {
         Ok(records) => {
@@ -253,7 +267,7 @@ fn run_blink(
             }
             expected.retain(|k| !delete_targets.contains(k));
             violations.extend(
-                checker::check_all(&mut cluster, &expected)
+                checker::check_all(cluster, &expected)
                     .iter()
                     .map(|v| v.to_string()),
             );
@@ -262,6 +276,7 @@ fn run_blink(
                     .iter()
                     .map(|v| v.to_string()),
             );
+            check_liveness(scenario, cluster, &mut violations);
             records.len()
         }
         Err(e) => {
@@ -272,6 +287,66 @@ fn run_blink(
     RunReport {
         violations,
         completed,
+    }
+}
+
+fn run_blink(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    fanout: usize,
+    merge: MergeMode,
+    scheduler: Box<dyn Scheduler>,
+) -> RunReport {
+    let mut cluster = build_blink(scenario, protocol, fanout, merge);
+    cluster.sim.set_scheduler(scheduler);
+    finish_blink(scenario, &mut cluster)
+}
+
+/// The liveness oracles, applied at quiescence under the same fairness
+/// bound as [`check_completion`]: the explorer's schedules always drain
+/// every deliverable event, so "pending forever at quiescence" *is*
+/// "pending forever". Two probes:
+///
+/// * **No merge grant held forever** — a leaf's `merge_pending` bit is set
+///   by the first `MergeReq` and cleared by the grant or decline; at
+///   quiescence with every crash restarted, a set bit means the answer
+///   never came (the seeded `merge_wedge_grants` wedge, or a protocol bug
+///   that lost the reply).
+/// * **No write parked forever** — client writes parked behind a pending
+///   merge are ops the session layer owes an acknowledgement; a non-empty
+///   park at quiescence is a livelock, not slowness.
+///
+/// (The third liveness property — every submitted op completes — is
+/// [`check_completion`]; an infinite right-link chase cannot quiesce at
+/// all and surfaces as the `quiescence:` event-budget violation.)
+fn check_liveness(scenario: &Scenario, cluster: &DbCluster, violations: &mut Vec<String>) {
+    let recoverable = scenario
+        .faults
+        .crashes
+        .iter()
+        .all(|c| c.restart_at.is_some());
+    if !recoverable {
+        // A crash that never restarts may legitimately strand a MergeReq
+        // with the dead parent; liveness is only owed on recoverable plans.
+        return;
+    }
+    for (pid, p) in cluster.sim.procs() {
+        let pending = p.merge_pending_count();
+        if pending > 0 {
+            violations.push(format!(
+                "liveness: proc {} holds {pending} merge request(s) pending \
+                 forever (no grant or decline ever arrived)",
+                pid.0
+            ));
+        }
+        let parked = p.parked_write_count();
+        if parked > 0 {
+            violations.push(format!(
+                "liveness: {parked} client write(s) parked behind a \
+                 never-granted merge on proc {}",
+                pid.0
+            ));
+        }
     }
 }
 
@@ -519,6 +594,17 @@ pub fn merge_race_scenario(merge: MergeMode) -> Scenario {
         ops,
         faults: FaultPlan::none(),
     }
+}
+
+/// The seeded livelock: the [`merge_race_scenario`] shape under
+/// [`MergeMode::Wedged`], where the parent silently drops every `MergeReq`.
+/// Any schedule that empties the right leaf leaves its `merge_pending` bit
+/// set forever, and the insert into that leaf's range parks behind the
+/// never-granted merge — exactly what the liveness oracles exist to catch.
+/// The checker must flag it on every such schedule and shrink the repro to
+/// the two deletes (plus the insert for the parked-write variant).
+pub fn wedged_merge_scenario() -> Scenario {
+    merge_race_scenario(MergeMode::Wedged)
 }
 
 /// A canned hash-table scenario: small buckets, keys spread over preloaded

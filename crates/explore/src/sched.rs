@@ -245,6 +245,10 @@ impl Scheduler for Recording {
         self.trace.borrow_mut().push(idx as u32);
         idx
     }
+
+    fn fired(&mut self, chosen: &Choice, created: std::ops::Range<u64>) {
+        self.inner.fired(chosen, created);
+    }
 }
 
 /// Replays a recorded choice string. Entries past the end of the string —
@@ -286,6 +290,7 @@ mod tests {
             to: ProcId(to),
             from: Some(ProcId(9)),
             kind: ChoiceKind::Deliver,
+            label: "msg",
         }
     }
 
@@ -296,6 +301,7 @@ mod tests {
             to: ProcId(to),
             from: None,
             kind: ChoiceKind::Control,
+            label: "crash",
         }
     }
 

@@ -35,4 +35,4 @@ pub mod taxonomy;
 pub use log::{fnv1a, HistoryLog, LogSummary, ObserveKind, Violation};
 pub use model::{Action, CompatibleError, History, NodeValue};
 pub use oracle::{check_sequences, SeqAction, SeqViolation};
-pub use taxonomy::{check_pair, derive_table, PairVerdict, Shape};
+pub use taxonomy::{check_pair, derive_table, shapes_commute, PairVerdict, Shape};

@@ -183,6 +183,13 @@ impl HistoryLog {
         self.enabled
     }
 
+    /// The next tag [`HistoryLog::issue`] will mint — a watermark over
+    /// issued actions, folded into state fingerprints so two schedules that
+    /// issued different numbers of actions never collide.
+    pub fn tag_watermark(&self) -> u64 {
+        self.next_tag
+    }
+
     /// Allocate a tag for a new initial update action of `class`.
     /// Tags are nonzero; 0 can be used by callers as "untracked".
     pub fn issue(&mut self, class: &'static str) -> u64 {

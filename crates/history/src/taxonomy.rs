@@ -229,6 +229,30 @@ pub fn derive_table(max_key: u64) -> Vec<(Shape, Shape, bool)> {
     table
 }
 
+impl Shape {
+    /// Inverse of [`Shape::label`].
+    pub fn from_label(label: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// Does every instantiation of shape `a` commute with every instantiation
+/// of shape `b`? This is the model checker's independence relation for
+/// same-processor action pairs: answered from the §4.1 table derived once
+/// (exhaustively, over the key domain `{1..=4}` — the same domain the
+/// property tests cross-validate against brute-force permutation) and
+/// cached for the life of the process.
+pub fn shapes_commute(a: Shape, b: Shape) -> bool {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<(Shape, Shape, bool)>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| derive_table(4));
+    table
+        .iter()
+        .find(|(x, y, _)| *x == a && *y == b)
+        .expect("derive_table covers all ordered shape pairs")
+        .2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +380,22 @@ mod tests {
         let split = Shape::SplitInitial.instantiate(2, 5, 100);
         let v = check_pair(ins, split, &state);
         assert_ne!(v, PairVerdict::Commutes);
+    }
+
+    #[test]
+    fn shapes_commute_matches_the_derived_table() {
+        for (a, b, commutes) in derive_table(4) {
+            assert_eq!(
+                shapes_commute(a, b),
+                commutes,
+                "{}/{}",
+                a.label(),
+                b.label()
+            );
+        }
+        assert_eq!(Shape::from_label("i"), Some(Shape::InsertRelayed));
+        assert_eq!(Shape::from_label("A"), Some(Shape::AbsorbInitial));
+        assert_eq!(Shape::from_label("x"), None);
     }
 
     #[test]

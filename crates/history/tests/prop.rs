@@ -123,7 +123,7 @@ proptest! {
     #[test]
     fn commuting_reorders_are_observation_equivalent(
         base in proptest::collection::vec(1u64..8, 0..4),
-        raw in proptest::collection::vec((0u8..4, 1u64..8), 1..6),
+        raw in proptest::collection::vec((0u8..8, 1u64..8), 1..6),
     ) {
         let mut v = NodeValue::new(0, None);
         v.keys.extend(base.iter().copied());
@@ -175,6 +175,100 @@ proptest! {
                     frontier.push(next);
                 }
             }
+        }
+    }
+
+    /// PR 8 merge-family rule: a relayed retire commutes with a relayed
+    /// insert on every state — retirement rides the lazy relay stream like
+    /// any other leaf write.
+    #[test]
+    fn relayed_retire_commutes_with_relayed_insert(
+        base in proptest::collection::vec(0u64..100, 0..10),
+        key in 0u64..100,
+        fwd in 100u64..200,
+    ) {
+        let v = base_value(&base);
+        let ins = Action::Insert { tag: 1, key, initial: false };
+        let ret = Action::Retire { tag: 2, fwd, initial: false };
+        prop_assert_eq!(check_pair(ins, ret, &v), PairVerdict::Commutes);
+        prop_assert_eq!(check_pair(ret, ins, &v), PairVerdict::Commutes);
+        let mut h1 = History::new(v.clone());
+        h1.push(ins);
+        h1.push(ret);
+        let mut h2 = History::new(v);
+        h2.push(ret);
+        h2.push(ins);
+        prop_assert_eq!(h1.final_value().0, h2.final_value().0);
+    }
+
+    /// PR 8 merge-family rule: absorbs commute with inserts in every
+    /// initial/relayed combination — an absorb only widens the range, so no
+    /// insert's routing decision changes.
+    #[test]
+    fn absorbs_commute_with_inserts(
+        base in proptest::collection::vec(0u64..100, 0..10),
+        key in 0u64..100,
+        to in 1u64..100,
+        right in 100u64..200,
+        ins_initial in any::<bool>(),
+        abs_initial in any::<bool>(),
+    ) {
+        let v = base_value(&base);
+        let ins = Action::Insert { tag: 1, key, initial: ins_initial };
+        let abs = Action::Absorb { tag: 2, to, right, initial: abs_initial };
+        prop_assert_eq!(check_pair(ins, abs, &v), PairVerdict::Commutes);
+        prop_assert_eq!(check_pair(abs, ins, &v), PairVerdict::Commutes);
+        let mut h1 = History::new(v.clone());
+        h1.push(ins);
+        h1.push(abs);
+        let mut h2 = History::new(v);
+        h2.push(abs);
+        h2.push(ins);
+        prop_assert_eq!(h1.final_value().0, h2.final_value().0);
+    }
+
+    /// PR 8 merge-family rule: structural actions — splits, retires,
+    /// absorbs — conflict pairwise on at least one state, which is why the
+    /// exported [`shapes_commute`] relation (the DPOR independence oracle)
+    /// marks every structural pair dependent. Here the *shape-level*
+    /// verdict is checked: a randomly instantiated structural pair must
+    /// never be treated as independent by the cached table.
+    #[test]
+    fn structural_merge_pairs_are_dependent(
+        sa in 2u8..8,
+        sb in 2u8..8,
+    ) {
+        let a = Shape::ALL[sa as usize];
+        let b = Shape::ALL[sb as usize];
+        prop_assert!(
+            !history::shapes_commute(a, b),
+            "{}/{} classified independent",
+            a.label(),
+            b.label()
+        );
+    }
+
+    /// Soundness of the cached [`shapes_commute`] relation against the raw
+    /// pair check: whenever the table says a shape pair commutes, no
+    /// randomly instantiated state/parameter choice may produce a
+    /// conflicting verdict. (The other direction — a conflicting pair has
+    /// *some* witness — is covered exhaustively by
+    /// `derived_table_matches_direct_permutation_check`.)
+    #[test]
+    fn shapes_commute_is_sound_for_random_instances(
+        base in proptest::collection::vec(1u64..5, 0..5),
+        sa in 0u8..8,
+        sb in 0u8..8,
+        pa in 1u64..5,
+        pb in 1u64..5,
+    ) {
+        let a = Shape::ALL[sa as usize];
+        let b = Shape::ALL[sb as usize];
+        if history::shapes_commute(a, b) {
+            let v = base_value(&base);
+            let ia = a.instantiate(1, pa, 100);
+            let ib = b.instantiate(2, pb, 200);
+            prop_assert_eq!(check_pair(ia, ib, &v), PairVerdict::Commutes);
         }
     }
 

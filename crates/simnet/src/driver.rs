@@ -1334,6 +1334,135 @@ mod tests {
         assert_eq!(base.3, 0);
     }
 
+    /// Collect the resubmission delays (wake - timeout instant) and the
+    /// attempt counts of one op retried to exhaustion against a
+    /// permanently crashed processor, under a given jitter seed.
+    fn backoff_delays(seed: u64) -> (Vec<u64>, Vec<u32>, u64) {
+        use crate::{CrashEvent, FaultPlan};
+        let mut cfg = SimConfig::jittery(3, 1, 20);
+        cfg.faults = FaultPlan::none().with_crash(CrashEvent {
+            proc: ProcId(0),
+            at: SimTime(0),
+            restart_at: None,
+        });
+        let mut rt = Simulation::new(cfg, vec![Echo { n: 1 }]);
+        let mut driver: Driver<EchoProtocol> = Driver::with_retry(RetryPolicy {
+            enabled: true,
+            deadline: 100,
+            backoff_base: 50,
+            backoff_max: 800,
+            max_attempts: 6,
+            seed,
+        });
+        driver.submit(&mut rt, ProcId(0));
+        let mut delays = Vec::new();
+        let mut attempts = Vec::new();
+        for _ in 0..10_000 {
+            if driver.inflight.is_empty() && driver.backlog.is_empty() {
+                return (delays, attempts, driver.abandoned);
+            }
+            if let Poll::Limit(e) = rt.poll(driver.next_wake()) {
+                panic!("sim limit tripped: {e}");
+            }
+            let now = rt.now();
+            let had_backlog = driver.backlog.len();
+            driver.service_retries(&mut rt);
+            if driver.backlog.len() > had_backlog {
+                let ((wake, _), resub) = driver.backlog.iter().next().expect("just inserted");
+                delays.push(wake.0 - now.0);
+                attempts.push(resub.attempts);
+            }
+        }
+        panic!("retry loop failed to terminate");
+    }
+
+    /// The backoff schedule is exactly the documented policy — exponential
+    /// from `backoff_base`, capped at `backoff_max`, plus a jitter draw
+    /// from `[0, backoff/4]` — and the jitter stream is a pure function of
+    /// the policy seed, so a reproduced run retries at identical ticks.
+    #[test]
+    fn retry_backoff_is_exponential_capped_and_seed_deterministic() {
+        let (delays, attempts, abandoned) = backoff_delays(7);
+        // Six attempts: five rescheduled with backoff, the sixth abandoned.
+        assert_eq!(attempts, vec![1, 2, 3, 4, 5]);
+        assert_eq!(abandoned, 1);
+        for (i, &d) in delays.iter().enumerate() {
+            let backoff = (50u64 << i).min(800);
+            assert!(
+                d >= backoff && d <= backoff + backoff / 4,
+                "attempt {}: delay {} outside [{}, {}]",
+                i + 1,
+                d,
+                backoff,
+                backoff + backoff / 4
+            );
+        }
+        // The cap engaged: the last uncapped term would be 50 << 4 = 800,
+        // so delays 5 and beyond sit at the ceiling, not 1600+.
+        assert!(*delays.last().unwrap() <= 1000);
+        // Same seed, same jitter draws, same schedule — byte-for-byte.
+        assert_eq!(backoff_delays(7), (delays, attempts, abandoned));
+    }
+
+    /// When every processor an op could run on stays dead, the op is given
+    /// up after `max_attempts` and the closed loop terminates — abandoned
+    /// ops are counted, never waited on forever.
+    #[test]
+    fn retry_exhaustion_abandons_instead_of_hanging() {
+        use crate::{CrashEvent, FaultPlan};
+        let mut cfg = SimConfig::jittery(11, 1, 20);
+        cfg.faults = FaultPlan::none().with_crash(CrashEvent {
+            proc: ProcId(0),
+            at: SimTime(0),
+            restart_at: None,
+        });
+        let mut rt = Simulation::new(cfg, vec![Echo { n: 1 }]);
+        let mut driver: Driver<EchoProtocol> = Driver::with_retry(RetryPolicy {
+            enabled: true,
+            deadline: 200,
+            backoff_base: 20,
+            backoff_max: 100,
+            max_attempts: 3,
+            seed: 5,
+        });
+        // Window of 2: the two in-flight ops exhaust their attempts; the
+        // queued remainder never gets a slot (no completions ever open one).
+        let stats = driver.run_closed_loop(&mut rt, &ops(1, 5), 2);
+        assert_eq!(stats.records.len(), 0, "nothing can complete");
+        assert_eq!(stats.abandoned, 2, "both windowed ops were given up");
+        assert_eq!(stats.timeouts, 6, "3 attempts each, all timed out");
+        assert_eq!(stats.retries, 4, "2 resubmissions per op");
+        assert_eq!(stats.redirects, 0, "a 1-proc wire has nowhere to go");
+        assert_eq!(driver.pending_ops(), 0, "no op left in flight or backlog");
+        assert_eq!(driver.suspected_origins(), vec![ProcId(0)]);
+    }
+
+    /// Redirection picks the nearest processor on the wire that is *not*
+    /// currently suspect — never a suspected one, wrapping around the ring,
+    /// and falling back to the original origin only when every processor is
+    /// suspect (nowhere better to go).
+    #[test]
+    fn retry_redirects_exclude_suspected_processors() {
+        let submit_target = |suspects: &[u32], origin: u32| {
+            let mut rt = sim(4, 9);
+            let mut driver: Driver<EchoProtocol> = Driver::with_retry(RetryPolicy::on());
+            driver.suspects = suspects.iter().map(|&p| ProcId(p)).collect();
+            let id = driver.submit(&mut rt, ProcId(origin));
+            let attempt = driver.inflight[&id];
+            // The pending record keeps the op as issued, redirect or not.
+            assert_eq!(driver.pending[&id].0, ProcId(origin));
+            (attempt.origin, driver.redirects)
+        };
+        // Next proc up is suspect too: skip both, land on proc 2.
+        assert_eq!(submit_target(&[0, 1], 0), (ProcId(2), 1));
+        // Wrap around the end of the ring.
+        assert_eq!(submit_target(&[2, 3], 3), (ProcId(0), 1));
+        // No suspects: no redirect at all.
+        assert_eq!(submit_target(&[], 1), (ProcId(1), 0));
+        // Everyone suspect: stay with the original origin, count nothing.
+        assert_eq!(submit_target(&[0, 1, 2, 3], 1), (ProcId(1), 0));
+    }
+
     #[test]
     fn open_loop_schedule_is_deterministic() {
         let cfg = OpenLoopCfg::jittered(10, 99);

@@ -559,7 +559,10 @@ impl<M> EventQueue<M> {
     /// The first call builds the per-class index; subsequent calls reuse
     /// it, maintained incrementally by push/pop, so a controlled run pays
     /// O(classes) per step instead of O(pending events).
-    pub fn choices(&mut self) -> Vec<Choice> {
+    pub fn choices(&mut self) -> Vec<Choice>
+    where
+        M: crate::Payload,
+    {
         self.ensure_by_seq();
         if self.classes.is_none() {
             let mut classes: FxHashMap<ClassKey, BTreeSet<u64>> = FxHashMap::default();
@@ -604,11 +607,58 @@ impl<M> EventQueue<M> {
                             }
                         }
                     },
+                    label: match &event.kind {
+                        EventKind::Deliver { msg, .. } => msg.kind(),
+                        EventKind::Timer { .. } => "timer",
+                        EventKind::Crash => "crash",
+                        EventKind::Restart => "restart",
+                        EventKind::Tombstone { kind, .. } => kind,
+                    },
                 }
             })
             .collect();
         out.sort_unstable_by_key(|c| c.seq);
         out
+    }
+
+    /// The next sequence number this queue will allocate. The simulator
+    /// samples it around each controlled step to report which events the
+    /// step created (see [`crate::Scheduler::fired`]).
+    pub fn seq_watermark(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Fold the *content* of every pending event into `h`, in channel
+    /// order: for each ordering class (sorted), the queued payloads oldest
+    /// first. Virtual times and sequence numbers are deliberately excluded
+    /// — the model checker's state fingerprint must identify two states
+    /// that differ only in when their events were minted. Payloads hash
+    /// via their `Debug` rendering (every [`crate::Payload`] is `Debug`).
+    pub fn pending_fingerprint(&self, h: &mut impl std::hash::Hasher)
+    where
+        M: std::fmt::Debug,
+    {
+        use std::hash::Hash;
+        let mut pending: Vec<(ClassKey, u64, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|ev| (class_key(ev), ev.seq, i as u32)))
+            .collect();
+        pending.sort_unstable_by_key(|&(key, seq, _)| (key, seq));
+        for (key, _, slot) in pending {
+            let event = self.slots[slot as usize].as_ref().expect("slot is live");
+            (key.0, key.1 .0, key.2 .0).hash(h);
+            match &event.kind {
+                EventKind::Deliver { msg, .. } => format!("{msg:?}").hash(h),
+                EventKind::Timer { token } => ("timer", token).hash(h),
+                EventKind::Crash => "crash".hash(h),
+                EventKind::Restart => "restart".hash(h),
+                EventKind::Tombstone {
+                    kind, redelivery, ..
+                } => ("tomb", kind, redelivery).hash(h),
+            }
+        }
     }
 
     /// Remove and return the pending event with the given sequence number

@@ -207,4 +207,16 @@ pub trait Process {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// A digest of this process's *logical* state, for the model checker's
+    /// visited-state pruning ([`Simulation::fingerprint`]). Two states with
+    /// equal fingerprints must be behaviorally indistinguishable, so
+    /// implementations hash the protocol-visible state (stored entries,
+    /// links, in-progress restructures) and exclude bookkeeping that cannot
+    /// influence future behavior (metrics counters, history logs, wall
+    /// times). The default `None` opts the whole simulation out — pruning
+    /// on an unfaithful digest would silently skip distinct states.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }

@@ -54,6 +54,13 @@ pub struct Choice {
     pub from: Option<ProcId>,
     /// What firing this choice does.
     pub kind: ChoiceKind,
+    /// Static label of the underlying event: the payload's
+    /// [`Payload::kind`](crate::Payload::kind) for deliveries (the victim's
+    /// for tombstones), `"timer"` for timers, `"crash"`/`"restart"` for
+    /// controls. This is the hook the model checker's independence relation
+    /// keys on — two deliveries to the same processor may still commute if
+    /// the §4.1 taxonomy says their kinds do.
+    pub label: &'static str,
 }
 
 impl Choice {
@@ -76,6 +83,15 @@ impl Choice {
 pub trait Scheduler {
     /// Pick the next event to fire.
     fn choose(&mut self, now: SimTime, enabled: &[Choice]) -> usize;
+
+    /// Observation hook: called after the chosen event fired and all its
+    /// immediate effects (sends, timer arms) were scheduled. `created` is
+    /// the half-open range of event sequence numbers the firing allocated —
+    /// the causal "this step created those events" edge DPOR's
+    /// happens-before relation is built from. Default: ignore.
+    fn fired(&mut self, chosen: &Choice, created: std::ops::Range<u64>) {
+        let _ = (chosen, created);
+    }
 }
 
 /// The identity controller: always picks the lowest-sequence enabled event.

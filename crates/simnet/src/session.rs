@@ -753,6 +753,17 @@ impl<P: Process> Process for SessionProc<P> {
         }
         m
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // With the session layer (or its detector) active, retransmission
+        // state is clock-driven (RTOs, heartbeat deadlines) and cannot be
+        // digested faithfully without hashing time; opt out. The disabled
+        // wrapper is a pure pass-through, so the inner digest stands.
+        if self.cfg.enabled || self.cfg.detector.enabled {
+            return None;
+        }
+        self.inner.fingerprint()
+    }
 }
 
 #[cfg(test)]

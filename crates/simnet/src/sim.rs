@@ -372,35 +372,81 @@ impl<P: Process> Simulation<P> {
         self.scheduler.take()
     }
 
-    /// Controlled replacement for `queue.pop()`: compute the enabled set,
-    /// let the scheduler pick, and fire the pick immediately. Clamping the
-    /// event to `max(at, now)` keeps time monotone; the latency model's
-    /// opinion of *when* stops mattering — only the choice order does.
-    fn pop_scheduled(&mut self) -> Option<Event<P::Msg>> {
-        let enabled = self.queue.choices();
-        if enabled.is_empty() {
+    /// A digest of the simulation's *logical* state, for the model
+    /// checker's visited-state pruning: per-process fingerprints (see
+    /// [`Process::fingerprint`]), liveness flags, queued event content in
+    /// channel order, and undrained outputs. Virtual times and sequence
+    /// numbers are excluded throughout — under a schedule controller only
+    /// the choice order matters, so two states reached by different
+    /// interleavings of commuting steps must collide.
+    ///
+    /// Returns `None` — pruning disabled — when any process opts out, or
+    /// when the fault plan draws from the fault RNG (message loss,
+    /// duplication) or consults the clock (partitions): the RNG stream and
+    /// timing are not part of the digest, so states could alias unsoundly.
+    /// Scripted crashes are fine — their control events are queued up
+    /// front and hash like any other pending event.
+    pub fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        if self.faults.drop_prob > 0.0
+            || self.faults.dup_prob > 0.0
+            || !self.faults.partitions.is_empty()
+        {
             return None;
         }
-        let scheduler = self.scheduler.as_mut().expect("scheduler installed");
-        let idx = scheduler.choose(self.now, &enabled).min(enabled.len() - 1);
-        let mut event = self
-            .queue
-            .pop_seq(enabled[idx].seq)
-            .expect("enabled choices are pending events");
-        event.at = event.at.max(self.now);
-        Some(event)
+        let mut h = crate::FxHasher::default();
+        for p in &self.procs {
+            let p = p.as_deref().expect("process is resident between events");
+            p.fingerprint()?.hash(&mut h);
+        }
+        self.down.hash(&mut h);
+        self.queue.pending_fingerprint(&mut h);
+        for (_, from, msg) in &self.outputs {
+            (from.0, format!("{msg:?}")).hash(&mut h);
+        }
+        Some(h.finish())
     }
 
     /// Deliver a single event. Returns `false` if the queue was empty.
+    ///
+    /// Under a schedule controller the step is: compute the enabled set,
+    /// let the scheduler pick, fire the pick immediately (clamped to
+    /// `max(at, now)` so time stays monotone — the latency model's opinion
+    /// of *when* stops mattering, only the choice order does), then report
+    /// back via [`Scheduler::fired`] with the range of event sequence
+    /// numbers the firing created.
     pub fn step(&mut self) -> bool {
-        let next = if self.scheduler.is_some() {
-            self.pop_scheduled()
-        } else {
-            self.queue.pop()
-        };
-        let Some(event) = next else {
+        if self.scheduler.is_none() {
+            let Some(event) = self.queue.pop() else {
+                return false;
+            };
+            self.deliver_event(event);
+            return true;
+        }
+        let enabled = self.queue.choices();
+        if enabled.is_empty() {
             return false;
-        };
+        }
+        let scheduler = self.scheduler.as_mut().expect("scheduler installed");
+        let idx = scheduler.choose(self.now, &enabled).min(enabled.len() - 1);
+        let chosen = enabled[idx];
+        let mut event = self
+            .queue
+            .pop_seq(chosen.seq)
+            .expect("enabled choices are pending events");
+        event.at = event.at.max(self.now);
+        let before = self.queue.seq_watermark();
+        self.deliver_event(event);
+        let after = self.queue.seq_watermark();
+        if let Some(s) = self.scheduler.as_mut() {
+            s.fired(&chosen, before..after);
+        }
+        true
+    }
+
+    /// The body of [`Simulation::step`] after the event has been popped:
+    /// fault drops, the service-time model, and the action dispatch.
+    fn deliver_event(&mut self, event: Event<P::Msg>) {
         debug_assert!(event.at >= self.now, "time runs forward");
         // A tombstone is a delivery or timer invalidated *eagerly* at its
         // target's crash (see [`EventQueue::cancel_for`]): the payload is
@@ -436,7 +482,7 @@ impl<P: Process> Simulation<P> {
                 }
             }
             self.stats.observe_inflight(self.queue.len());
-            return true;
+            return;
         }
         let is_control = matches!(event.kind, EventKind::Crash | EventKind::Restart);
         // Fault model: a message sent to a processor *after* its crash
@@ -475,7 +521,7 @@ impl<P: Process> Simulation<P> {
                     _ => unreachable!(),
                 }
                 self.stats.observe_inflight(self.queue.len());
-                return true;
+                return;
             }
         }
         // Service-time model: a processor executes one action at a time.
@@ -497,7 +543,7 @@ impl<P: Process> Simulation<P> {
                 let mut event = event;
                 event.wait += busy.ticks() - event.at.ticks();
                 self.queue.requeue(busy, event);
-                return true;
+                return;
             }
             self.proc_busy[event.to.index()] = event.at + svc;
         }
@@ -571,7 +617,6 @@ impl<P: Process> Simulation<P> {
             EventKind::Tombstone { .. } => unreachable!("handled above"),
         }
         self.stats.observe_inflight(self.queue.len());
-        true
     }
 
     /// Deliver the next event via [`Simulation::step`], then opportunistically
