@@ -135,6 +135,16 @@ pub struct TreeConfig {
     /// reproducible livelock to catch; never enable it outside that
     /// experiment.
     pub merge_wedge_grants: bool,
+    /// Seeded relay-suppression fault (the E21 lazy-lag experiment's
+    /// injected incident): the named processor keeps *buffering* relayed
+    /// updates per destination but never batch-sends them and never arms
+    /// the piggyback flush timer, so its relay backlog depth and oldest-entry
+    /// age grow monotonically for the rest of the run. Buffered relays are
+    /// plain state, so quiescence is unaffected; the health watchdogs are
+    /// expected to raise a `backlog_growth` alert on exactly this processor.
+    /// Exists only so the observability stack has a reproducible incident to
+    /// detect; never enable it outside that experiment.
+    pub relay_suppress_proc: Option<u32>,
 }
 
 impl Default for TreeConfig {
@@ -153,6 +163,7 @@ impl Default for TreeConfig {
             merge_at_empty: false,
             merge_unsafe_no_reverify: false,
             merge_wedge_grants: false,
+            relay_suppress_proc: None,
         }
     }
 }

@@ -213,6 +213,7 @@ impl DbProc {
             // this leaf and the grant will never come, so the write parks
             // forever — the client op never completes. The liveness oracle
             // counts these through `DbProc::parked_write_count`.
+            self.parked_since.push(ctx.now().ticks());
             self.parked_writes.push(Msg::Descend {
                 op,
                 key,

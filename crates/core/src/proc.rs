@@ -111,6 +111,21 @@ pub struct DbProc {
     /// full-state sync per node when the peer is heard from again.
     pub(crate) missed: BTreeMap<ProcId, BTreeSet<NodeId>>,
 
+    // -- observability bookkeeping -------------------------------------------
+    // Timestamps feeding the lazy-lag gauges. Deliberately excluded from
+    // `fingerprint_into`: wall times never influence protocol behavior, and
+    // hashing them would make the model checker see every schedule as a
+    // distinct state.
+    /// Tick at which each destination's piggyback buffer went non-empty
+    /// (cleared when the buffer drains). Feeds `relay.backlog_age`.
+    pub(crate) relay_buf_since: BTreeMap<ProcId, u64>,
+    /// Park tick of each entry in `parked_writes` (lockstep with it).
+    /// Feeds `proc.parked_dwell`.
+    pub(crate) parked_since: Vec<u64>,
+    /// Tick at which each resident copy last applied a relayed update —
+    /// the per-copy staleness stamp. Feeds `store.staleness_max`.
+    pub(crate) copy_stamp: BTreeMap<NodeId, u64>,
+
     // -- available-copies coordinator state ---------------------------------
     pub(crate) next_ticket: u64,
     pub(crate) pending_locks: HashMap<u64, PendingLock>,
@@ -139,6 +154,9 @@ impl DbProc {
             retired: HashMap::new(),
             quarantined: BTreeSet::new(),
             missed: BTreeMap::new(),
+            relay_buf_since: BTreeMap::new(),
+            parked_since: Vec::new(),
+            copy_stamp: BTreeMap::new(),
             next_ticket: 0,
             pending_locks: HashMap::new(),
             coord_busy: HashSet::new(),
@@ -593,6 +611,37 @@ impl Process for DbProc {
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         self.metrics.named()
+    }
+
+    /// Lazy-lag level gauges, snapshotted by the sampler (never by the
+    /// trace). Ages are computed against the sample time from the
+    /// timestamps kept in the observability-bookkeeping fields, so an idle
+    /// backlog visibly *ages* between samples even though no action ran.
+    fn gauges(&self, now: simnet::SimTime) -> Vec<(&'static str, u64)> {
+        let t = now.ticks();
+        let age = |since: u64| t.saturating_sub(since);
+        let backlog_depth: u64 = self.relay_buf.values().map(|v| v.len() as u64).sum();
+        let backlog_age = self.relay_buf_since.values().copied().min().map_or(0, age);
+        let deferred: u64 = self.missed.values().map(|s| s.len() as u64).sum();
+        let dwell = self.parked_since.iter().copied().min().map_or(0, age);
+        // Copies can be removed (merge retire, migration, crash rejoin)
+        // without scrubbing their stamp; only resident copies count.
+        let staleness = self
+            .copy_stamp
+            .iter()
+            .filter(|(n, _)| self.store.contains(**n))
+            .map(|(_, &s)| age(s))
+            .max()
+            .unwrap_or(0);
+        vec![
+            ("proc.merge_pending", self.merge_pending.len() as u64),
+            ("proc.parked_dwell", dwell),
+            ("proc.parked_writes", self.parked_writes.len() as u64),
+            ("relay.backlog_age", backlog_age),
+            ("relay.backlog_depth", backlog_depth),
+            ("relay.deferred_depth", deferred),
+            ("store.staleness_max", staleness),
+        ]
     }
 
     fn fingerprint(&self) -> Option<u64> {

@@ -52,6 +52,22 @@ impl DbProc {
             version,
             span,
         };
+        if self.cfg.relay_suppress_proc == Some(self.me.0) {
+            // Seeded E21 fault: buffer the relays per destination exactly as
+            // piggybacking would, but never send a batch and never arm the
+            // flush timer — the backlog depth and oldest-entry age grow for
+            // the rest of the run, and the `backlog_growth` watchdog is
+            // expected to name this processor.
+            let now = ctx.now().ticks();
+            for peer in peers {
+                let buf = self.relay_buf.entry(peer).or_default();
+                if buf.is_empty() {
+                    self.relay_buf_since.insert(peer, now);
+                }
+                buf.push(item.clone());
+            }
+            return;
+        }
         match self.cfg.piggyback {
             None => {
                 for peer in peers {
@@ -69,9 +85,13 @@ impl DbProc {
                 }
             }
             Some(pb) => {
+                let now = ctx.now().ticks();
                 let mut full: Vec<simnet::ProcId> = Vec::new();
                 for peer in peers {
                     let buf = self.relay_buf.entry(peer).or_default();
+                    if buf.is_empty() {
+                        self.relay_buf_since.insert(peer, now);
+                    }
                     buf.push(item.clone());
                     if buf.len() >= pb.max_batch {
                         full.push(peer);
@@ -79,6 +99,7 @@ impl DbProc {
                 }
                 for peer in full {
                     if let Some(batch) = self.relay_buf.remove(&peer) {
+                        self.relay_buf_since.remove(&peer);
                         ctx.send(peer, Msg::RelayBatch(batch));
                     }
                 }
@@ -92,6 +113,12 @@ impl DbProc {
 
     /// Flush all piggyback buffers (timer handler).
     pub(crate) fn flush_relays(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.cfg.relay_suppress_proc == Some(self.me.0) {
+            // Seeded E21 fault: the backlog never drains (restart-triggered
+            // flushes included), so its gauges keep growing.
+            return;
+        }
+        self.relay_buf_since.clear();
         let bufs = std::mem::take(&mut self.relay_buf);
         for (peer, batch) in bufs {
             if batch.is_empty() {
@@ -200,6 +227,9 @@ impl DbProc {
                 Vec::new()
             };
             self.metrics.relays_applied += 1;
+            // Per-copy staleness stamp: this copy is up to date with the
+            // relay stream as of now.
+            self.copy_stamp.insert(node, ctx.now().ticks());
             self.log
                 .lock()
                 .observe(node.raw(), self.me.0, tag, ObserveKind::Applied);

@@ -1,0 +1,99 @@
+//! End-to-end pin of the `obsctl` CLI against committed fixture exports:
+//! the JSON report schema, the incident story in the text report, and the
+//! `--must-alert` / `--must-not-alert` CI guard exit codes.
+
+use std::process::{Command, Output};
+
+const FAULTED: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/faulted");
+const CLEAN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/clean");
+const GOLDEN_REPORT: &str = include_str!("golden/faulted.report.json");
+
+fn obsctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_obsctl"))
+        .args(args)
+        .output()
+        .expect("spawn obsctl")
+}
+
+#[test]
+fn json_report_matches_the_golden_schema() {
+    let out = obsctl(&["report", FAULTED, "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim_end(),
+        GOLDEN_REPORT.trim_end(),
+        "report JSON diverges from the pinned schema — update \
+         tests/golden/faulted.report.json deliberately"
+    );
+}
+
+#[test]
+fn text_report_tells_the_incident_story() {
+    let out = obsctl(&["report", FAULTED]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("backlog_growth on P2 at 450"),
+        "incident line missing: {text}"
+    );
+    assert!(text.contains("lazy lag"), "lag table missing");
+    assert!(text.contains("slowest op chains"), "hop chains missing");
+}
+
+#[test]
+fn must_alert_guard_passes_on_the_faulted_run() {
+    let out = obsctl(&["report", FAULTED, "--must-alert", "backlog_growth"]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn must_alert_guard_fails_on_the_clean_run() {
+    let out = obsctl(&["report", CLEAN, "--must-alert", "backlog_growth"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn must_not_alert_guard_cuts_both_ways() {
+    let clean = obsctl(&["report", CLEAN, "--must-not-alert"]);
+    assert!(clean.status.success(), "{clean:?}");
+    let faulted = obsctl(&["report", FAULTED, "--must-not-alert"]);
+    assert_eq!(faulted.status.code(), Some(2), "{faulted:?}");
+}
+
+#[test]
+fn deltas_show_the_backlog_build_up() {
+    let out = obsctl(&["deltas", FAULTED, "--from", "100", "--to", "450", "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(
+            "{\"proc\":2,\"name\":\"relay.backlog_age\",\"first\":0,\"last\":330,\"gauge\":true}"
+        ),
+        "backlog age movement missing: {text}"
+    );
+}
+
+#[test]
+fn diff_contrasts_faulted_against_clean() {
+    let out = obsctl(&["diff", FAULTED, CLEAN, "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("\"alerts\":{\"a\":1,\"b\":0}"),
+        "alert contrast missing: {text}"
+    );
+    assert!(
+        text.contains("\"backlog_growth\":{\"a\":1,\"b\":0}"),
+        "rule contrast missing: {text}"
+    );
+}
+
+#[test]
+fn missing_files_and_bad_usage_exit_one() {
+    let out = obsctl(&["report", "/nonexistent/prefix"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = obsctl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = obsctl(&[]);
+    assert_eq!(out.status.code(), Some(1));
+}

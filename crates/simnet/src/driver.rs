@@ -303,6 +303,30 @@ impl<Op, O> DriverStats<Op, O> {
         }
         h
     }
+
+    /// Partition the completed records by `class` (e.g. the op kind), so
+    /// per-class latency quantiles can be reported alongside the aggregate.
+    /// Each partition keeps the run-wide `makespan` (the records shared one
+    /// run, so a per-class throughput is still ops over driven time); the
+    /// retry counters are run-wide and not attributable to a class, so they
+    /// are zeroed in the partitions — read them off the aggregate. Classes
+    /// with no records simply don't appear; every accessor is total on an
+    /// empty `DriverStats` regardless.
+    pub fn split_by<K: Ord, F: FnMut(&Op) -> K>(&self, mut class: F) -> BTreeMap<K, Self>
+    where
+        Op: Clone,
+        O: Clone,
+    {
+        let mut out: BTreeMap<K, Self> = BTreeMap::new();
+        for r in &self.records {
+            let part = out.entry(class(&r.op)).or_insert_with(|| DriverStats {
+                makespan: self.makespan,
+                ..DriverStats::default()
+            });
+            part.records.push(r.clone());
+        }
+        out
+    }
 }
 
 impl<Op, O: OpOutcome> DriverStats<Op, O> {
@@ -1236,6 +1260,60 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn split_by_partitions_records_and_keeps_the_makespan() {
+        let rec = |id: u64, origin: u32, lat: u64| OpRecord {
+            id,
+            op: ProcId(origin),
+            submitted: SimTime(0),
+            completed: SimTime(lat),
+            outcome: (),
+        };
+        let stats = DriverStats {
+            records: vec![rec(0, 0, 10), rec(1, 1, 30), rec(2, 0, 20), rec(3, 1, 50)],
+            makespan: 100,
+            timeouts: 3,
+            retries: 2,
+            ..Default::default()
+        };
+        let by_origin = stats.split_by(|op: &ProcId| op.0);
+        assert_eq!(by_origin.len(), 2);
+        let p0 = &by_origin[&0];
+        assert_eq!(p0.records.len(), 2);
+        assert_eq!(p0.latency_quantile(1.0), 20);
+        assert_eq!(p0.makespan, 100, "partitions keep the run-wide makespan");
+        assert_eq!(p0.timeouts, 0, "retry counters are not attributable");
+        assert_eq!(p0.retries, 0);
+        let p1 = &by_origin[&1];
+        assert_eq!(p1.latency_quantile(0.0), 30);
+        assert_eq!(p1.latency_quantile(1.0), 50);
+        assert_eq!(
+            p0.records.len() + p1.records.len(),
+            stats.records.len(),
+            "partition is exhaustive"
+        );
+    }
+
+    #[test]
+    fn split_by_on_empty_stats_is_total() {
+        // Empty-kind totality: a kind with no completions yields no
+        // partition, and every accessor on any partition (or on the empty
+        // split itself) is total.
+        let empty: DriverStats<ProcId, ()> = DriverStats::default();
+        let split = empty.split_by(|op: &ProcId| op.0);
+        assert!(split.is_empty(), "no records, no partitions");
+        // A partition-shaped empty stats object stays total through every
+        // accessor (same contract as `empty_stats_are_total`).
+        let part: DriverStats<ProcId, ()> = DriverStats {
+            makespan: 42,
+            ..DriverStats::default()
+        };
+        assert_eq!(part.mean_latency(), 0.0);
+        assert_eq!(part.latency_quantile(0.99), 0);
+        assert_eq!(part.throughput_per_kilotick(), 0.0);
+        assert_eq!(part.latency_histogram().count(), 0);
     }
 
     #[test]

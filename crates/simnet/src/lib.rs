@@ -56,6 +56,7 @@ pub mod driver;
 pub mod event;
 mod fault;
 pub mod fx;
+mod health;
 mod latency;
 mod obs;
 pub mod profile;
@@ -72,6 +73,7 @@ pub use context::Context;
 pub use driver::{Driver, OpenLoopCfg, RetryPolicy};
 pub use fault::{CrashEvent, FaultPlan, FaultStats, Partition};
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
+pub use health::{Alert, HealthConfig, HealthMonitor, HealthReport};
 pub use latency::LatencyModel;
 pub use obs::{Histogram, MetricsRegistry, Obs, ObsConfig, ProcSample};
 pub use profile::{
@@ -205,6 +207,18 @@ pub trait Process {
     /// per-action *delta* of each counter, and the sampler emits periodic
     /// per-processor time series. The default (no counters) disables both.
     fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    /// Named point-in-time *level* gauges (queue depths, backlog ages,
+    /// dwell times) — unlike [`Process::metrics`] these may fall as well as
+    /// rise, so the trace never diffs them; the sampler snapshots them into
+    /// the same time series and the [`HealthMonitor`] evaluates its rules
+    /// over them. `now` is the sample time, so age-style gauges can be
+    /// computed without the process keeping its own clock. Called only when
+    /// a sample is due — with sampling disabled this is never invoked, so
+    /// the default (no gauges) costs nothing.
+    fn gauges(&self, _now: SimTime) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
 

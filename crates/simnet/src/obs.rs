@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::health::{Alert, HealthConfig, HealthReport};
 use crate::trace::{json_escape_into, Trace};
 use crate::{ProcId, SimTime};
 
@@ -24,6 +25,9 @@ pub struct ObsConfig {
     /// when an action executes on the processor, so an idle processor emits
     /// no redundant points.
     pub sample_interval: u64,
+    /// Online watchdog rules evaluated at each sample boundary (disabled by
+    /// default; needs `sample_interval > 0` to ever see a sample).
+    pub health: HealthConfig,
 }
 
 impl ObsConfig {
@@ -32,6 +36,7 @@ impl ObsConfig {
         ObsConfig {
             trace_capacity,
             sample_interval: 0,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -46,6 +51,11 @@ pub struct ProcSample {
     /// The counters, as reported by
     /// [`Process::metrics`](crate::Process::metrics).
     pub pairs: Vec<(&'static str, u64)>,
+    /// Point-in-time level gauges, as reported by
+    /// [`Process::gauges`](crate::Process::gauges) (plus runtime-level
+    /// gauges such as the simulator's event-queue depth). Unlike `pairs`
+    /// these may go down between samples.
+    pub gauges: Vec<(&'static str, u64)>,
 }
 
 impl ProcSample {
@@ -57,6 +67,15 @@ impl ProcSample {
             self.proc.0
         );
         for (i, (name, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape_into(&mut s, name);
+            s.push_str(&format!("\":{v}"));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -78,6 +97,9 @@ pub struct Obs {
     pub trace: Trace,
     /// Per-processor counter snapshots, in sample order.
     pub series: Vec<ProcSample>,
+    /// Watchdog alerts, in firing order (empty unless
+    /// [`HealthConfig::enabled`] and sampling are both on).
+    pub alerts: Vec<Alert>,
 }
 
 impl Obs {
@@ -94,6 +116,21 @@ impl Obs {
             out.push('\n');
         }
         out
+    }
+
+    /// The alert stream as JSON Lines.
+    pub fn alerts_jsonl(&self) -> String {
+        let mut out = String::new();
+        for a in &self.alerts {
+            out.push_str(&a.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Summarize the run's watchdog activity.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport::build(&self.alerts)
     }
 }
 
@@ -386,10 +423,21 @@ mod tests {
             at: SimTime(42),
             proc: ProcId(3),
             pairs: vec![("x", 1), ("y", 2)],
+            gauges: vec![("g", 7)],
         };
         assert_eq!(
             s.to_json(),
-            "{\"at\":42,\"proc\":3,\"counters\":{\"x\":1,\"y\":2}}"
+            "{\"at\":42,\"proc\":3,\"counters\":{\"x\":1,\"y\":2},\"gauges\":{\"g\":7}}"
+        );
+        let bare = ProcSample {
+            at: SimTime(1),
+            proc: ProcId(0),
+            pairs: Vec::new(),
+            gauges: Vec::new(),
+        };
+        assert_eq!(
+            bare.to_json(),
+            "{\"at\":1,\"proc\":0,\"counters\":{},\"gauges\":{}}"
         );
     }
 }

@@ -754,6 +754,17 @@ impl<P: Process> Process for SessionProc<P> {
         m
     }
 
+    fn gauges(&self, now: crate::SimTime) -> Vec<(&'static str, u64)> {
+        let mut g = self.inner.gauges(now);
+        if self.cfg.enabled {
+            // Retransmit-window occupancy: payloads sent but not yet acked
+            // across every peer channel. A sustained climb means a peer is
+            // unreachable (or the storm rule is about to fire).
+            g.push(("session.unacked", self.unacked() as u64));
+        }
+        g
+    }
+
     fn fingerprint(&self) -> Option<u64> {
         // With the session layer (or its detector) active, retransmission
         // state is clock-driven (RTOs, heartbeat deadlines) and cannot be

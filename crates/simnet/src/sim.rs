@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use crate::context::{Context, Effect};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultPlan;
+use crate::health::{Alert, HealthConfig, HealthMonitor};
 use crate::obs::{metric_deltas, Sampler};
 use crate::runtime::{Poll, QuiesceError, Runtime};
 use crate::schedule::Scheduler;
@@ -47,6 +48,10 @@ pub struct SimConfig {
     /// reliable network; an inactive plan adds no RNG draws and no events,
     /// so fault-free runs are bit-identical to the pre-fault simulator.
     pub faults: FaultPlan,
+    /// Online health watchdogs evaluated at each sample boundary (needs
+    /// `sample_interval > 0` to ever fire; disabled by default, in which
+    /// case no monitor state is even allocated).
+    pub health: HealthConfig,
 }
 
 impl Default for SimConfig {
@@ -61,6 +66,7 @@ impl Default for SimConfig {
             max_events: 100_000_000,
             max_time: SimTime(u64::MAX),
             faults: FaultPlan::none(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -157,6 +163,10 @@ pub struct Simulation<P: Process> {
     trace_cap: usize,
     sampler: Sampler,
     series: Vec<ProcSample>,
+    /// Online watchdogs (`None` unless `config.health.enabled`) and the
+    /// alerts they have fired so far.
+    health: Option<HealthMonitor>,
+    alerts: Vec<Alert>,
     outputs: Vec<(SimTime, ProcId, P::Msg)>,
     effects_buf: Vec<Effect<P::Msg>>,
     delivered: u64,
@@ -204,6 +214,11 @@ impl<P: Process> Simulation<P> {
             trace_cap: config.trace_capacity,
             sampler: Sampler::new(config.sample_interval, n),
             series: Vec::new(),
+            health: config
+                .health
+                .enabled
+                .then(|| HealthMonitor::new(config.health, n)),
+            alerts: Vec::new(),
             outputs: Vec::new(),
             effects_buf: Vec::new(),
             delivered: 0,
@@ -260,13 +275,20 @@ impl<P: Process> Simulation<P> {
         &self.series
     }
 
-    /// Take the observability data (trace + series), leaving fresh buffers
-    /// with the same configuration.
+    /// Take the observability data (trace + series + alerts), leaving fresh
+    /// buffers with the same configuration.
     pub fn take_obs(&mut self) -> Obs {
         Obs {
             trace: std::mem::replace(&mut self.trace, Trace::with_capacity(self.trace_cap)),
             series: std::mem::take(&mut self.series),
+            alerts: std::mem::take(&mut self.alerts),
         }
+    }
+
+    /// Watchdog alerts fired so far (empty unless health monitoring and
+    /// sampling are both enabled).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
     }
 
     /// Messages sent to [`ProcId::EXTERNAL`], with their send times.
@@ -831,10 +853,36 @@ impl<P: Process> Simulation<P> {
             });
         }
         if self.sampler.due(id, self.now) {
+            let pairs = p.metrics();
+            let mut gauges = p.gauges(self.now);
+            // Runtime-level gauge: pending events across the whole cluster
+            // (simulator only — the threaded runtime has no global queue).
+            gauges.push(("rt.event_queue_depth", self.queue.len() as u64));
+            if let Some(mon) = &mut self.health {
+                for alert in mon.observe(self.now, id, &pairs, &gauges) {
+                    if self.trace.enabled() {
+                        self.trace.record(TraceEntry {
+                            seq: 0,
+                            at: self.now,
+                            from: id,
+                            to: id,
+                            event: TraceEvent::Alert,
+                            kind: alert.rule,
+                            span: None,
+                            redelivery: false,
+                            wait: 0,
+                            detail: alert.detail(),
+                            deltas: Vec::new(),
+                        });
+                    }
+                    self.alerts.push(alert);
+                }
+            }
             self.series.push(ProcSample {
                 at: self.now,
                 proc: id,
-                pairs: p.metrics(),
+                pairs,
+                gauges,
             });
         }
         let depart = self.now + service;

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::context::Effect;
+use crate::health::{Alert, HealthMonitor};
 use crate::obs::Sampler;
 use crate::runtime::{Poll, QuiesceError, Runtime};
 use crate::trace::{TraceEntry, TraceEvent};
@@ -69,6 +70,11 @@ struct ObsState {
     trace: Trace,
     series: Vec<ProcSample>,
     sampler: Sampler,
+    /// Online watchdogs (`None` unless enabled) and their fired alerts,
+    /// evaluated under the same lock as the sampler so alert order agrees
+    /// with sample order.
+    health: Option<HealthMonitor>,
+    alerts: Vec<Alert>,
 }
 
 type SharedObs = Option<Arc<Mutex<ObsState>>>;
@@ -209,6 +215,11 @@ where
                     trace: Trace::with_capacity(obs_cfg.trace_capacity),
                     series: Vec::new(),
                     sampler: Sampler::new(obs_cfg.sample_interval, n),
+                    health: obs_cfg
+                        .health
+                        .enabled
+                        .then(|| HealthMonitor::new(obs_cfg.health, n)),
+                    alerts: Vec::new(),
                 }))
             });
         let (out_tx, out_rx) = unbounded::<Output<P::Msg>>();
@@ -543,6 +554,7 @@ where
                         Trace::with_capacity(self.obs_cfg.trace_capacity),
                     ),
                     series: std::mem::take(&mut st.series),
+                    alerts: std::mem::take(&mut st.alerts),
                 }
             }
         }
@@ -736,6 +748,9 @@ fn record_action<P: Process>(
 ) {
     let after = proc.metrics();
     let mut st = obs.lock().expect("obs lock");
+    // Reborrow through the guard so the health/trace/alerts fields can be
+    // borrowed disjointly below.
+    let st = &mut *st;
     if st.trace.enabled() {
         st.trace.record(TraceEntry {
             seq: 0,
@@ -752,10 +767,33 @@ fn record_action<P: Process>(
         });
     }
     if st.sampler.due(me, at) {
+        let gauges = proc.gauges(at);
+        if let Some(mon) = &mut st.health {
+            let fired = mon.observe(at, me, &after, &gauges);
+            for alert in fired {
+                if st.trace.enabled() {
+                    st.trace.record(TraceEntry {
+                        seq: 0,
+                        at,
+                        from: me,
+                        to: me,
+                        event: TraceEvent::Alert,
+                        kind: alert.rule,
+                        span: None,
+                        redelivery: false,
+                        wait: 0,
+                        detail: alert.detail(),
+                        deltas: Vec::new(),
+                    });
+                }
+                st.alerts.push(alert);
+            }
+        }
         st.series.push(ProcSample {
             at,
             proc: me,
             pairs: after,
+            gauges,
         });
     }
 }

@@ -44,6 +44,11 @@ pub enum TraceEvent {
     /// A restarted processor re-entered the replication (§4.3 rejoin plus
     /// anti-entropy catch-up).
     Rejoin,
+    /// A health watchdog fired ([`crate::HealthMonitor`]); `kind` names the
+    /// rule and `detail` carries the value/threshold pair. Alert entries
+    /// are retained preferentially under ring-buffer pressure (the evidence
+    /// around them may be evicted, the verdict itself must not be).
+    Alert,
 }
 
 impl TraceEvent {
@@ -61,6 +66,7 @@ impl TraceEvent {
             TraceEvent::Alive => "alive",
             TraceEvent::Quarantine => "quarantine",
             TraceEvent::Rejoin => "rejoin",
+            TraceEvent::Alert => "alert",
         }
     }
 }
@@ -173,6 +179,9 @@ pub struct Trace {
     cap: usize,
     dropped: u64,
     next_seq: u64,
+    /// Retained [`TraceEvent::Alert`] entries — the eviction policy below
+    /// skips them while anything else can be evicted instead.
+    retained_alerts: usize,
 }
 
 impl Trace {
@@ -183,6 +192,7 @@ impl Trace {
             cap,
             dropped: 0,
             next_seq: 0,
+            retained_alerts: 0,
         }
     }
 
@@ -194,6 +204,13 @@ impl Trace {
     /// Append an entry, stamping its `seq` and evicting the oldest entry if
     /// the buffer is full. Public so tools and tests can build traces by
     /// hand; the runtimes call it internally.
+    ///
+    /// Eviction policy (pinned by tests): the oldest **non-alert** entry is
+    /// evicted first, so [`TraceEvent::Alert`] records are never silently
+    /// pushed out ahead of ordinary traffic — a post-mortem must always see
+    /// the verdicts even when the evidence window has wrapped. Only when
+    /// the entire ring is alerts does the oldest alert go. A trace that
+    /// never records an alert evicts exactly as a plain FIFO ring.
     pub fn record(&mut self, mut entry: TraceEntry) {
         if self.cap == 0 {
             return;
@@ -201,8 +218,22 @@ impl Trace {
         entry.seq = self.next_seq;
         self.next_seq += 1;
         if self.entries.len() == self.cap {
-            self.entries.pop_front();
+            if self.retained_alerts == 0 {
+                self.entries.pop_front();
+            } else if let Some(idx) = self
+                .entries
+                .iter()
+                .position(|e| e.event != TraceEvent::Alert)
+            {
+                self.entries.remove(idx);
+            } else {
+                self.entries.pop_front();
+                self.retained_alerts -= 1;
+            }
             self.dropped += 1;
+        }
+        if entry.event == TraceEvent::Alert {
+            self.retained_alerts += 1;
         }
         self.entries.push_back(entry);
     }
@@ -379,6 +410,49 @@ mod tests {
         }
         assert_eq!(idx.spans().count(), idx.len());
         assert!(SpanIndex::default().of_span(1).is_empty());
+    }
+
+    #[test]
+    fn eviction_skips_alert_entries() {
+        let mut t = Trace::with_capacity(3);
+        t.record(entry("a"));
+        let mut alert = entry("health.backlog_growth");
+        alert.event = TraceEvent::Alert;
+        t.record(alert);
+        t.record(entry("b"));
+        // Overflow: "a" (oldest non-alert) goes, the alert stays.
+        t.record(entry("c"));
+        assert_eq!(t.dropped(), 1);
+        let kinds: Vec<&str> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["health.backlog_growth", "b", "c"]);
+        // Next overflow evicts "b" — the alert is older but protected.
+        t.record(entry("d"));
+        let kinds: Vec<&str> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["health.backlog_growth", "c", "d"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn all_alert_ring_falls_back_to_fifo() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..3 {
+            let mut a = entry(["x", "y", "z"][i]);
+            a.event = TraceEvent::Alert;
+            t.record(a);
+        }
+        assert_eq!(t.dropped(), 1);
+        let kinds: Vec<&str> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["y", "z"],
+            "oldest alert goes when all are alerts"
+        );
+        // The accounting stayed consistent: a non-alert entry is still the
+        // preferred victim afterwards.
+        t.record(entry("plain"));
+        t.record(entry("plain2"));
+        let kinds: Vec<&str> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["z", "plain2"]);
     }
 
     #[test]

@@ -154,6 +154,16 @@ fn representative_trace() -> Trace {
         None,
         "P2 heard from again",
     ));
+    // A health watchdog firing on processor 1 (self-addressed, like timers).
+    t.record(entry(
+        32,
+        ProcId(1),
+        ProcId(1),
+        TraceEvent::Alert,
+        "backlog_growth",
+        None,
+        "rule=backlog_growth value=12 threshold=4 windows=4",
+    ));
     // A reply leaving the system, with characters the export must escape.
     t.record(entry(
         33,
@@ -276,6 +286,71 @@ fn zero_capacity_records_and_drops_nothing() {
     assert!(t.to_jsonl().is_empty());
 }
 
+/// Alert retention at scale: a bounded ring under heavy eviction pressure
+/// keeps every `Alert` record while plain records churn through. 100 alerts
+/// sprinkled through 50k deliveries on a 512-entry ring all survive, the
+/// drop accounting stays exact, and the alerts appear in the export in
+/// firing order.
+#[test]
+fn alerts_survive_eviction_at_scale() {
+    const CAP: usize = 512;
+    const TOTAL: u64 = 50_000;
+    const EVERY: u64 = 500; // 100 alerts across the run
+    let mut t = Trace::with_capacity(CAP);
+    for i in 0..TOTAL {
+        if i % EVERY == 0 {
+            t.record(entry(
+                i,
+                ProcId(1),
+                ProcId(1),
+                TraceEvent::Alert,
+                "backlog_growth",
+                None,
+                "rule=backlog_growth value=9 threshold=4 windows=4",
+            ));
+        } else {
+            t.record(tick(i));
+        }
+    }
+    assert_eq!(t.len(), CAP, "ring stays bounded");
+    assert_eq!(
+        t.dropped(),
+        TOTAL - CAP as u64,
+        "drop accounting stays exact"
+    );
+
+    let jsonl = t.to_jsonl();
+    let alert_ats: Vec<u64> = jsonl
+        .lines()
+        .filter(|l| l.contains("\"event\":\"alert\""))
+        .map(|l| {
+            let tail = l.split("\"at\":").nth(1).unwrap();
+            tail[..tail.find(',').unwrap()].parse().unwrap()
+        })
+        .collect();
+    let expected: Vec<u64> = (0..TOTAL).step_by(EVERY as usize).collect();
+    assert_eq!(
+        alert_ats, expected,
+        "every alert survives 50k-record churn, in firing order"
+    );
+    // The non-alert survivors are the newest plain records (FIFO among the
+    // evictable), so the retained window is alerts + a recent tail.
+    let plain = CAP - alert_ats.len();
+    let first_plain = jsonl
+        .lines()
+        .filter(|l| !l.contains("\"event\":\"alert\""))
+        .map(|l| {
+            let tail = l.split("\"at\":").nth(1).unwrap();
+            tail[..tail.find(',').unwrap()].parse::<u64>().unwrap()
+        })
+        .min()
+        .unwrap();
+    assert!(
+        first_plain >= TOTAL - plain as u64 - EVERY,
+        "plain survivors are not the recent tail (oldest at {first_plain})"
+    );
+}
+
 #[test]
 fn every_event_label_appears_in_the_golden_file() {
     // The golden file must stay representative: one line per event type.
@@ -291,6 +366,7 @@ fn every_event_label_appears_in_the_golden_file() {
         TraceEvent::Alive,
         TraceEvent::Quarantine,
         TraceEvent::Rejoin,
+        TraceEvent::Alert,
     ] {
         let needle = format!("\"event\":\"{}\"", ev.as_str());
         assert!(GOLDEN.contains(&needle), "golden file lacks {needle}");
